@@ -1,0 +1,142 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (Table 1, Table 2, Figures 2, 3, 6a-h and 6i) and runs
+    Bechamel microbenchmarks of the compiler pipeline itself — one
+    [Test.make] per table/figure family.
+
+    Run with [dune exec bench/main.exe]. Set COMMSET_BENCH_QUICK=1 to skip
+    the 1..8-thread sweeps (Table 2 and the 8-thread results only). *)
+
+open Bechamel
+open Toolkit
+module P = Commset_pipeline.Pipeline
+module W = Commset_workloads.Workload
+module Registry = Commset_workloads.Registry
+module T = Commset_transforms
+module Report = Commset_report
+
+let md5sum = Option.get (Registry.find "md5sum")
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the pipeline stages                     *)
+(* ------------------------------------------------------------------ *)
+
+let bench_tests () =
+  (* pre-computed inputs so each staged function measures one stage *)
+  let source = md5sum.W.source in
+  let ast = Commset_lang.Parser.parse_program ~file:"md5sum" source in
+  let _ = Commset_lang.Typecheck.check ~externs:Commset_runtime.Builtins.extern_sigs ast in
+  let comp = P.compile ~name:"md5sum" ~setup:md5sum.W.setup source in
+  let plan =
+    match P.plans comp ~threads:8 with
+    | p :: _ -> p
+    | [] -> failwith "no plan for md5sum"
+  in
+  [
+    (* Table 1: static feature matrix *)
+    Test.make ~name:"table1/render" (Staged.stage (fun () -> Report.Table1.render ()));
+    (* Table 2 inputs: frontend and type checking *)
+    Test.make ~name:"table2/parse"
+      (Staged.stage (fun () -> Commset_lang.Parser.parse_program ~file:"md5sum" source));
+    Test.make ~name:"table2/typecheck"
+      (Staged.stage (fun () ->
+           let ast = Commset_lang.Parser.parse_program ~file:"md5sum" source in
+           Commset_lang.Typecheck.check ~externs:Commset_runtime.Builtins.extern_sigs ast));
+    (* Figure 2: lowering + effect analysis over a fresh AST *)
+    Test.make ~name:"figure2/lower+effects"
+      (Staged.stage (fun () ->
+           let prog = Commset_ir.Lower.lower_program ast in
+           Commset_analysis.Effects.analyze Commset_runtime.Builtins.lookup_spec prog));
+    (* Figures 3 & 6: plan emission + discrete-event simulation *)
+    Test.make ~name:"figure6/simulate-plan"
+      (Staged.stage (fun () ->
+           T.Emit.simulate ~plan ~pdg:comp.P.target.P.pdg ~trace:comp.P.trace ()));
+  ]
+
+let run_bechamel () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.6) ~stabilize:false () in
+  section "Microbenchmarks (Bechamel, monotonic clock)";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ t ] -> Printf.printf "  %-28s %12.0f ns/run\n%!" name t
+          | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        analyzed)
+    (bench_tests ())
+
+(* ------------------------------------------------------------------ *)
+(* Paper artifacts                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick = Sys.getenv_opt "COMMSET_BENCH_QUICK" <> None in
+  run_bechamel ();
+
+  section "Table 1: comparison of commutativity-based IPP systems";
+  print_endline (Report.Table1.render ());
+
+  section "Figure 2: annotated PDG for md5sum";
+  print_endline (Report.Evaluation.render_figure2 ());
+
+  section "Figure 3: md5sum timelines";
+  print_endline (Report.Evaluation.render_figure3 ());
+
+  Printf.printf "\nEvaluating all eight workloads%s...\n%!"
+    (if quick then " (quick: 8 threads only)" else " (threads 1..8)");
+  let evals = Report.Evaluation.evaluate_all ~sweep:(not quick) () in
+
+  section "Table 2: programs, annotations, transforms, best schemes";
+  print_endline (Report.Evaluation.render_table2 evals);
+
+  if not quick then begin
+    section "Figure 6: speedup vs thread count";
+    List.iter
+      (fun be ->
+        print_endline (Report.Evaluation.render_figure6 be);
+        print_newline ())
+      evals;
+    print_endline (Report.Evaluation.render_geomean evals)
+  end;
+
+  section "Extension: speculative (runtime-checked) commutativity";
+  let geti = Option.get (Registry.find "geti") in
+  let dyn = List.assoc "dynamic" geti.W.variants in
+  let cd = P.compile ~name:"geti/dynamic" ~setup:geti.W.setup dyn in
+  Printf.printf
+    "geti with data-dependent predicates (static proof impossible):\n";
+  List.iter
+    (fun (r : P.run) ->
+      Printf.printf "  %-44s %5.2fx  aborts=%d  %s\n" r.P.plan.T.Plan.label r.P.speedup
+        r.P.tx_aborts
+        (P.fidelity_to_string r.P.fidelity))
+    (Commset_support.Listx.take 4 (P.evaluate cd ~threads:8));
+
+  if not quick then begin
+    section "Ablations";
+    print_string (Report.Ablation.render ())
+  end;
+
+  let best_speedups =
+    List.map (fun be -> be.Report.Evaluation.be_best.P.speedup) evals
+  in
+  let noncomm_speedups =
+    List.map
+      (fun be ->
+        match be.Report.Evaluation.be_best_noncomm with
+        | Some r -> max 1.0 r.P.speedup
+        | None -> 1.0)
+      evals
+  in
+  section "Headline";
+  Printf.printf "Geomean best COMMSET speedup on 8 threads:     %.2fx (paper: 5.7x)\n"
+    (Report.Evaluation.geomean best_speedups);
+  Printf.printf "Geomean best non-COMMSET speedup on 8 threads: %.2fx (paper: 1.5x)\n"
+    (Report.Evaluation.geomean noncomm_speedups)

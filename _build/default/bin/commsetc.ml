@@ -1,0 +1,246 @@
+(** commsetc — the COMMSET parallelizing compiler driver.
+
+    Subcommands mirror the paper's workflow (Figure 5):
+    - [list]      the bundled evaluation workloads;
+    - [check]     frontend + metadata + well-formedness checks;
+    - [pdg]       the annotated PDG of the hottest loop (Figure 2 style);
+    - [plans]     the parallelization plans the transforms produce;
+    - [run]       simulate plans on the virtual multicore and report
+                  speedups and output fidelity;
+    - [seq]       run the program sequentially and print its output;
+    - [table1]    the paper's Table 1 feature-comparison matrix. *)
+
+open Cmdliner
+module P = Commset_pipeline.Pipeline
+module W = Commset_workloads.Workload
+module Registry = Commset_workloads.Registry
+module T = Commset_transforms
+module R = Commset_runtime
+
+let load ~workload ~variant ~file : string * string * (R.Machine.t -> unit) =
+  match (workload, file) with
+  | Some name, None -> (
+      match Registry.find name with
+      | Some w -> (
+          match variant with
+          | None -> (w.W.wname, w.W.source, w.W.setup)
+          | Some v -> (
+              match List.assoc_opt v w.W.variants with
+              | Some src -> (w.W.wname ^ "/" ^ v, src, w.W.setup)
+              | None ->
+                  Fmt.epr "unknown variant '%s' (available: %s)@." v
+                    (String.concat ", " (List.map fst w.W.variants));
+                  exit 2))
+      | None ->
+          Fmt.epr "unknown workload '%s' (try: %s)@." name
+            (String.concat ", " Registry.names);
+          exit 2)
+  | None, Some path ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      (Filename.basename path, src, (fun _ -> ()))
+  | _ ->
+      Fmt.epr "exactly one of WORKLOAD or --file is required@.";
+      exit 2
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+let with_diag f =
+  try f () with
+  | Commset_support.Diag.Error d ->
+      Fmt.epr "%s@." (Commset_support.Diag.to_string d);
+      exit 1
+
+(* ---- common arguments ---- *)
+
+let workload_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:"Bundled workload name.")
+
+let variant_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "variant" ] ~docv:"NAME" ~doc:"Annotation variant of the workload.")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "file"; "f" ] ~docv:"FILE" ~doc:"Compile a miniC source file instead.")
+
+let threads_arg =
+  Arg.(value & opt int 8 & info [ "threads"; "t" ] ~docv:"N" ~doc:"Thread count (1-8).")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ] ~doc:"Report the parallelization workflow stages (Figure 5).")
+
+(* ---- subcommands ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun w ->
+        Fmt.pr "%-8s  %s@." w.W.wname w.W.description;
+        List.iter (fun (v, _) -> Fmt.pr "%-8s    variant: %s@." "" v) w.W.variants)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled evaluation workloads") Term.(const run $ const ())
+
+let check_cmd =
+  let run workload variant file =
+    with_diag (fun () ->
+        let name, src, setup = load ~workload ~variant ~file in
+        let c = P.compile ~name ~setup src in
+        Fmt.pr "%s: OK@." name;
+        Fmt.pr "  %d COMMSET annotations, features: %s@." (P.count_annotations src)
+          (String.concat "," (P.features_used c));
+        Fmt.pr "  commsets:@.";
+        List.iter
+          (fun (s : Commset_core.Metadata.set_info) ->
+            Fmt.pr "    %-16s %s%s%s rank=%d members=[%s]@." s.Commset_core.Metadata.sname
+              (match s.Commset_core.Metadata.kind with
+              | Commset_lang.Ast.Self_set -> "self"
+              | Commset_lang.Ast.Group_set -> "group")
+              (if s.Commset_core.Metadata.predicate <> None then " predicated" else "")
+              (if s.Commset_core.Metadata.nosync then " nosync" else "")
+              s.Commset_core.Metadata.rank
+              (String.concat "; "
+                 (List.map Commset_core.Metadata.member_to_string
+                    (Commset_core.Metadata.members_of c.P.md s.Commset_core.Metadata.sname))))
+          (Commset_core.Metadata.sets_in_rank_order c.P.md);
+        Fmt.pr "  hottest loop: %.1f%% of execution, %d iterations@."
+          (100. *. P.loop_fraction c)
+          (R.Trace.n_iterations c.P.trace))
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Frontend, metadata and well-formedness checks")
+    Term.(const run $ workload_arg $ variant_arg $ file_arg)
+
+let pdg_cmd =
+  let run workload variant file =
+    with_diag (fun () ->
+        let name, src, setup = load ~workload ~variant ~file in
+        let c = P.compile ~name ~setup src in
+        Fmt.pr "%a@." Commset_pdg.Pdg.pp c.P.target.P.pdg;
+        Fmt.pr "(%d edges uco, %d ico)@." c.P.target.P.n_uco c.P.target.P.n_ico)
+  in
+  Cmd.v
+    (Cmd.info "pdg" ~doc:"Print the annotated PDG of the hottest loop")
+    Term.(const run $ workload_arg $ variant_arg $ file_arg)
+
+let plans_cmd =
+  let run workload variant file threads =
+    with_diag (fun () ->
+        let name, src, setup = load ~workload ~variant ~file in
+        let c = P.compile ~name ~setup src in
+        List.iter (fun (p : T.Plan.t) -> Fmt.pr "%s@." p.T.Plan.label) (P.plans c ~threads))
+  in
+  Cmd.v
+    (Cmd.info "plans" ~doc:"List the parallelization plans")
+    Term.(const run $ workload_arg $ variant_arg $ file_arg $ threads_arg)
+
+let run_cmd =
+  let run workload variant file threads timeline verbose =
+    setup_logs verbose;
+    with_diag (fun () ->
+        let name, src, setup = load ~workload ~variant ~file in
+        let c = P.compile ~name ~setup src in
+        Fmt.pr "%s: sequential baseline %.0f cycles over %d iterations@." name
+          c.P.trace.R.Trace.seq_total
+          (R.Trace.n_iterations c.P.trace);
+        List.iter
+          (fun (r : P.run) ->
+            let extras =
+              (if r.P.lock_contended > 0 then
+                 [ Printf.sprintf "%d contended acquires" r.P.lock_contended ]
+               else [])
+              @
+              if r.P.tx_aborts > 0 then [ Printf.sprintf "%d tx aborts" r.P.tx_aborts ]
+              else []
+            in
+            Fmt.pr "  %-52s %5.2fx  %s%s@." r.P.plan.T.Plan.label r.P.speedup
+              (P.fidelity_to_string r.P.fidelity)
+              (if extras = [] then "" else "  [" ^ String.concat ", " extras ^ "]"))
+          (P.evaluate c ~threads);
+        if timeline then
+          match P.best ~record_timeline:true c ~threads with
+          | Some r -> Fmt.pr "@.%s@." (Commset_report.Evaluation.render_timeline r)
+          | None -> ())
+  in
+  let timeline_arg =
+    Arg.(value & flag & info [ "timeline" ] ~doc:"Print the best plan's thread timeline.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate every plan on the virtual multicore")
+    Term.(
+      const run $ workload_arg $ variant_arg $ file_arg $ threads_arg $ timeline_arg
+      $ verbose_arg)
+
+let seq_cmd =
+  let run workload variant file =
+    with_diag (fun () ->
+        let name, src, setup = load ~workload ~variant ~file in
+        let ast = Commset_lang.Parser.parse_program ~file:name src in
+        let _ = Commset_lang.Typecheck.check ~externs:R.Builtins.extern_sigs ast in
+        let prog = Commset_ir.Lower.lower_program ast in
+        let machine = R.Machine.create () in
+        setup machine;
+        let interp = R.Interp.create ~machine prog in
+        let total = R.Interp.run_main interp in
+        List.iter print_endline (R.Machine.outputs machine);
+        Fmt.pr "-- %.0f simulated cycles@." total)
+  in
+  Cmd.v
+    (Cmd.info "seq" ~doc:"Run the program sequentially and print its output")
+    Term.(const run $ workload_arg $ variant_arg $ file_arg)
+
+let explain_cmd =
+  let run workload variant file =
+    with_diag (fun () ->
+        let name, src, setup = load ~workload ~variant ~file in
+        let c = P.compile ~name ~setup src in
+        Fmt.pr "%s" (Commset_report.Explain.render c))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Report the loop-carried dependences that still inhibit DOALL, at source \
+          level, with annotation hints (the feedback step of the paper's workflow)")
+    Term.(const run $ workload_arg $ variant_arg $ file_arg)
+
+let sweep_cmd =
+  let run workload variant file =
+    with_diag (fun () ->
+        let name, src, setup = load ~workload ~variant ~file in
+        let c = P.compile ~name ~setup src in
+        let series = P.sweep c ~max_threads:8 in
+        (* keep the chart readable: the strongest few series *)
+        let at8 pts = Option.value ~default:0. (List.assoc_opt 8 pts) in
+        let top =
+          List.sort (fun a b -> compare (at8 (snd b)) (at8 (snd a))) series
+          |> Commset_support.Listx.take 6
+        in
+        print_string (Commset_report.Ascii.chart ~max_threads:8 top))
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Speedup-vs-threads chart for every plan family (Figure 6 style)")
+    Term.(const run $ workload_arg $ variant_arg $ file_arg)
+
+let table1_cmd =
+  let run () = print_endline (Commset_report.Table1.render ()) in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Print the paper's Table 1 feature matrix")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "the COMMSET implicit-parallelism compiler (PLDI 2011 reproduction)" in
+  let info = Cmd.info "commsetc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; check_cmd; pdg_cmd; plans_cmd; run_cmd; seq_cmd; explain_cmd; sweep_cmd; table1_cmd ]))

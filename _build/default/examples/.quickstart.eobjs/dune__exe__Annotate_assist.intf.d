@@ -1,0 +1,1 @@
+examples/annotate_assist.mli:

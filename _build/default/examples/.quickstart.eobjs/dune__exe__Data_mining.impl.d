@@ -1,0 +1,1 @@
+examples/data_mining.ml: Commset_pipeline Commset_transforms Commset_workloads List Option Printf String

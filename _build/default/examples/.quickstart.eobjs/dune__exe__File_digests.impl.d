@@ -1,0 +1,1 @@
+examples/file_digests.ml: Char Commset_pipeline Commset_runtime Commset_transforms List Printf String

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Commset_ir Commset_support Digraph Hashtbl List

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.mli: Commset_ir Commset_support Digraph

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Commset_ir Hashtbl List Option

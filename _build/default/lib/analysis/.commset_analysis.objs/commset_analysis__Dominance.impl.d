@@ -1,0 +1,1 @@
+lib/analysis/dominance.ml: Cfg Commset_ir Hashtbl List

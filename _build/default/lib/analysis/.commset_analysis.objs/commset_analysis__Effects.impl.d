@@ -1,0 +1,1 @@
+lib/analysis/effects.ml: Commset_ir Commset_lang Commset_support Digraph Fmt Hashtbl List Option Set

@@ -1,0 +1,1 @@
+lib/analysis/effects.mli: Commset_ir Format Hashtbl Set

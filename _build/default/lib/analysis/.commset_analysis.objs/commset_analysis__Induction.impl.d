@@ -1,0 +1,1 @@
+lib/analysis/induction.ml: Cfg Commset_ir Commset_lang Dominance Hashtbl List Loops Option

@@ -1,0 +1,1 @@
+lib/analysis/induction.mli: Cfg Commset_ir Dominance Hashtbl Loops

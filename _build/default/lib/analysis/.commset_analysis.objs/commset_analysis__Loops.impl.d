@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Cfg Commset_ir Dominance Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/analysis/privatization.ml: Commset_ir Effects Hashtbl Induction List Loops Option

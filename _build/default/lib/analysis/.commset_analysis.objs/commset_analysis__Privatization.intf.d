@@ -1,0 +1,1 @@
+lib/analysis/privatization.mli: Commset_ir Effects Loops

@@ -1,0 +1,1 @@
+lib/analysis/purity.ml: Commset_lang Commset_support Diag Effects List Printf

@@ -1,0 +1,1 @@
+lib/analysis/purity.mli: Commset_lang Effects

@@ -1,0 +1,1 @@
+lib/analysis/reaching.ml: Cfg Commset_ir Hashtbl Int List Loops Set

@@ -1,0 +1,1 @@
+lib/analysis/reaching.mli: Cfg Commset_ir Loops

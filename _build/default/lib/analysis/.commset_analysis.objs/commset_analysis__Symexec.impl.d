@@ -1,0 +1,1 @@
+lib/analysis/symexec.ml: Commset_lang Commset_support Diag Induction List

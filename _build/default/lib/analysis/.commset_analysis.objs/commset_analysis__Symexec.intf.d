@@ -1,0 +1,1 @@
+lib/analysis/symexec.mli: Commset_lang Induction

@@ -1,0 +1,31 @@
+(** Call graph over user-defined functions (builtins excluded). *)
+
+module Ir = Commset_ir.Ir
+open Commset_support
+
+type t = { graph : string Digraph.t; prog : Ir.program }
+
+let build (prog : Ir.program) =
+  let graph = Digraph.create () in
+  List.iter (fun name -> Digraph.add_node graph name) prog.Ir.func_order;
+  List.iter
+    (fun name ->
+      let f = Hashtbl.find prog.Ir.funcs name in
+      Ir.iter_instrs f (fun _ i ->
+          match Ir.callee_of i with
+          | Some callee when Hashtbl.mem prog.Ir.funcs callee -> Digraph.add_edge graph name callee
+          | _ -> ()))
+    prog.Ir.func_order;
+  { graph; prog }
+
+let calls t caller callee = Digraph.has_edge t.graph caller callee
+
+(** [transitively_calls t a b]: can execution of [a] reach a call to [b]
+    (through any chain of user-function calls, length >= 1)? *)
+let transitively_calls t a b =
+  List.exists (fun n -> n = b) (List.concat_map (Digraph.reachable t.graph) (Digraph.succs t.graph a))
+
+(** Functions reachable from [name], including itself. *)
+let reachable t name = Digraph.reachable t.graph name
+
+let is_recursive t name = transitively_calls t name name

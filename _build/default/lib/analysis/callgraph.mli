@@ -1,0 +1,18 @@
+(** Call graph over user-defined functions (builtins excluded). *)
+
+module Ir = Commset_ir.Ir
+open Commset_support
+
+type t = { graph : string Digraph.t; prog : Ir.program }
+
+val build : Ir.program -> t
+val calls : t -> string -> string -> bool
+
+(** Can execution of the first function reach a call to the second
+    through any chain of user-function calls (length >= 1)? *)
+val transitively_calls : t -> string -> string -> bool
+
+(** Functions reachable from the given one, including itself. *)
+val reachable : t -> string -> string list
+
+val is_recursive : t -> string -> bool

@@ -1,0 +1,90 @@
+(** Natural-loop detection from back edges (a back edge [n -> h] has [h]
+    dominating [n]). Loops with the same header are merged. *)
+
+module Ir = Commset_ir.Ir
+
+type loop = {
+  header : Ir.label;
+  latches : Ir.label list;  (** sources of back edges into the header *)
+  body : Ir.label list;  (** all labels in the loop, header included *)
+  exits : Ir.label list;  (** labels outside the loop targeted from inside *)
+  depth : int;  (** nesting depth, 1 = outermost *)
+  parent : Ir.label option;  (** header of the innermost enclosing loop *)
+}
+
+type t = { loops : loop list (* outermost first *) }
+
+let compute (cfg : Cfg.t) (dom : Dominance.t) =
+  let back_edges =
+    List.concat_map
+      (fun n ->
+        List.filter_map
+          (fun s -> if Dominance.dominates dom s n then Some (n, s) else None)
+          (Cfg.successors cfg n))
+      (Cfg.reachable_labels cfg)
+  in
+  (* group back edges by header *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (n, h) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_header h) in
+      Hashtbl.replace by_header h (n :: cur))
+    back_edges;
+  let natural_loop header latches =
+    let body = Hashtbl.create 16 in
+    Hashtbl.add body header ();
+    let rec add n =
+      if not (Hashtbl.mem body n) then begin
+        Hashtbl.add body n ();
+        List.iter add (Cfg.predecessors cfg n)
+      end
+    in
+    List.iter add latches;
+    let members = List.filter (Hashtbl.mem body) (Cfg.reachable_labels cfg) in
+    let exits =
+      List.sort_uniq compare
+        (List.concat_map
+           (fun m -> List.filter (fun s -> not (Hashtbl.mem body s)) (Cfg.successors cfg m))
+           members)
+    in
+    (header, latches, members, exits)
+  in
+  let raw =
+    Hashtbl.fold (fun h latches acc -> natural_loop h (List.rev latches) :: acc) by_header []
+  in
+  (* nesting: loop A encloses loop B iff B's header is in A's body and A <> B *)
+  let encloses (ha, _, body_a, _) (hb, _, _, _) = ha <> hb && List.mem hb body_a in
+  let depth_of l = 1 + List.length (List.filter (fun l' -> encloses l' l) raw) in
+  let parent_of l =
+    let enclosing = List.filter (fun l' -> encloses l' l) raw in
+    (* innermost enclosing loop = the one with max depth *)
+    match enclosing with
+    | [] -> None
+    | _ ->
+        let deepest =
+          List.fold_left
+            (fun best cand -> if depth_of cand > depth_of best then cand else best)
+            (List.hd enclosing) enclosing
+        in
+        let h, _, _, _ = deepest in
+        Some h
+  in
+  let loops =
+    List.map
+      (fun ((header, latches, body, exits) as l) ->
+        { header; latches; body; exits; depth = depth_of l; parent = parent_of l })
+      raw
+  in
+  { loops = List.sort (fun a b -> compare (a.depth, a.header) (b.depth, b.header)) loops }
+
+let find_by_header t header = List.find_opt (fun l -> l.header = header) t.loops
+let outermost t = List.filter (fun l -> l.depth = 1) t.loops
+let in_loop l label = List.mem label l.body
+
+(** Blocks of [l] that belong to no deeper loop. *)
+let own_blocks t l =
+  List.filter
+    (fun b ->
+      not
+        (List.exists (fun l' -> l'.depth > l.depth && List.mem b l'.body) t.loops))
+    l.body

@@ -1,0 +1,23 @@
+(** Natural-loop detection from back edges; loops with the same header
+    are merged. *)
+
+module Ir = Commset_ir.Ir
+
+type loop = {
+  header : Ir.label;
+  latches : Ir.label list;  (** sources of back edges into the header *)
+  body : Ir.label list;  (** all labels in the loop, header included *)
+  exits : Ir.label list;  (** labels outside the loop targeted from inside *)
+  depth : int;  (** nesting depth, 1 = outermost *)
+  parent : Ir.label option;  (** header of the innermost enclosing loop *)
+}
+
+type t = { loops : loop list }
+
+val compute : Cfg.t -> Dominance.t -> t
+val find_by_header : t -> Ir.label -> loop option
+val outermost : t -> loop list
+val in_loop : loop -> Ir.label -> bool
+
+(** Blocks of the loop that belong to no deeper loop. *)
+val own_blocks : t -> loop -> Ir.label list

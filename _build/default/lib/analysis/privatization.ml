@@ -1,0 +1,104 @@
+(** Privatization of loop-local arrays.
+
+    An array held in a register [r] is *iteration-private* for a loop when
+    every iteration works on a fresh allocation that never escapes the
+    iteration. Conflicts on [Lheap (Slocal r)] for a private [r] cannot be
+    loop-carried, which is what lets DOALL run e.g. md5sum's per-file
+    digest buffers in parallel.
+
+    Conditions checked for a register [r] recorded by lowering as an
+    array-typed local declared inside the loop:
+    - every definition of [r] inside the loop is a call to an allocating
+      builtin, or a call to a function whose summary returns a fresh array
+      (reached through the lowering pattern [t = call ...; r = t]);
+    - [r]'s provenance is exactly [{Slocal r}] (no aliasing with other
+      sources);
+    - [r] never escapes: it is not stored to a global or array element,
+      not returned, and not passed to a callee that captures it. *)
+
+module Ir = Commset_ir.Ir
+
+type t = { private_regs : (Ir.reg, unit) Hashtbl.t }
+
+let is_fresh_def effects (lookup : Effects.lookup) (f : Ir.func) tbl (def : Ir.instr) =
+  let fresh_call callee =
+    match lookup callee with
+    | Some spec -> spec.Effects.bs_allocates
+    | None -> (
+        match Effects.summary effects callee with
+        | Some sm ->
+            sm.Effects.sm_ret_fresh && Effects.SrcSet.is_empty sm.Effects.sm_ret_prov
+        | None -> false)
+  in
+  match def.Ir.desc with
+  | Ir.Call { callee; _ } -> fresh_call callee
+  | Ir.Move (_, Ir.Reg t) -> (
+      (* lowering routes calls through a temporary *)
+      match Induction.unique_def tbl t with
+      | Some { Ir.desc = Ir.Call { callee; _ }; _ } -> fresh_call callee
+      | _ -> false)
+  | _ -> ignore f; false
+
+let escapes (f : Ir.func) (loop : Loops.loop) r =
+  let escaped = ref false in
+  List.iter
+    (fun l ->
+      let b = Ir.block f l in
+      List.iter
+        (fun i ->
+          match i.Ir.desc with
+          | Ir.Store_global (_, Ir.Reg x) when x = r -> escaped := true
+          | Ir.Store_index (_, _, Ir.Reg x) when x = r -> escaped := true
+          | _ -> ())
+        b.Ir.instrs;
+      match b.Ir.term with
+      | Ir.Ret (Some (Ir.Reg x)) when x = r -> escaped := true
+      | _ -> ())
+    loop.Loops.body;
+  (* returns outside the loop count too: the array outlives the iteration *)
+  List.iter
+    (fun b ->
+      match b.Ir.term with
+      | Ir.Ret (Some (Ir.Reg x)) when x = r -> escaped := true
+      | _ -> ())
+    (Ir.blocks_in_order f);
+  !escaped
+
+let compute (effects : Effects.t) (lookup : Effects.lookup) (f : Ir.func) (loop : Loops.loop) : t
+    =
+  let private_regs = Hashtbl.create 8 in
+  let tbl = Induction.defs_table f loop in
+  let prov = Effects.prov_of_func effects f.Ir.fname in
+  List.iter
+    (fun (r, _loc) ->
+      let defs = Option.value ~default:[] (Hashtbl.find_opt tbl r) in
+      let all_fresh =
+        defs <> [] && List.for_all (is_fresh_def effects lookup f tbl) defs
+      in
+      let unaliased =
+        match prov with
+        | Some pv ->
+            let srcs = Effects.prov_of pv r in
+            Effects.SrcSet.for_all (function Effects.Slocal _ -> true | _ -> false) srcs
+        | None -> false
+      in
+      if all_fresh && unaliased && not (escapes f loop r) then begin
+        (* mark the variable's register and every allocation-site register
+           in its provenance (lowering routes allocations through temps) *)
+        Hashtbl.replace private_regs r ();
+        match prov with
+        | Some pv ->
+            Effects.SrcSet.iter
+              (function Effects.Slocal x -> Hashtbl.replace private_regs x () | _ -> ())
+              (Effects.prov_of pv r)
+        | None -> ()
+      end)
+    f.Ir.loop_locals;
+  { private_regs }
+
+let is_private t r = Hashtbl.mem t.private_regs r
+
+(** Is a conflict on this location exempt from loop-carried treatment? *)
+let location_is_private t = function
+  | Effects.Lheap (Effects.Slocal r) -> is_private t r
+  | _ -> false

@@ -1,0 +1,13 @@
+(** Privatization of loop-local arrays: an array is iteration-private
+    when every iteration works on a fresh allocation that never escapes
+    the iteration, so conflicts on it cannot be loop-carried. *)
+
+module Ir = Commset_ir.Ir
+
+type t
+
+val compute : Effects.t -> Effects.lookup -> Ir.func -> Loops.loop -> t
+val is_private : t -> Ir.reg -> bool
+
+(** Is a conflict on this location exempt from loop-carried treatment? *)
+val location_is_private : t -> Effects.location -> bool

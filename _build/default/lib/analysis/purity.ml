@@ -1,0 +1,56 @@
+(** Purity checking for COMMSET predicate functions (paper §4.2: "the
+    COMMSETPREDICATE functions are tested for purity by inspection of
+    [their] body"). A predicate is pure when it reads and writes no
+    mutable state: no global accesses, no array element accesses, and no
+    calls to builtins or functions with non-empty effect summaries. *)
+
+module Ast = Commset_lang.Ast
+open Commset_support
+
+type verdict = Pure | Impure of string
+
+let rec expr_verdict (lookup : Effects.lookup) (effects : Effects.t option) (e : Ast.expr) :
+    verdict =
+  match e.Ast.edesc with
+  | Ast.Int_lit _ | Ast.Float_lit _ | Ast.Bool_lit _ | Ast.String_lit _ | Ast.Var _ -> Pure
+  | Ast.Unop (_, a) -> expr_verdict lookup effects a
+  | Ast.Binop (_, a, b) -> (
+      match expr_verdict lookup effects a with
+      | Pure -> expr_verdict lookup effects b
+      | imp -> imp)
+  | Ast.Index _ -> Impure "reads an array element"
+  | Ast.Call (callee, args) -> (
+      let arg_verdict =
+        List.fold_left
+          (fun acc a -> match acc with Pure -> expr_verdict lookup effects a | imp -> imp)
+          Pure args
+      in
+      match arg_verdict with
+      | Impure _ as imp -> imp
+      | Pure -> (
+          match lookup callee with
+          | Some spec ->
+              if
+                spec.Effects.bs_reads = [] && spec.Effects.bs_writes = []
+                && spec.Effects.bs_reads_arrays = []
+                && spec.Effects.bs_writes_arrays = []
+                && not spec.Effects.bs_allocates
+              then Pure
+              else Impure (Printf.sprintf "calls effectful builtin '%s'" callee)
+          | None -> (
+              match effects with
+              | Some eff -> (
+                  match Effects.summary eff callee with
+                  | Some sm
+                    when Effects.LocSet.is_empty sm.Effects.sm_rw.Effects.reads
+                         && Effects.LocSet.is_empty sm.Effects.sm_rw.Effects.writes ->
+                      Pure
+                  | Some _ -> Impure (Printf.sprintf "calls effectful function '%s'" callee)
+                  | None -> Impure (Printf.sprintf "calls unknown function '%s'" callee))
+              | None -> Impure (Printf.sprintf "calls function '%s'" callee))))
+
+let check_predicate ?effects ~lookup ~set_name (body : Ast.expr) =
+  match expr_verdict lookup effects body with
+  | Pure -> ()
+  | Impure reason ->
+      Diag.error ~loc:body.Ast.eloc "predicate of commset '%s' is not pure: %s" set_name reason

@@ -1,0 +1,13 @@
+(** Purity checking for COMMSET predicate expressions (§4.2): a predicate
+    must read and write no mutable state so that it returns the same
+    value for the same arguments. *)
+
+module Ast = Commset_lang.Ast
+
+type verdict = Pure | Impure of string
+
+val expr_verdict : Effects.lookup -> Effects.t option -> Ast.expr -> verdict
+
+(** Raise a diagnostic if the predicate body of [set_name] is impure. *)
+val check_predicate :
+  ?effects:Effects.t -> lookup:Effects.lookup -> set_name:string -> Ast.expr -> unit

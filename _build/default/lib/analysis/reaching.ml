@@ -1,0 +1,162 @@
+(** Reaching definitions restricted to one loop, separating same-iteration
+    facts from loop-carried facts.
+
+    For a use [u] of register [r] inside the loop:
+    - a def [d] of [r] reaches [u] *intra-iteration* if there is a
+      def-clear path from [d] to [u] that does not cross a back edge;
+    - [d] reaches [u] *loop-carried* if [d] is live out of some latch and
+      a def-clear path from the header reaches [u]. *)
+
+module Ir = Commset_ir.Ir
+
+module IntSet = Set.Make (Int)
+
+type t = {
+  intra : (int, IntSet.t) Hashtbl.t;  (** instr iid -> defs reaching it intra-iteration *)
+  carried : (int, IntSet.t) Hashtbl.t;  (** instr iid -> defs reaching it from previous iterations *)
+  intra_end : (Ir.label, IntSet.t) Hashtbl.t;  (** block label -> defs reaching its terminator *)
+  carried_end : (Ir.label, IntSet.t) Hashtbl.t;
+  def_reg : (int, Ir.reg) Hashtbl.t;  (** defining instr -> register defined *)
+}
+
+let defs_of_instr i = Ir.instr_defs i
+
+(* dataflow over the loop body only *)
+let compute (cfg : Cfg.t) (loop : Loops.loop) : t =
+  let func = cfg.Cfg.func in
+  let body = loop.Loops.body in
+  let in_body l = List.mem l body in
+  let def_reg = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun i -> List.iter (fun r -> Hashtbl.replace def_reg i.Ir.iid r) (defs_of_instr i))
+        (Ir.block func l).Ir.instrs)
+    body;
+  (* per-block gen/kill *)
+  let gen = Hashtbl.create 16 in
+  let kill_regs = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      let b = Ir.block func l in
+      let g = ref IntSet.empty in
+      let kr = ref [] in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun r ->
+              (* a later def of r in the same block kills earlier ones *)
+              g :=
+                IntSet.filter
+                  (fun iid -> Hashtbl.find def_reg iid <> r)
+                  !g;
+              g := IntSet.add i.Ir.iid !g;
+              kr := r :: !kr)
+            (defs_of_instr i))
+        b.Ir.instrs;
+      Hashtbl.replace gen l !g;
+      Hashtbl.replace kill_regs l (List.sort_uniq compare !kr))
+    body;
+  let transfer ~with_gen l in_set =
+    let killed = Hashtbl.find kill_regs l in
+    let survive =
+      IntSet.filter (fun iid -> not (List.mem (Hashtbl.find def_reg iid) killed)) in_set
+    in
+    if with_gen then IntSet.union survive (Hashtbl.find gen l) else survive
+  in
+  (* generic fixpoint: header_in is fixed; other blocks join over in-loop preds,
+     back edges excluded. The intra pass generates defs; the carried pass
+     only kills — a def from a previous iteration stops reaching as soon as
+     the current iteration redefines the register. *)
+  let solve ~with_gen header_in =
+    let ins = Hashtbl.create 16 in
+    let outs = Hashtbl.create 16 in
+    List.iter
+      (fun l ->
+        Hashtbl.replace ins l IntSet.empty;
+        Hashtbl.replace outs l IntSet.empty)
+      body;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun l ->
+          let in_set =
+            if l = loop.Loops.header then header_in
+            else
+              List.fold_left
+                (fun acc p ->
+                  if in_body p then IntSet.union acc (Hashtbl.find outs p) else acc)
+                IntSet.empty (Cfg.predecessors cfg l)
+          in
+          let out_set = transfer ~with_gen l in_set in
+          if
+            not
+              (IntSet.equal in_set (Hashtbl.find ins l)
+              && IntSet.equal out_set (Hashtbl.find outs l))
+          then begin
+            Hashtbl.replace ins l in_set;
+            Hashtbl.replace outs l out_set;
+            changed := true
+          end)
+        body
+    done;
+    (ins, outs)
+  in
+  let intra_ins, intra_outs = solve ~with_gen:true IntSet.empty in
+  (* defs live out of latches feed the next iteration *)
+  let latch_out =
+    List.fold_left
+      (fun acc latch -> IntSet.union acc (Hashtbl.find intra_outs latch))
+      IntSet.empty loop.Loops.latches
+  in
+  let carried_ins, _ = solve ~with_gen:false latch_out in
+  (* per-instruction facts by linear scan within each block *)
+  let intra = Hashtbl.create 128 in
+  let carried = Hashtbl.create 128 in
+  let intra_end = Hashtbl.create 16 in
+  let carried_end = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      let b = Ir.block func l in
+      let cur_i = ref (Hashtbl.find intra_ins l) in
+      let cur_c = ref (Hashtbl.find carried_ins l) in
+      List.iter
+        (fun i ->
+          Hashtbl.replace intra i.Ir.iid !cur_i;
+          Hashtbl.replace carried i.Ir.iid !cur_c;
+          List.iter
+            (fun r ->
+              let keep s = IntSet.filter (fun iid -> Hashtbl.find def_reg iid <> r) s in
+              cur_i := IntSet.add i.Ir.iid (keep !cur_i);
+              cur_c := keep !cur_c)
+            (defs_of_instr i))
+        b.Ir.instrs;
+      Hashtbl.replace intra_end l !cur_i;
+      Hashtbl.replace carried_end l !cur_c)
+    body;
+  { intra; carried; intra_end; carried_end; def_reg }
+
+let intra_defs t ~use_iid ~reg =
+  match Hashtbl.find_opt t.intra use_iid with
+  | None -> []
+  | Some s ->
+      IntSet.elements (IntSet.filter (fun iid -> Hashtbl.find t.def_reg iid = reg) s)
+
+let carried_defs t ~use_iid ~reg =
+  match Hashtbl.find_opt t.carried use_iid with
+  | None -> []
+  | Some s ->
+      IntSet.elements (IntSet.filter (fun iid -> Hashtbl.find t.def_reg iid = reg) s)
+
+let intra_defs_at_end t ~label ~reg =
+  match Hashtbl.find_opt t.intra_end label with
+  | None -> []
+  | Some s ->
+      IntSet.elements (IntSet.filter (fun iid -> Hashtbl.find t.def_reg iid = reg) s)
+
+let carried_defs_at_end t ~label ~reg =
+  match Hashtbl.find_opt t.carried_end label with
+  | None -> []
+  | Some s ->
+      IntSet.elements (IntSet.filter (fun iid -> Hashtbl.find t.def_reg iid = reg) s)

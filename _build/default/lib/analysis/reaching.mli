@@ -1,0 +1,26 @@
+(** Reaching definitions restricted to one loop, separating same-iteration
+    facts from loop-carried facts.
+
+    For a use of register [r] inside the loop: a def reaches it
+    *intra-iteration* when a def-clear path avoids the back edge, and
+    *loop-carried* when the def is live out of a latch and a def-clear
+    path from the header reaches the use (loop-carried facts are killed
+    by the current iteration's own defs, never re-generated). *)
+
+module Ir = Commset_ir.Ir
+
+type t
+
+val compute : Cfg.t -> Loops.loop -> t
+
+(** Defs of [reg] reaching the instruction [use_iid] within the same
+    iteration, as defining-instruction ids. *)
+val intra_defs : t -> use_iid:int -> reg:Ir.reg -> int list
+
+(** Defs of [reg] reaching [use_iid] from earlier iterations. *)
+val carried_defs : t -> use_iid:int -> reg:Ir.reg -> int list
+
+(** Same queries at a block's terminator. *)
+val intra_defs_at_end : t -> label:Ir.label -> reg:Ir.reg -> int list
+
+val carried_defs_at_end : t -> label:Ir.label -> reg:Ir.reg -> int list

@@ -1,0 +1,168 @@
+(** Symbolic interpretation of COMMSET predicates (paper §4.4).
+
+    The dependence analyzer must prove that a predicate such as
+    [(i1 != i2)] always returns [true] when its two parameter lists are
+    bound to the actuals of two commset-member instances executing in
+    different (or the same) iterations of the target loop.
+
+    Values are three-valued booleans and symbolic integers of the shape
+    [mul·IV(side) + add], where [side] says which of the two instances the
+    value belongs to. The proof context supplies one fact: whether the two
+    instances run in distinct iterations (so IV(1) ≠ IV(2), by strict
+    monotonicity of a basic induction variable) or in the same iteration
+    (IV(1) = IV(2)). *)
+
+module Ast = Commset_lang.Ast
+open Commset_support
+
+type tribool = True | False | Maybe
+
+type side = Side1 | Side2
+
+type sval =
+  | Sbool of tribool
+  | Sint of { iv_id : int; side : side; mul : int; add : int }
+      (** [mul·IV(side) + add]; [mul = 0] encodes the constant [add];
+          [iv_id] identifies which basic IV (or invariant symbol) *)
+  | Ssym of int * side  (** opaque value: equal only to itself on the same side *)
+  | Stop  (** unknown *)
+
+let tri_not = function True -> False | False -> True | Maybe -> Maybe
+
+let tri_and a b =
+  match (a, b) with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | _ -> Maybe
+
+let tri_or a b =
+  match (a, b) with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | _ -> Maybe
+
+(** The fact relating the two instances' iterations. *)
+type iteration_fact = Distinct_iterations | Same_iteration
+
+type env = (string * sval) list
+
+let lookup env name = try List.assoc name env with Not_found -> Stop
+
+let const_int n = Sint { iv_id = -1; side = Side1; mul = 0; add = n }
+
+let is_const = function Sint { mul = 0; add; _ } -> Some add | _ -> None
+
+(* equality of two symbolic ints under the iteration fact *)
+let int_eq fact a b =
+  match (a, b) with
+  | Sint x, Sint y -> (
+      match (is_const (Sint x), is_const (Sint y)) with
+      | Some cx, Some cy -> if cx = cy then True else False
+      | _ ->
+          if x.iv_id <> y.iv_id then Maybe
+          else if x.side = y.side || fact = Same_iteration then
+            if x.mul = y.mul && x.add = y.add then True
+            else if x.mul = y.mul then False (* same IV value, different offset *)
+            else Maybe
+          else if
+            (* different sides, distinct iterations: IV values differ *)
+            x.mul = y.mul && x.mul <> 0 && x.add = y.add
+          then False
+          else Maybe)
+  | Ssym (i, s1), Ssym (j, s2) ->
+      if i = j && (s1 = s2 || fact = Same_iteration) then True else Maybe
+  | _ -> Maybe
+
+let rec eval fact (env : env) (e : Ast.expr) : sval =
+  match e.Ast.edesc with
+  | Ast.Int_lit n -> const_int n
+  | Ast.Bool_lit b -> Sbool (if b then True else False)
+  | Ast.Float_lit _ | Ast.String_lit _ -> Stop
+  | Ast.Var name -> lookup env name
+  | Ast.Unop (Ast.Not, a) -> (
+      match eval fact env a with Sbool t -> Sbool (tri_not t) | _ -> Stop)
+  | Ast.Unop (Ast.Neg, a) -> (
+      match eval fact env a with
+      | Sint x -> Sint { x with mul = -x.mul; add = -x.add }
+      | _ -> Stop)
+  | Ast.Binop (op, a, b) -> eval_binop fact env op a b
+  | Ast.Call _ | Ast.Index _ -> Stop
+
+and eval_binop fact env op a b =
+  let va = eval fact env a in
+  let vb = eval fact env b in
+  match op with
+  | Ast.And -> (
+      match (va, vb) with Sbool x, Sbool y -> Sbool (tri_and x y) | _ -> Stop)
+  | Ast.Or -> (
+      match (va, vb) with Sbool x, Sbool y -> Sbool (tri_or x y) | _ -> Stop)
+  | Ast.Eq -> Sbool (int_eq fact va vb)
+  | Ast.Neq -> Sbool (tri_not (int_eq fact va vb))
+  | Ast.Add -> (
+      match (va, vb) with
+      | Sint x, Sint y when is_const (Sint y) <> None ->
+          Sint { x with add = x.add + y.add }
+      | Sint x, Sint y when is_const (Sint x) <> None ->
+          Sint { y with add = x.add + y.add }
+      | Sint x, Sint y when x.iv_id = y.iv_id && x.side = y.side ->
+          Sint { x with mul = x.mul + y.mul; add = x.add + y.add }
+      | _ -> Stop)
+  | Ast.Sub -> (
+      match (va, vb) with
+      | Sint x, Sint y when is_const (Sint y) <> None ->
+          Sint { x with add = x.add - y.add }
+      | Sint x, Sint y when x.iv_id = y.iv_id && x.side = y.side ->
+          Sint { x with mul = x.mul - y.mul; add = x.add - y.add }
+      | _ -> Stop)
+  | Ast.Mul -> (
+      match (va, vb) with
+      | Sint x, Sint y when is_const (Sint y) <> None ->
+          Sint { x with mul = x.mul * y.add; add = x.add * y.add }
+      | Sint x, Sint y when is_const (Sint x) <> None ->
+          Sint { y with mul = y.mul * x.add; add = y.add * x.add }
+      | _ -> Stop)
+  | Ast.Div | Ast.Mod -> (
+      match (va, vb) with
+      | Sint x, Sint y -> (
+          match (is_const (Sint x), is_const (Sint y)) with
+          | Some cx, Some cy when cy <> 0 ->
+              const_int (if op = Ast.Div then cx / cy else cx mod cy)
+          | _ -> Stop)
+      | _ -> Stop)
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+      (* only constant comparisons resolve *)
+      match (is_const va, is_const vb) with
+      | Some cx, Some cy ->
+          let r =
+            match op with
+            | Ast.Lt -> cx < cy
+            | Ast.Le -> cx <= cy
+            | Ast.Gt -> cx > cy
+            | Ast.Ge -> cx >= cy
+            | _ -> assert false
+          in
+          Sbool (if r then True else False)
+      | _ -> Sbool Maybe)
+
+(** [prove fact env body] evaluates the predicate body and reports whether
+    it is definitely true under the iteration fact. *)
+let prove fact env body =
+  match eval fact env body with Sbool True -> true | Sbool (False | Maybe) | _ -> false
+
+(** Build a predicate environment: bind [params1] to the symbolic values of
+    the first instance's actuals and [params2] to the second's. *)
+let bind_params ~params1 ~params2 ~actuals1 ~actuals2 =
+  if
+    List.length params1 <> List.length actuals1
+    || List.length params2 <> List.length actuals2
+  then Diag.error "internal: predicate actual/parameter arity mismatch";
+  List.combine params1 actuals1 @ List.combine params2 actuals2
+
+(** Symbolic value of a classified operand on one side. [sym_id] must be a
+    stable identifier for non-affine operands (e.g. the register number) so
+    the same invariant operand gets equal symbols on both sides. *)
+let sval_of_classification side (c : Induction.classification) ~sym_id =
+  match c with
+  | Induction.Affine { iv; mul; add } -> Sint { iv_id = iv.Induction.iv_reg; side; mul; add }
+  | Induction.Invariant -> Ssym (sym_id, Side1) (* invariant: same on both sides *)
+  | Induction.Unknown -> Ssym (sym_id, side)

@@ -1,0 +1,48 @@
+(** Symbolic interpretation of COMMSET predicates (paper §4.4): prove that
+    a predicate such as [(i1 != i2)] always holds when its parameter lists
+    are bound to two member instances' actuals under a fact about their
+    iterations (distinct, by strict monotonicity of a basic induction
+    variable, or equal). *)
+
+module Ast = Commset_lang.Ast
+
+type tribool = True | False | Maybe
+
+(** Which of the two instances a symbolic value belongs to. *)
+type side = Side1 | Side2
+
+type sval =
+  | Sbool of tribool
+  | Sint of { iv_id : int; side : side; mul : int; add : int }
+      (** [mul·IV(side) + add]; [mul = 0] encodes the constant [add] *)
+  | Ssym of int * side  (** opaque value, equal only to itself on the same side *)
+  | Stop  (** unknown *)
+
+val tri_not : tribool -> tribool
+val tri_and : tribool -> tribool -> tribool
+val tri_or : tribool -> tribool -> tribool
+
+type iteration_fact = Distinct_iterations | Same_iteration
+
+type env = (string * sval) list
+
+val const_int : int -> sval
+
+(** Three-valued evaluation of a predicate body. *)
+val eval : iteration_fact -> env -> Ast.expr -> sval
+
+(** [prove fact env body]: is the predicate definitely true? *)
+val prove : iteration_fact -> env -> Ast.expr -> bool
+
+(** Bind the two parameter lists to the two instances' symbolic actuals. *)
+val bind_params :
+  params1:string list ->
+  params2:string list ->
+  actuals1:sval list ->
+  actuals2:sval list ->
+  env
+
+(** Symbolic value of a classified operand on one side; [sym_id] must be
+    stable (e.g. the register number) so the same invariant operand gets
+    equal symbols on both sides. *)
+val sval_of_classification : side -> Induction.classification -> sym_id:int -> sval

@@ -1,0 +1,1 @@
+lib/core/dep_analysis.ml: Array Commset_analysis Commset_ir Commset_pdg Commset_support Diag List Metadata

@@ -1,0 +1,1 @@
+lib/core/dep_analysis.mli: Commset_analysis Commset_pdg Metadata

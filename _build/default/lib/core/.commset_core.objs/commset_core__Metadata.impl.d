@@ -1,0 +1,1 @@
+lib/core/metadata.ml: Commset_analysis Commset_ir Commset_lang Commset_pdg Commset_support Diag Hashtbl List Listx Option Printf String

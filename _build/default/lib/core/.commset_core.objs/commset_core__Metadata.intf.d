@@ -1,0 +1,1 @@
+lib/core/metadata.mli: Commset_analysis Commset_ir Commset_lang Commset_pdg Hashtbl

@@ -1,0 +1,1 @@
+lib/core/wellformed.ml: Commset_analysis Commset_ir Commset_support Diag Digraph Hashtbl List Listx Metadata

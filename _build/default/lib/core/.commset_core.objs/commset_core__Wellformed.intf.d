@@ -1,0 +1,1 @@
+lib/core/wellformed.mli: Commset_analysis Commset_support Digraph Metadata

@@ -1,0 +1,217 @@
+(** The COMMSET dependence analyzer — the paper's Algorithm 1.
+
+    Every memory-dependence PDG edge is examined. For the pair of member
+    facets whose effects actually conflict on the edge's locations, the
+    analyzer intersects their commset memberships and decides:
+
+    - an unpredicated shared set of the right kind (Self for an edge
+      between two instances of the same member, Group otherwise) makes
+      the edge unconditionally commutative ([uco]);
+    - a predicated set triggers a symbolic proof: the predicate body is
+      interpreted with each side's actuals classified as affine functions
+      of a basic induction variable, under the fact that the two
+      instances run in distinct iterations (loop-carried edge) or in the
+      same iteration (intra-iteration edge). A proven loop-carried edge
+      whose destination dominates its source becomes [uco], otherwise
+      [ico]; a proven intra-iteration edge becomes [uco]. *)
+
+module Ir = Commset_ir.Ir
+module A = Commset_analysis
+module Effects = A.Effects
+module Pdg = Commset_pdg.Pdg
+open Commset_support
+
+type verdict = Vnone | Vico | Vuco
+
+let weaker a b =
+  match (a, b) with
+  | Vnone, _ | _, Vnone -> Vnone
+  | Vico, _ | _, Vico -> Vico
+  | Vuco, Vuco -> Vuco
+
+type ctx = {
+  md : Metadata.t;
+  pdg : Pdg.t;
+  dom : A.Dominance.t;
+  induction : A.Induction.t;
+  caller : string;
+}
+
+(* symbolic value of an actual operand on one side of the predicate *)
+let sval_of_operand ctx side (op : Ir.operand) =
+  match op with
+  | Ir.Const (Ir.Cint n) -> A.Symexec.const_int n
+  | Ir.Const (Ir.Cbool b) -> A.Symexec.Sbool (if b then A.Symexec.True else A.Symexec.False)
+  | Ir.Const _ -> A.Symexec.Stop
+  | Ir.Reg r ->
+      A.Symexec.sval_of_classification side (A.Induction.classify ctx.induction op) ~sym_id:r
+
+(* Does the predicate of [info] hold for the two actual lists under the
+   iteration fact? *)
+let predicate_holds ctx (info : Metadata.set_info) (p : Metadata.predicate) ~fact ~actuals1
+    ~actuals2 =
+  if
+    List.length actuals1 <> List.length p.Metadata.params1
+    || List.length actuals2 <> List.length p.Metadata.params2
+  then
+    Diag.error "commset '%s': instance actuals do not match the predicate arity"
+      info.Metadata.sname;
+  let sv1 = List.map (sval_of_operand ctx A.Symexec.Side1) actuals1 in
+  let sv2 = List.map (sval_of_operand ctx A.Symexec.Side2) actuals2 in
+  let env =
+    A.Symexec.bind_params ~params1:p.Metadata.params1 ~params2:p.Metadata.params2 ~actuals1:sv1
+      ~actuals2:sv2
+  in
+  A.Symexec.prove fact env p.Metadata.body
+
+(* facet-pair verdict for one edge *)
+let facet_pair_verdict ctx ~carried ~(src : Pdg.node) ~(dst : Pdg.node) (f1 : Metadata.facet)
+    (f2 : Metadata.facet) : verdict =
+  let same_member = f1.Metadata.fmember = f2.Metadata.fmember in
+  let common =
+    List.filter_map
+      (fun (s1, ops1) ->
+        match List.assoc_opt s1 f2.Metadata.fsets with
+        | Some ops2 -> Some (s1, ops1, ops2)
+        | None -> None)
+      f1.Metadata.fsets
+  in
+  let candidate_ok (info : Metadata.set_info) =
+    match (same_member, info.Metadata.kind) with
+    | true, Metadata.Self_set -> true
+    | false, Metadata.Group_set -> true
+    | true, Metadata.Group_set | false, Metadata.Self_set -> false
+  in
+  let verdict_for (sname, ops1, ops2) =
+    let info = Metadata.set_info_exn ctx.md sname in
+    if not (candidate_ok info) then Vnone
+    else
+      match info.Metadata.predicate with
+      | None -> Vuco (* Algorithm 1, lines 9-11 *)
+      | Some p ->
+          if carried then
+            if
+              predicate_holds ctx info p ~fact:A.Symexec.Distinct_iterations ~actuals1:ops1
+                ~actuals2:ops2
+            then
+              (* lines 22-30: uco when the destination dominates the source *)
+              if A.Dominance.dominates ctx.dom dst.Pdg.nlabel src.Pdg.nlabel then Vuco else Vico
+            else Vnone
+          else if
+            predicate_holds ctx info p ~fact:A.Symexec.Same_iteration ~actuals1:ops1
+              ~actuals2:ops2
+          then Vuco (* lines 32-35 *)
+          else Vnone
+  in
+  (* the strongest verdict over the candidate sets wins: membership in any
+     one commutative set suffices *)
+  List.fold_left
+    (fun acc cand ->
+      match acc with
+      | Vuco -> Vuco
+      | _ -> ( match verdict_for cand with Vuco -> Vuco | Vico -> Vico | Vnone -> acc))
+    Vnone common
+
+(* restrict an rw to the locations of the edge *)
+let restrict_rw (rw : Effects.rw) locs =
+  let keep s =
+    Effects.LocSet.filter
+      (fun l -> List.exists (fun l' -> Effects.locs_conflict l l') locs)
+      s
+  in
+  { Effects.reads = keep rw.Effects.reads; writes = keep rw.Effects.writes }
+
+(** Annotate every memory edge of the PDG in place. Returns the number of
+    edges annotated uco / ico. *)
+let annotate (md : Metadata.t) (pdg : Pdg.t) (dom : A.Dominance.t)
+    (induction : A.Induction.t) : int * int =
+  let ctx = { md; pdg; dom; induction; caller = pdg.Pdg.func.Ir.fname } in
+  let n_uco = ref 0 and n_ico = ref 0 in
+  List.iter
+    (fun (e : Pdg.edge) ->
+      match e.Pdg.ekind with
+      | Pdg.Kmem locs ->
+          let src = pdg.Pdg.nodes.(e.Pdg.esrc) and dst = pdg.Pdg.nodes.(e.Pdg.edst) in
+          let facets1 = Metadata.facets md ~caller:ctx.caller src in
+          let facets2 = Metadata.facets md ~caller:ctx.caller dst in
+          (* all facet pairs that actually conflict on this edge's locations *)
+          let conflicting_pairs =
+            List.concat_map
+              (fun f1 ->
+                List.filter_map
+                  (fun f2 ->
+                    let r1 = restrict_rw f1.Metadata.frw locs in
+                    let r2 = restrict_rw f2.Metadata.frw locs in
+                    (* a self edge relates two dynamic instances of the same
+                       node; distinct-node edges relate different members *)
+                    if Effects.conflict r1 r2 then Some (f1, f2) else None)
+                  facets2)
+              facets1
+          in
+          let verdict =
+            match conflicting_pairs with
+            | [] -> Vnone
+            | pairs ->
+                List.fold_left
+                  (fun acc (f1, f2) ->
+                    weaker acc (facet_pair_verdict ctx ~carried:e.Pdg.carried ~src ~dst f1 f2))
+                  Vuco pairs
+          in
+          (match verdict with
+          | Vuco ->
+              incr n_uco;
+              e.Pdg.commut <- Pdg.Cuco
+          | Vico ->
+              incr n_ico;
+              e.Pdg.commut <- Pdg.Cico
+          | Vnone -> e.Pdg.commut <- Pdg.Cnone)
+      | Pdg.Kreg _ | Pdg.Kcontrol -> ())
+    pdg.Pdg.edges;
+  (!n_uco, !n_ico)
+
+(* ------------------------------------------------------------------ *)
+(* Speculative relaxation (runtime-checked predicates)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* can this facet pair commute *if* its shared predicated set's predicate
+   were checked at runtime? *)
+let facet_pair_speculable (md : Metadata.t) (f1 : Metadata.facet) (f2 : Metadata.facet) =
+  let same_member = f1.Metadata.fmember = f2.Metadata.fmember in
+  List.exists
+    (fun (s1, _) ->
+      match List.assoc_opt s1 f2.Metadata.fsets with
+      | None -> false
+      | Some _ -> (
+          let info = Metadata.set_info_exn md s1 in
+          let kind_ok =
+            match (same_member, info.Metadata.kind) with
+            | true, Metadata.Self_set | false, Metadata.Group_set -> true
+            | true, Metadata.Group_set | false, Metadata.Self_set -> false
+          in
+          kind_ok && info.Metadata.predicate <> None))
+    f1.Metadata.fsets
+
+(** Is this (statically unrelaxed) edge relaxable by evaluating its
+    members' commutativity predicates at runtime — the optimistic mode
+    Galois uses and the paper lists as future work? True when every
+    conflicting facet pair shares a *predicated* set of the right kind. *)
+let speculable (md : Metadata.t) (pdg : Pdg.t) (e : Pdg.edge) : bool =
+  match e.Pdg.ekind with
+  | Pdg.Kreg _ | Pdg.Kcontrol -> false
+  | Pdg.Kmem locs ->
+      let caller = pdg.Pdg.func.Commset_ir.Ir.fname in
+      let src = pdg.Pdg.nodes.(e.Pdg.esrc) and dst = pdg.Pdg.nodes.(e.Pdg.edst) in
+      let facets1 = Metadata.facets md ~caller src in
+      let facets2 = Metadata.facets md ~caller dst in
+      let pairs =
+        List.concat_map
+          (fun f1 ->
+            List.filter_map
+              (fun f2 ->
+                let r1 = restrict_rw f1.Metadata.frw locs in
+                let r2 = restrict_rw f2.Metadata.frw locs in
+                if Effects.conflict r1 r2 then Some (f1, f2) else None)
+              facets2)
+          facets1
+      in
+      pairs <> [] && List.for_all (fun (f1, f2) -> facet_pair_speculable md f1 f2) pairs

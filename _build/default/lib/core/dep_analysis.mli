@@ -1,0 +1,24 @@
+(** The COMMSET dependence analyzer — the paper's Algorithm 1 — plus the
+    speculative-relaxation test used by the optimistic transform.
+
+    Every memory-dependence PDG edge is examined against the commset
+    memberships of the facets whose effects conflict on it:
+    - an unpredicated shared set of the right kind (Self for two
+      instances of the same member, Group otherwise) makes the edge
+      unconditionally commutative ([uco]);
+    - a predicated set triggers a symbolic proof under the iteration
+      fact; a proven loop-carried edge whose destination dominates its
+      source becomes [uco], otherwise [ico]; a proven intra-iteration
+      edge becomes [uco]. *)
+
+module A = Commset_analysis
+module Pdg = Commset_pdg.Pdg
+
+(** Annotate every memory edge of the PDG in place; returns the number of
+    edges annotated (uco, ico). *)
+val annotate : Metadata.t -> Pdg.t -> A.Dominance.t -> A.Induction.t -> int * int
+
+(** Is this (statically unrelaxed) edge relaxable by evaluating its
+    members' commutativity predicates at runtime? True when every
+    conflicting facet pair shares a *predicated* set of the right kind. *)
+val speculable : Metadata.t -> Pdg.t -> Pdg.edge -> bool

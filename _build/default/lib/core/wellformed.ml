@@ -1,0 +1,158 @@
+(** Well-definedness and well-formedness checks (paper §3.1, §4.2).
+
+    - Members must have structured, local control flow: a region's blocks
+      may only branch among themselves plus a single external exit; a
+      [return] (or a [break]/[continue] whose parent structure lies
+      outside) escapes the region and is rejected.
+    - No transitive call from one member of a commset to another member of
+      the same commset.
+    - The COMMSET graph (edge [S1 -> S2] when a member of [S1]
+      transitively calls into a member of [S2]) must be acyclic. Together
+      with rank-ordered lock acquisition and the acyclic pipeline queues
+      this guarantees deadlock freedom (§4.6).
+    - Commset predicates must be pure. *)
+
+module Ir = Commset_ir.Ir
+module A = Commset_analysis
+open Commset_support
+
+(* blocks belonging to a region *)
+let region_blocks (f : Ir.func) rid =
+  List.filter (fun b -> List.mem rid b.Ir.bregions) (Ir.blocks_in_order f)
+
+let check_region_control_flow (f : Ir.func) (r : Ir.region) =
+  let blocks = region_blocks f r.Ir.rid in
+  let labels = List.map (fun b -> b.Ir.label) blocks in
+  let external_targets =
+    Listx.uniq
+      (List.concat_map
+         (fun b ->
+           match b.Ir.term with
+           | Ir.Ret _ ->
+               Diag.error ~loc:r.Ir.rloc
+                 "commutative block in '%s' contains a 'return': members must have local, \
+                  structured control flow"
+                 f.Ir.fname
+           | _ -> List.filter (fun s -> not (List.mem s labels)) (Ir.successors b))
+         blocks)
+  in
+  match external_targets with
+  | [] | [ _ ] -> ()
+  | _ ->
+      Diag.error ~loc:r.Ir.rloc
+        "commutative block in '%s' has %d exits (a 'break' or 'continue' escapes it): members \
+         must have local, structured control flow"
+        f.Ir.fname (List.length external_targets)
+
+(* the function whose body contains a member's code *)
+let owner_function (m : Metadata.member) =
+  match m with Metadata.Mregion (f, _) | Metadata.Mfun f | Metadata.Mnamed (f, _) -> f
+
+(* direct user-function callees from within a member's code *)
+let direct_callees (t : Metadata.t) (m : Metadata.member) =
+  let prog = t.Metadata.prog in
+  let callees_of_instrs instrs =
+    List.filter_map
+      (fun i ->
+        match Ir.callee_of i with
+        | Some c when Hashtbl.mem prog.Ir.funcs c -> Some c
+        | _ -> None)
+      instrs
+  in
+  match m with
+  | Metadata.Mregion (fname, rid) ->
+      let f = Hashtbl.find prog.Ir.funcs fname in
+      callees_of_instrs (Metadata.region_instrs f rid)
+  | Metadata.Mfun fname ->
+      let f = Hashtbl.find prog.Ir.funcs fname in
+      let all = ref [] in
+      Ir.iter_instrs f (fun _ i -> all := i :: !all);
+      callees_of_instrs (List.rev !all)
+  | Metadata.Mnamed (fname, bname) -> (
+      match Metadata.named_region t fname bname with
+      | Some r ->
+          let f = Hashtbl.find prog.Ir.funcs fname in
+          callees_of_instrs (Metadata.region_instrs f r.Ir.rid)
+      | None -> [])
+
+(* functions transitively reachable from a member's direct callees *)
+let reachable_from (cg : A.Callgraph.t) (t : Metadata.t) (m : Metadata.member) =
+  Listx.uniq (List.concat_map (fun c -> A.Callgraph.reachable cg c) (direct_callees t m))
+
+let check_no_intra_set_calls (cg : A.Callgraph.t) (t : Metadata.t) =
+  List.iter
+    (fun (info : Metadata.set_info) ->
+      let ms = Metadata.members_of t info.Metadata.sname in
+      List.iter
+        (fun m1 ->
+          let reach = reachable_from cg t m1 in
+          List.iter
+            (fun m2 ->
+              let target_reached =
+                match m2 with
+                | Metadata.Mfun f2 -> List.mem f2 reach
+                | Metadata.Mregion (f2, _) | Metadata.Mnamed (f2, _) ->
+                    (* function-granularity approximation: reaching the
+                       enclosing function may reach the member block *)
+                    m1 <> m2 && List.mem f2 reach
+              in
+              if target_reached then
+                Diag.error
+                  "commset '%s': member %s transitively calls member %s of the same set \
+                   (ambiguous commutativity and a deadlock risk)"
+                  info.Metadata.sname
+                  (Metadata.member_to_string m1)
+                  (Metadata.member_to_string m2))
+            ms)
+        ms)
+    (Metadata.sets_in_rank_order t)
+
+let check_commset_graph_acyclic (cg : A.Callgraph.t) (t : Metadata.t) =
+  let g = Digraph.create () in
+  let sets = Metadata.sets_in_rank_order t in
+  List.iter (fun (s : Metadata.set_info) -> Digraph.add_node g s.Metadata.sname) sets;
+  List.iter
+    (fun (s1 : Metadata.set_info) ->
+      let ms1 = Metadata.members_of t s1.Metadata.sname in
+      List.iter
+        (fun m1 ->
+          let reach = reachable_from cg t m1 in
+          List.iter
+            (fun (s2 : Metadata.set_info) ->
+              if s1.Metadata.sname <> s2.Metadata.sname then
+                let ms2 = Metadata.members_of t s2.Metadata.sname in
+                if List.exists (fun m2 -> List.mem (owner_function m2) reach) ms2 then
+                  Digraph.add_edge g s1.Metadata.sname s2.Metadata.sname)
+            sets)
+        ms1)
+    sets;
+  if Digraph.has_cycle g then
+    Diag.error
+      "the COMMSET graph has a cycle: commutative members call into each other's commsets, \
+       which would risk deadlock";
+  g
+
+let check_predicates_pure (t : Metadata.t) ~lookup =
+  List.iter
+    (fun (s : Metadata.set_info) ->
+      match s.Metadata.predicate with
+      | Some p ->
+          A.Purity.check_predicate ~effects:t.Metadata.effects ~lookup
+            ~set_name:s.Metadata.sname p.Metadata.body
+      | None -> ())
+    (Metadata.sets_in_rank_order t)
+
+(** Run every check; raises [Diag.Error] on the first violation. Returns
+    the COMMSET graph for inspection. *)
+let check (t : Metadata.t) ~lookup : string Digraph.t =
+  let prog = t.Metadata.prog in
+  List.iter
+    (fun fname ->
+      let f = Hashtbl.find prog.Ir.funcs fname in
+      List.iter (fun r -> check_region_control_flow f r) f.Ir.fregions)
+    prog.Ir.func_order;
+  let cg = A.Callgraph.build prog in
+  check_no_intra_set_calls cg t;
+  let g = check_commset_graph_acyclic cg t in
+  check_predicates_pure t ~lookup;
+  g

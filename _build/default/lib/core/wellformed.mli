@@ -1,0 +1,11 @@
+(** Well-definedness and well-formedness checks (paper §3.1, §4.2):
+    structured control flow within members, no transitive calls between
+    members of one commset, an acyclic COMMSET graph (the deadlock-freedom
+    precondition together with rank-ordered locks and acyclic queues), and
+    pure predicates. *)
+
+open Commset_support
+
+(** Run every check; raises [Diag.Error] on the first violation. Returns
+    the COMMSET graph for inspection. *)
+val check : Metadata.t -> lookup:Commset_analysis.Effects.lookup -> string Digraph.t

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Commset_lang Commset_support Fmt Hashtbl List Loc Printf String

@@ -1,0 +1,1 @@
+lib/ir/ir.mli: Commset_lang Commset_support Format Hashtbl Loc

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Commset_lang Commset_support Diag Hashtbl Ir List Option Printf

@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Commset_lang Ir

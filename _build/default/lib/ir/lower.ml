@@ -1,0 +1,400 @@
+(** Lowering from the typed miniC AST to the IR.
+
+    COMMSET specifics:
+    - an annotated source block becomes a {!Ir.region}: lowering forces a
+      fresh basic block at region entry and exit so a region is a set of
+      whole blocks with a unique entry;
+    - `SELF` references materialize into unique singleton self sets named
+      [__self_r<id>] (for regions) — interface-level SELF memberships are
+      resolved later by the metadata manager as [__self_f<name>];
+    - `enable` statement pragmas arm subsequent calls (anywhere in the
+      same function) to the named callee with {!Ir.enable} records whose
+      actuals are evaluated at the call site. *)
+
+open Commset_support
+module Ast = Commset_lang.Ast
+
+type builder = {
+  func : Ir.func;
+  mutable current : Ir.block;
+  mutable scopes : (string, Ir.reg) Hashtbl.t list;
+  mutable region_stack : int list;
+  mutable loop_depth : int;
+  (* break / continue targets, innermost first *)
+  mutable loop_targets : (Ir.label * Ir.label) list;
+  mutable enables : (string * Ir.enable_spec) list;  (** callee -> spec *)
+  globals : (string, Ast.ty) Hashtbl.t;
+}
+
+let fresh_reg ?name ?ty b =
+  let r = b.func.Ir.n_regs in
+  b.func.Ir.n_regs <- r + 1;
+  (match name with Some n -> Hashtbl.replace b.func.Ir.reg_names r n | None -> ());
+  (match ty with Some t -> Hashtbl.replace b.func.Ir.reg_types r t | None -> ());
+  r
+
+let fresh_label b =
+  let l = b.func.Ir.n_labels in
+  b.func.Ir.n_labels <- l + 1;
+  l
+
+let new_block b label =
+  let blk = { Ir.label; instrs = []; term = Ir.Ret None; bregions = b.region_stack } in
+  Hashtbl.replace b.func.Ir.blocks label blk;
+  b.func.Ir.block_order <- b.func.Ir.block_order @ [ label ];
+  blk
+
+let emit b desc loc =
+  let iid = b.func.Ir.n_instrs in
+  b.func.Ir.n_instrs <- iid + 1;
+  let i = { Ir.iid; desc; iloc = loc; iregions = b.region_stack } in
+  b.current.Ir.instrs <- b.current.Ir.instrs @ [ i ];
+  i
+
+let set_term b term = b.current.Ir.term <- term
+
+(* switch emission to an existing or new block *)
+let start_block b label =
+  let blk =
+    match Hashtbl.find_opt b.func.Ir.blocks label with
+    | Some blk -> blk
+    | None -> new_block b label
+  in
+  b.current <- blk
+
+let find_var b name = List.find_map (fun tbl -> Hashtbl.find_opt tbl name) b.scopes
+
+let declare_var b name ty =
+  let r = fresh_reg ~name ~ty b in
+  (match b.scopes with
+  | tbl :: _ -> Hashtbl.replace tbl name r
+  | [] -> assert false);
+  r
+
+let push_scope b = b.scopes <- Hashtbl.create 8 :: b.scopes
+let pop_scope b = b.scopes <- List.tl b.scopes
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let expr_ty (e : Ast.expr) =
+  match e.ety with
+  | Some t -> t
+  | None -> Diag.error ~loc:e.eloc "internal: expression was not type-checked"
+
+let rec lower_expr b (e : Ast.expr) : Ir.operand =
+  match e.edesc with
+  | Ast.Int_lit n -> Ir.Const (Ir.Cint n)
+  | Ast.Float_lit f -> Ir.Const (Ir.Cfloat f)
+  | Ast.Bool_lit v -> Ir.Const (Ir.Cbool v)
+  | Ast.String_lit s -> Ir.Const (Ir.Cstring s)
+  | Ast.Var name -> (
+      match find_var b name with
+      | Some r -> Ir.Reg r
+      | None ->
+          if Hashtbl.mem b.globals name then begin
+            let r = fresh_reg b in
+            let _ = emit b (Ir.Load_global (r, name)) e.eloc in
+            Ir.Reg r
+          end
+          else Diag.error ~loc:e.eloc "internal: unbound variable '%s' after type checking" name)
+  | Ast.Binop (op, x, y) ->
+      let ox = lower_expr b x in
+      let oy = lower_expr b y in
+      let r = fresh_reg b in
+      let _ = emit b (Ir.Binop (op, expr_ty x, r, ox, oy)) e.eloc in
+      Ir.Reg r
+  | Ast.Unop (op, x) ->
+      let ox = lower_expr b x in
+      let r = fresh_reg b in
+      let _ = emit b (Ir.Unop (op, expr_ty x, r, ox)) e.eloc in
+      Ir.Reg r
+  | Ast.Index (arr, idx) ->
+      let oa = lower_expr b arr in
+      let oi = lower_expr b idx in
+      let r = fresh_reg b in
+      let _ = emit b (Ir.Load_index (r, oa, oi)) e.eloc in
+      Ir.Reg r
+  | Ast.Call (callee, args) ->
+      let oargs = List.map (lower_expr b) args in
+      let dst = if expr_ty e = Ast.Tvoid then None else Some (fresh_reg b) in
+      let enabled = enables_for b callee in
+      let _ = emit b (Ir.Call { dst; callee; args = oargs; enabled }) e.eloc in
+      (match dst with Some r -> Ir.Reg r | None -> Ir.Const (Ir.Cint 0))
+
+(* evaluate the recorded enable specs for a callee at this call site *)
+and enables_for b callee =
+  List.filter_map
+    (fun (c, spec) -> if c = callee then Some (eval_enable_spec b spec) else None)
+    b.enables
+
+and eval_enable_spec b (spec : Ir.enable_spec) : Ir.enable =
+  {
+    Ir.en_block = spec.Ir.es_block;
+    en_sets =
+      List.map
+        (fun (set, exprs) -> (set, List.map (lower_expr b) exprs))
+        spec.Ir.es_sets;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let default_const = function
+  | Ast.Tint -> Ir.Cint 0
+  | Ast.Tfloat -> Ir.Cfloat 0.
+  | Ast.Tbool -> Ir.Cbool false
+  | Ast.Tstring -> Ir.Cstring ""
+  | Ast.Tvoid | Ast.Tarray _ -> Ir.Cint 0
+
+let self_region_set rid = Printf.sprintf "__self_r%d" rid
+
+let rec lower_stmt b (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Decl (ty, name, init) ->
+      let value =
+        match init with
+        | Some e -> lower_expr b e
+        | None -> Ir.Const (default_const ty)
+      in
+      let r = declare_var b name ty in
+      let _ = emit b (Ir.Move (r, value)) s.sloc in
+      (match ty with
+      | Ast.Tarray _ when b.loop_depth > 0 ->
+          b.func.Ir.loop_locals <- (r, s.sloc) :: b.func.Ir.loop_locals
+      | _ -> ())
+  | Ast.Assign (name, e) -> (
+      let value = lower_expr b e in
+      match find_var b name with
+      | Some r ->
+          let _ = emit b (Ir.Move (r, value)) s.sloc in
+          ()
+      | None ->
+          if Hashtbl.mem b.globals name then
+            let _ = emit b (Ir.Store_global (name, value)) s.sloc in
+            ()
+          else Diag.error ~loc:s.sloc "internal: unbound variable '%s'" name)
+  | Ast.Store (arr, idx, e) ->
+      let oa = lower_expr b arr in
+      let oi = lower_expr b idx in
+      let ov = lower_expr b e in
+      let _ = emit b (Ir.Store_index (oa, oi, ov)) s.sloc in
+      ()
+  | Ast.Expr e ->
+      let _ = lower_expr b e in
+      ()
+  | Ast.If (cond, then_b, else_b) ->
+      let oc = lower_expr b cond in
+      let l_then = fresh_label b in
+      let l_else = fresh_label b in
+      let l_join = fresh_label b in
+      set_term b (Ir.Branch (oc, l_then, l_else));
+      start_block b l_then;
+      lower_block b then_b;
+      set_term b (Ir.Jump l_join);
+      start_block b l_else;
+      (match else_b with Some eb -> lower_block b eb | None -> ());
+      set_term b (Ir.Jump l_join);
+      start_block b l_join
+  | Ast.While (cond, body) ->
+      let l_header = fresh_label b in
+      let l_body = fresh_label b in
+      let l_exit = fresh_label b in
+      set_term b (Ir.Jump l_header);
+      start_block b l_header;
+      let oc = lower_expr b cond in
+      set_term b (Ir.Branch (oc, l_body, l_exit));
+      start_block b l_body;
+      b.loop_depth <- b.loop_depth + 1;
+      b.loop_targets <- (l_exit, l_header) :: b.loop_targets;
+      lower_block b body;
+      b.loop_targets <- List.tl b.loop_targets;
+      b.loop_depth <- b.loop_depth - 1;
+      set_term b (Ir.Jump l_header);
+      start_block b l_exit
+  | Ast.For (init, cond, step, body) ->
+      push_scope b;
+      Option.iter (lower_stmt b) init;
+      let l_header = fresh_label b in
+      let l_body = fresh_label b in
+      let l_step = fresh_label b in
+      let l_exit = fresh_label b in
+      set_term b (Ir.Jump l_header);
+      start_block b l_header;
+      (match cond with
+      | Some c ->
+          let oc = lower_expr b c in
+          set_term b (Ir.Branch (oc, l_body, l_exit))
+      | None -> set_term b (Ir.Jump l_body));
+      start_block b l_body;
+      b.loop_depth <- b.loop_depth + 1;
+      b.loop_targets <- (l_exit, l_step) :: b.loop_targets;
+      lower_block b body;
+      b.loop_targets <- List.tl b.loop_targets;
+      b.loop_depth <- b.loop_depth - 1;
+      set_term b (Ir.Jump l_step);
+      start_block b l_step;
+      Option.iter (lower_stmt b) step;
+      set_term b (Ir.Jump l_header);
+      start_block b l_exit;
+      pop_scope b
+  | Ast.Return eo ->
+      let ov = Option.map (lower_expr b) eo in
+      set_term b (Ir.Ret ov);
+      (* code after a return is unreachable; give it a fresh block *)
+      start_block b (fresh_label b)
+  | Ast.Break -> (
+      match b.loop_targets with
+      | (l_exit, _) :: _ ->
+          set_term b (Ir.Jump l_exit);
+          start_block b (fresh_label b)
+      | [] -> Diag.error ~loc:s.sloc "internal: break outside loop after type checking")
+  | Ast.Continue -> (
+      match b.loop_targets with
+      | (_, l_cont) :: _ ->
+          set_term b (Ir.Jump l_cont);
+          start_block b (fresh_label b)
+      | [] -> Diag.error ~loc:s.sloc "internal: continue outside loop after type checking")
+  | Ast.Block blk ->
+      if blk.annots = [] then begin
+        push_scope b;
+        lower_block_stmts b blk;
+        pop_scope b
+      end
+      else lower_annotated_block b blk
+  | Ast.Pragma_stmt p -> (
+      match p.pdesc with
+      | Ast.P_enable { callee; block_name; sets } ->
+          let spec =
+            {
+              Ir.es_block = block_name;
+              es_sets = List.map (fun (r : Ast.commset_ref) -> (r.set_name, r.actuals)) sets;
+            }
+          in
+          b.enables <- b.enables @ [ (callee, spec) ]
+      | _ -> Diag.error ~loc:p.ploc "internal: unexpected statement pragma after type checking")
+
+and lower_block b blk =
+  if blk.annots = [] then begin
+    push_scope b;
+    lower_block_stmts b blk;
+    pop_scope b
+  end
+  else lower_annotated_block b blk
+
+and lower_block_stmts b blk = List.iter (lower_stmt b) blk.Ast.stmts
+
+(* An annotated block becomes a region of whole basic blocks. *)
+and lower_annotated_block b (blk : Ast.block) =
+  let rid = List.length b.func.Ir.fregions in
+  let rname =
+    List.find_map
+      (fun (p : Ast.pragma) ->
+        match p.pdesc with Ast.P_namedblock n -> Some n | _ -> None)
+      blk.annots
+  in
+  (* evaluate predicate actuals in the enclosing block, before entry *)
+  let rrefs =
+    List.concat_map
+      (fun (p : Ast.pragma) ->
+        match p.pdesc with
+        | Ast.P_member refs ->
+            List.map
+              (fun (r : Ast.commset_ref) ->
+                let set =
+                  if r.set_name = "SELF" then self_region_set rid else r.set_name
+                in
+                (set, List.map (lower_expr b) r.actuals))
+              refs
+        | _ -> [])
+      blk.annots
+  in
+  let l_entry = fresh_label b in
+  let l_exit = fresh_label b in
+  set_term b (Ir.Jump l_entry);
+  b.region_stack <- rid :: b.region_stack;
+  start_block b l_entry;
+  let region =
+    { Ir.rid; rname; rrefs; rentry = l_entry; rloc = blk.bloc }
+  in
+  b.func.Ir.fregions <- b.func.Ir.fregions @ [ region ];
+  push_scope b;
+  lower_block_stmts b blk;
+  pop_scope b;
+  set_term b (Ir.Jump l_exit);
+  b.region_stack <- List.tl b.region_stack;
+  start_block b l_exit
+
+(* ------------------------------------------------------------------ *)
+(* Functions and programs                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lower_fundecl globals (f : Ast.fundecl) : Ir.func =
+  let func =
+    {
+      Ir.fname = f.fname;
+      fparams = f.params;
+      param_regs = [];
+      fret = f.ret;
+      entry = 0;
+      blocks = Hashtbl.create 16;
+      block_order = [];
+      reg_names = Hashtbl.create 16;
+      reg_types = Hashtbl.create 16;
+      n_regs = 0;
+      n_labels = 0;
+      n_instrs = 0;
+      fregions = [];
+      loop_locals = [];
+    }
+  in
+  let b =
+    {
+      func;
+      current = { Ir.label = -1; instrs = []; term = Ir.Ret None; bregions = [] };
+      scopes = [];
+      region_stack = [];
+      loop_depth = 0;
+      loop_targets = [];
+      enables = [];
+      globals;
+    }
+  in
+  push_scope b;
+  func.Ir.param_regs <- List.map (fun (ty, name) -> declare_var b name ty) f.params;
+  let entry = fresh_label b in
+  assert (entry = func.Ir.entry);
+  start_block b entry;
+  lower_block_stmts b f.body;
+  (* implicit return: void functions fall off the end; non-void functions
+     return the type's default value (the interpreter warns on this) *)
+  (match f.ret with
+  | Ast.Tvoid -> set_term b (Ir.Ret None)
+  | ty -> set_term b (Ir.Ret (Some (Ir.Const (default_const ty)))));
+  func
+
+let lower_program (p : Ast.program) : Ir.program =
+  let globals = Hashtbl.create 16 in
+  List.iter (fun (ty, name, _, _) -> Hashtbl.replace globals name ty) (Ast.globals p);
+  let prog_globals =
+    List.map
+      (fun (ty, name, init, _) ->
+        let const =
+          match init with
+          | Some { Ast.edesc = Ast.Int_lit n; _ } -> Ir.Cint n
+          | Some { Ast.edesc = Ast.Float_lit f; _ } -> Ir.Cfloat f
+          | Some { Ast.edesc = Ast.Bool_lit v; _ } -> Ir.Cbool v
+          | Some { Ast.edesc = Ast.String_lit s; _ } -> Ir.Cstring s
+          | Some _ | None -> default_const ty
+        in
+        (name, ty, const))
+      (Ast.globals p)
+  in
+  let funcs = Hashtbl.create 16 in
+  let func_order = List.map (fun (f : Ast.fundecl) -> f.fname) (Ast.functions p) in
+  List.iter
+    (fun (f : Ast.fundecl) -> Hashtbl.replace funcs f.fname (lower_fundecl globals f))
+    (Ast.functions p);
+  { Ir.funcs; func_order; prog_globals; source = p }

@@ -1,0 +1,11 @@
+(** Lowering from the typed miniC AST to the IR.
+
+    COMMSET specifics: annotated source blocks become {!Ir.region}s on
+    fresh basic blocks; `SELF` references materialize into unique
+    singleton self sets named [__self_r<id>]; `enable` statement pragmas
+    arm subsequent calls to the named callee with {!Ir.enable} records
+    whose actuals are evaluated at each call site.
+
+    The program must already be type-checked (expression types filled). *)
+
+val lower_program : Commset_lang.Ast.program -> Ir.program

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Buffer Commset_support Diag List Loc String Token

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Commset_support Diag Lexer List Loc Token

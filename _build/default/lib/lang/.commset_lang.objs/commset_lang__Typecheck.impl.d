@@ -1,0 +1,1 @@
+lib/lang/typecheck.ml: Ast Commset_support Diag Hashtbl List Loc Option

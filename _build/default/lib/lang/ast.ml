@@ -1,0 +1,202 @@
+(** Abstract syntax of miniC with COMMSET annotations.
+
+    COMMSET directives appear as pragmas attached to blocks, function
+    declarations, or the global scope, mirroring the paper's design in
+    which eliding every pragma leaves a well-defined sequential program. *)
+
+open Commset_support
+
+type ty = Tint | Tfloat | Tbool | Tstring | Tvoid | Tarray of ty
+
+let rec ty_to_string = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tbool -> "bool"
+  | Tstring -> "string"
+  | Tvoid -> "void"
+  | Tarray t -> ty_to_string t ^ "[]"
+
+let ty_equal (a : ty) (b : ty) = a = b
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Neq
+  | And
+  | Or
+
+type unop = Neg | Not
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Neq -> "!="
+  | And -> "&&"
+  | Or -> "||"
+
+let unop_to_string = function Neg -> "-" | Not -> "!"
+
+type expr = { edesc : expr_desc; eloc : Loc.t; mutable ety : ty option }
+
+and expr_desc =
+  | Int_lit of int
+  | Float_lit of float
+  | Bool_lit of bool
+  | String_lit of string
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+  | Index of expr * expr  (** [a[i]] *)
+
+(** COMMSET surface annotations, parsed from pragma lines. *)
+type set_kind = Self_set | Group_set
+
+type commset_ref = {
+  set_name : string;  (** "SELF" denotes the implicit per-member self set *)
+  actuals : expr list;  (** predicate actuals, e.g. [FSET(i)] *)
+}
+
+type pragma_desc =
+  | P_decl of { set_name : string; kind : set_kind }
+      (** [#pragma commset decl NAME self|group] *)
+  | P_predicate of {
+      set_name : string;
+      params1 : string list;
+      params2 : string list;
+      body : expr;
+    }  (** [#pragma commset predicate NAME (a,b) (c,d) (expr)] *)
+  | P_nosync of string  (** [#pragma commset nosync NAME] *)
+  | P_member of commset_ref list
+      (** [#pragma commset member REF, ...] on a block or function *)
+  | P_namedblock of string  (** [#pragma commset namedblock NAME] on a block *)
+  | P_namedarg of string  (** [#pragma commset namedarg NAME] on a function *)
+  | P_enable of { callee : string; block_name : string; sets : commset_ref list }
+      (** [#pragma commset enable FN.BLOCK in REF, ...] in client code *)
+
+type pragma = { pdesc : pragma_desc; ploc : Loc.t }
+
+type stmt = { sdesc : stmt_desc; sloc : Loc.t }
+
+and stmt_desc =
+  | Decl of ty * string * expr option
+  | Assign of string * expr
+  | Store of expr * expr * expr  (** [a[i] = e] *)
+  | Expr of expr  (** call evaluated for effect *)
+  | If of expr * block * block option
+  | While of expr * block
+  | For of stmt option * expr option * stmt option * block
+  | Return of expr option
+  | Break
+  | Continue
+  | Block of block
+  | Pragma_stmt of pragma  (** statement-position pragma, e.g. [enable] *)
+
+and block = {
+  stmts : stmt list;
+  block_id : int;  (** unique id assigned by the parser *)
+  annots : pragma list;  (** member / namedblock pragmas attached to this block *)
+  bloc : Loc.t;
+}
+
+type fundecl = {
+  fname : string;
+  params : (ty * string) list;
+  ret : ty;
+  body : block;
+  fannots : pragma list;  (** member / namedarg pragmas on the declaration *)
+  floc : Loc.t;
+}
+
+type topdecl =
+  | Gfun of fundecl
+  | Gvar of { gty : ty; gname : string; ginit : expr option; gloc : Loc.t }
+
+type program = {
+  global_pragmas : pragma list;  (** decl / predicate / nosync directives *)
+  decls : topdecl list;
+}
+
+let functions p =
+  List.filter_map (function Gfun f -> Some f | Gvar _ -> None) p.decls
+
+let globals p =
+  List.filter_map
+    (function Gvar { gty; gname; ginit; gloc } -> Some (gty, gname, ginit, gloc) | Gfun _ -> None)
+    p.decls
+
+let find_function p name = List.find_opt (fun f -> f.fname = name) (functions p)
+
+(** Iterate every block of a function body, outermost first. *)
+let rec iter_blocks_stmt f s =
+  match s.sdesc with
+  | If (_, b1, b2) ->
+      iter_blocks f b1;
+      Option.iter (iter_blocks f) b2
+  | While (_, b) -> iter_blocks f b
+  | For (_, _, _, b) -> iter_blocks f b
+  | Block b -> iter_blocks f b
+  | Decl _ | Assign _ | Store _ | Expr _ | Return _ | Break | Continue | Pragma_stmt _ -> ()
+
+and iter_blocks f b =
+  f b;
+  List.iter (iter_blocks_stmt f) b.stmts
+
+(** Iterate every statement in a block, depth first, pre-order. *)
+let rec iter_stmts f b =
+  List.iter
+    (fun s ->
+      f s;
+      match s.sdesc with
+      | If (_, b1, b2) ->
+          iter_stmts f b1;
+          Option.iter (iter_stmts f) b2
+      | While (_, b') -> iter_stmts f b'
+      | For (init, _, step, b') ->
+          Option.iter f init;
+          Option.iter f step;
+          iter_stmts f b'
+      | Block b' -> iter_stmts f b'
+      | Decl _ | Assign _ | Store _ | Expr _ | Return _ | Break | Continue | Pragma_stmt _ -> ())
+    b.stmts
+
+(** Iterate every expression under a statement. *)
+let rec iter_exprs_expr f e =
+  f e;
+  match e.edesc with
+  | Binop (_, a, b) ->
+      iter_exprs_expr f a;
+      iter_exprs_expr f b
+  | Unop (_, a) -> iter_exprs_expr f a
+  | Call (_, args) -> List.iter (iter_exprs_expr f) args
+  | Index (a, i) ->
+      iter_exprs_expr f a;
+      iter_exprs_expr f i
+  | Int_lit _ | Float_lit _ | Bool_lit _ | String_lit _ | Var _ -> ()
+
+let iter_exprs_stmt f s =
+  match s.sdesc with
+  | Decl (_, _, Some e) | Assign (_, e) | Expr e | Return (Some e) -> iter_exprs_expr f e
+  | Store (a, i, e) ->
+      iter_exprs_expr f a;
+      iter_exprs_expr f i;
+      iter_exprs_expr f e
+  | If (c, _, _) | While (c, _) -> iter_exprs_expr f c
+  | For (_, cond, _, _) -> Option.iter (iter_exprs_expr f) cond
+  | Decl (_, _, None) | Return None | Break | Continue | Block _ | Pragma_stmt _ -> ()

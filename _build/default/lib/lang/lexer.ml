@@ -1,0 +1,220 @@
+(** Hand-written lexer for miniC.
+
+    Handles `//` and `/* */` comments, string escapes, and `#pragma` lines,
+    which are captured whole (the text after `#pragma`) and re-tokenized
+    later by {!Pragma}. *)
+
+open Commset_support
+
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int;  (** byte offset *)
+  mutable line : int;
+  mutable col : int;
+}
+
+let create ?(file = "<string>") src = { src; file; pos = 0; line = 1; col = 1 }
+
+let position lx = Loc.position ~line:lx.line ~col:lx.col ~offset:lx.pos
+let at_end lx = lx.pos >= String.length lx.src
+let peek lx = if at_end lx then '\000' else lx.src.[lx.pos]
+let peek2 lx = if lx.pos + 1 >= String.length lx.src then '\000' else lx.src.[lx.pos + 1]
+
+let advance lx =
+  if not (at_end lx) then begin
+    if lx.src.[lx.pos] = '\n' then begin
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+    end
+    else lx.col <- lx.col + 1;
+    lx.pos <- lx.pos + 1
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let error lx fmt =
+  let pos = position lx in
+  let loc = Loc.make ~file:lx.file ~start_pos:pos ~end_pos:pos in
+  Diag.error ~loc fmt
+
+let rec skip_trivia lx =
+  match peek lx with
+  | ' ' | '\t' | '\r' | '\n' ->
+      advance lx;
+      skip_trivia lx
+  | '/' when peek2 lx = '/' ->
+      while (not (at_end lx)) && peek lx <> '\n' do
+        advance lx
+      done;
+      skip_trivia lx
+  | '/' when peek2 lx = '*' ->
+      advance lx;
+      advance lx;
+      let rec close () =
+        if at_end lx then error lx "unterminated block comment"
+        else if peek lx = '*' && peek2 lx = '/' then begin
+          advance lx;
+          advance lx
+        end
+        else begin
+          advance lx;
+          close ()
+        end
+      in
+      close ();
+      skip_trivia lx
+  | _ -> ()
+
+let lex_number lx =
+  let start = lx.pos in
+  while is_digit (peek lx) do
+    advance lx
+  done;
+  if peek lx = '.' && is_digit (peek2 lx) then begin
+    advance lx;
+    while is_digit (peek lx) do
+      advance lx
+    done;
+    let text = String.sub lx.src start (lx.pos - start) in
+    Token.FLOAT_LIT (float_of_string text)
+  end
+  else
+    let text = String.sub lx.src start (lx.pos - start) in
+    Token.INT_LIT (int_of_string text)
+
+let lex_ident lx =
+  let start = lx.pos in
+  while is_ident_char (peek lx) do
+    advance lx
+  done;
+  let text = String.sub lx.src start (lx.pos - start) in
+  match Token.keyword_of_string text with Some kw -> kw | None -> Token.IDENT text
+
+let lex_string lx =
+  advance lx (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if at_end lx then error lx "unterminated string literal"
+    else
+      match peek lx with
+      | '"' -> advance lx
+      | '\\' ->
+          advance lx;
+          let c = peek lx in
+          advance lx;
+          let resolved =
+            match c with
+            | 'n' -> '\n'
+            | 't' -> '\t'
+            | 'r' -> '\r'
+            | '\\' -> '\\'
+            | '"' -> '"'
+            | '0' -> '\000'
+            | other -> error lx "unknown escape sequence '\\%c'" other
+          in
+          Buffer.add_char buf resolved;
+          loop ()
+      | c ->
+          Buffer.add_char buf c;
+          advance lx;
+          loop ()
+  in
+  loop ();
+  Token.STRING_LIT (Buffer.contents buf)
+
+(* A pragma line: `#pragma <text to end of line>`. Returns the raw text. *)
+let lex_pragma lx =
+  advance lx (* '#' *);
+  let kw_start = lx.pos in
+  while is_ident_char (peek lx) do
+    advance lx
+  done;
+  let kw = String.sub lx.src kw_start (lx.pos - kw_start) in
+  if kw <> "pragma" then error lx "expected '#pragma', found '#%s'" kw;
+  let text_start = lx.pos in
+  while (not (at_end lx)) && peek lx <> '\n' do
+    advance lx
+  done;
+  Token.PRAGMA (String.trim (String.sub lx.src text_start (lx.pos - text_start)))
+
+let next lx : Token.spanned =
+  skip_trivia lx;
+  let start_pos = position lx in
+  let mk tok =
+    let end_pos = position lx in
+    { Token.tok; loc = Loc.make ~file:lx.file ~start_pos ~end_pos }
+  in
+  if at_end lx then mk Token.EOF
+  else
+    let c = peek lx in
+    if c = '#' then mk (lex_pragma lx)
+    else if is_digit c then mk (lex_number lx)
+    else if is_ident_start c then mk (lex_ident lx)
+    else if c = '"' then mk (lex_string lx)
+    else begin
+      advance lx;
+      let two expect yes no = if peek lx = expect then (advance lx; yes) else no in
+      let tok =
+        match c with
+        | '(' -> Token.LPAREN
+        | ')' -> Token.RPAREN
+        | '{' -> Token.LBRACE
+        | '}' -> Token.RBRACE
+        | '[' -> Token.LBRACKET
+        | ']' -> Token.RBRACKET
+        | ';' -> Token.SEMI
+        | ',' -> Token.COMMA
+        | '.' -> Token.DOT
+        | '+' -> (
+            match peek lx with
+            | '+' ->
+                advance lx;
+                Token.PLUSPLUS
+            | '=' ->
+                advance lx;
+                Token.PLUSEQ
+            | _ -> Token.PLUS)
+        | '-' -> (
+            match peek lx with
+            | '-' ->
+                advance lx;
+                Token.MINUSMINUS
+            | '=' ->
+                advance lx;
+                Token.MINUSEQ
+            | _ -> Token.MINUS)
+        | '*' -> Token.STAR
+        | '/' -> Token.SLASH
+        | '%' -> Token.PERCENT
+        | '<' -> two '=' Token.LE Token.LT
+        | '>' -> two '=' Token.GE Token.GT
+        | '=' -> two '=' Token.EQEQ Token.ASSIGN
+        | '!' -> two '=' Token.NEQ Token.BANG
+        | '&' ->
+            if peek lx = '&' then begin
+              advance lx;
+              Token.ANDAND
+            end
+            else error lx "unexpected character '&' (did you mean '&&'?)"
+        | '|' ->
+            if peek lx = '|' then begin
+              advance lx;
+              Token.OROR
+            end
+            else error lx "unexpected character '|' (did you mean '||'?)"
+        | other -> error lx "unexpected character '%c'" other
+      in
+      mk tok
+    end
+
+(** Tokenize a whole buffer including the trailing [EOF]. *)
+let tokenize ?file src =
+  let lx = create ?file src in
+  let rec loop acc =
+    let t = next lx in
+    if t.Token.tok = Token.EOF then List.rev (t :: acc) else loop (t :: acc)
+  in
+  loop []

@@ -1,0 +1,16 @@
+(** Hand-written lexer for miniC.
+
+    Handles [//] and [/* */] comments, string escapes, and [#pragma]
+    lines, which are captured whole (the text after [#pragma]) and
+    re-tokenized later by the pragma parser. Lexical errors raise
+    {!Commset_support.Diag.Error}. *)
+
+type t
+
+val create : ?file:string -> string -> t
+
+(** Produce the next token; returns [EOF] forever at end of input. *)
+val next : t -> Token.spanned
+
+(** Tokenize a whole buffer, including the trailing [EOF]. *)
+val tokenize : ?file:string -> string -> Token.spanned list

@@ -1,0 +1,603 @@
+(** Recursive-descent parser for miniC, including the COMMSET pragma
+    sub-grammar.
+
+    Pragmas arrive from the lexer as raw [PRAGMA] lines; [parse_pragma]
+    re-tokenizes the payload with the same lexer and parses it with the
+    same expression grammar, so predicate expressions are ordinary miniC
+    expressions. *)
+
+open Commset_support
+open Ast
+
+type state = {
+  mutable toks : Token.spanned list;
+  mutable last_loc : Loc.t;
+  mutable next_block_id : int;
+}
+
+let make_state toks = { toks; last_loc = Loc.dummy; next_block_id = 0 }
+
+let peek st = match st.toks with [] -> Token.EOF | t :: _ -> t.Token.tok
+
+let peek2 st = match st.toks with _ :: t :: _ -> t.Token.tok | _ -> Token.EOF
+
+let cur_loc st = match st.toks with [] -> st.last_loc | t :: _ -> t.Token.loc
+
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | t :: rest ->
+      st.last_loc <- t.Token.loc;
+      st.toks <- rest
+
+let error st fmt = Diag.error ~loc:(cur_loc st) fmt
+
+let expect st tok =
+  if Token.equal (peek st) tok then advance st
+  else
+    error st "expected '%s' but found '%s'" (Token.to_string tok) (Token.to_string (peek st))
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT name ->
+      advance st;
+      name
+  | other -> error st "expected identifier but found '%s'" (Token.to_string other)
+
+let fresh_block_id st =
+  let id = st.next_block_id in
+  st.next_block_id <- id + 1;
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_type st =
+  let base =
+    match peek st with
+    | Token.KW_INT -> advance st; Tint
+    | Token.KW_FLOAT -> advance st; Tfloat
+    | Token.KW_BOOL -> advance st; Tbool
+    | Token.KW_STRING -> advance st; Tstring
+    | Token.KW_VOID -> advance st; Tvoid
+    | other -> error st "expected a type but found '%s'" (Token.to_string other)
+  in
+  parse_array_suffix st base
+
+and parse_array_suffix st base =
+  if peek st = Token.LBRACKET && peek2 st = Token.RBRACKET then begin
+    advance st;
+    advance st;
+    parse_array_suffix st (Tarray base)
+  end
+  else base
+
+let looks_like_type st =
+  match peek st with
+  | Token.KW_INT | Token.KW_FLOAT | Token.KW_BOOL | Token.KW_STRING | Token.KW_VOID -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (precedence climbing)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let binop_of_token = function
+  | Token.OROR -> Some (Or, 1)
+  | Token.ANDAND -> Some (And, 2)
+  | Token.EQEQ -> Some (Eq, 3)
+  | Token.NEQ -> Some (Neq, 3)
+  | Token.LT -> Some (Lt, 4)
+  | Token.LE -> Some (Le, 4)
+  | Token.GT -> Some (Gt, 4)
+  | Token.GE -> Some (Ge, 4)
+  | Token.PLUS -> Some (Add, 5)
+  | Token.MINUS -> Some (Sub, 5)
+  | Token.STAR -> Some (Mul, 6)
+  | Token.SLASH -> Some (Div, 6)
+  | Token.PERCENT -> Some (Mod, 6)
+  | _ -> None
+
+let mk_expr desc loc = { edesc = desc; eloc = loc; ety = None }
+
+let rec parse_expr st = parse_binary st 1
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match binop_of_token (peek st) with
+    | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        loop (mk_expr (Binop (op, lhs, rhs)) (Loc.merge lhs.eloc rhs.eloc))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  let loc = cur_loc st in
+  match peek st with
+  | Token.MINUS ->
+      advance st;
+      let e = parse_unary st in
+      mk_expr (Unop (Neg, e)) (Loc.merge loc e.eloc)
+  | Token.BANG ->
+      advance st;
+      let e = parse_unary st in
+      mk_expr (Unop (Not, e)) (Loc.merge loc e.eloc)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = parse_primary st in
+  let rec loop e =
+    match peek st with
+    | Token.LBRACKET ->
+        advance st;
+        let idx = parse_expr st in
+        let close = cur_loc st in
+        expect st Token.RBRACKET;
+        loop (mk_expr (Index (e, idx)) (Loc.merge e.eloc close))
+    | _ -> e
+  in
+  loop e
+
+and parse_primary st =
+  let loc = cur_loc st in
+  match peek st with
+  | Token.INT_LIT n ->
+      advance st;
+      mk_expr (Int_lit n) loc
+  | Token.FLOAT_LIT f ->
+      advance st;
+      mk_expr (Float_lit f) loc
+  | Token.STRING_LIT s ->
+      advance st;
+      mk_expr (String_lit s) loc
+  | Token.KW_TRUE ->
+      advance st;
+      mk_expr (Bool_lit true) loc
+  | Token.KW_FALSE ->
+      advance st;
+      mk_expr (Bool_lit false) loc
+  | Token.IDENT name ->
+      advance st;
+      if peek st = Token.LPAREN then begin
+        advance st;
+        let args = parse_args st in
+        let close = cur_loc st in
+        expect st Token.RPAREN;
+        mk_expr (Call (name, args)) (Loc.merge loc close)
+      end
+      else mk_expr (Var name) loc
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      e
+  | other -> error st "expected an expression but found '%s'" (Token.to_string other)
+
+and parse_args st =
+  if peek st = Token.RPAREN then []
+  else
+    let rec loop acc =
+      let e = parse_expr st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        loop (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    loop []
+
+(* ------------------------------------------------------------------ *)
+(* Pragmas                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_commset_ref st =
+  let set_name = expect_ident st in
+  let actuals =
+    if peek st = Token.LPAREN then begin
+      advance st;
+      let args = parse_args st in
+      expect st Token.RPAREN;
+      args
+    end
+    else []
+  in
+  { set_name; actuals }
+
+let parse_commset_refs st =
+  let rec loop acc =
+    let r = parse_commset_ref st in
+    if peek st = Token.COMMA then begin
+      advance st;
+      loop (r :: acc)
+    end
+    else List.rev (r :: acc)
+  in
+  loop []
+
+let parse_param_list st =
+  expect st Token.LPAREN;
+  let rec loop acc =
+    match peek st with
+    | Token.RPAREN ->
+        advance st;
+        List.rev acc
+    | _ ->
+        let name = expect_ident st in
+        if peek st = Token.COMMA then begin
+          advance st;
+          loop (name :: acc)
+        end
+        else begin
+          expect st Token.RPAREN;
+          List.rev (name :: acc)
+        end
+  in
+  loop []
+
+(** Parse the payload of a [#pragma] line. Grammar:
+    {v
+    commset decl NAME (self|group)
+    commset predicate NAME (p1,..) (q1,..) (expr)
+    commset nosync NAME
+    commset member REF {, REF}
+    commset namedblock NAME
+    commset namedarg NAME
+    commset enable FN . BLOCK in REF {, REF}
+    v} *)
+let parse_pragma ploc text =
+  let toks = Lexer.tokenize ~file:(Loc.to_string ploc) text in
+  let st = make_state toks in
+  let kind = expect_ident st in
+  if kind <> "commset" then Diag.error ~loc:ploc "unknown pragma '%s' (expected 'commset')" kind;
+  let directive = expect_ident st in
+  let pdesc =
+    match directive with
+    | "decl" ->
+        let set_name = expect_ident st in
+        let k = expect_ident st in
+        let kind =
+          match k with
+          | "self" -> Self_set
+          | "group" -> Group_set
+          | other -> error st "commset kind must be 'self' or 'group', found '%s'" other
+        in
+        P_decl { set_name; kind }
+    | "predicate" ->
+        let set_name = expect_ident st in
+        let params1 = parse_param_list st in
+        let params2 = parse_param_list st in
+        expect st Token.LPAREN;
+        let body = parse_expr st in
+        expect st Token.RPAREN;
+        P_predicate { set_name; params1; params2; body }
+    | "nosync" -> P_nosync (expect_ident st)
+    | "member" -> P_member (parse_commset_refs st)
+    | "namedblock" -> P_namedblock (expect_ident st)
+    | "namedarg" -> P_namedarg (expect_ident st)
+    | "enable" ->
+        let callee = expect_ident st in
+        expect st Token.DOT;
+        let block_name = expect_ident st in
+        let in_kw = expect_ident st in
+        if in_kw <> "in" then error st "expected 'in' in enable pragma, found '%s'" in_kw;
+        let sets = parse_commset_refs st in
+        P_enable { callee; block_name; sets }
+    | other -> error st "unknown commset directive '%s'" other
+  in
+  if peek st <> Token.EOF then
+    error st "trailing tokens in pragma after directive '%s'" directive;
+  { pdesc; ploc }
+
+let pragma_attaches_to_block p =
+  match p.pdesc with
+  | P_member _ | P_namedblock _ -> true
+  | P_decl _ | P_predicate _ | P_nosync _ | P_namedarg _ | P_enable _ -> false
+
+let pragma_attaches_to_fun p =
+  match p.pdesc with
+  | P_member _ | P_namedarg _ -> true
+  | P_decl _ | P_predicate _ | P_nosync _ | P_namedblock _ | P_enable _ -> false
+
+let pragma_is_global p =
+  match p.pdesc with
+  | P_decl _ | P_predicate _ | P_nosync _ -> true
+  | P_member _ | P_namedblock _ | P_namedarg _ | P_enable _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mk_stmt desc loc = { sdesc = desc; sloc = loc }
+
+(* Collect consecutive PRAGMA tokens in statement position. *)
+let rec collect_pragmas st acc =
+  match peek st with
+  | Token.PRAGMA text ->
+      let loc = cur_loc st in
+      advance st;
+      collect_pragmas st (parse_pragma loc text :: acc)
+  | _ -> List.rev acc
+
+let rec parse_block ?(annots = []) st =
+  let open_loc = cur_loc st in
+  expect st Token.LBRACE;
+  let block_id = fresh_block_id st in
+  let rec loop acc =
+    match peek st with
+    | Token.RBRACE ->
+        advance st;
+        List.rev acc
+    | Token.EOF -> error st "unexpected end of input inside block"
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  let stmts = loop [] in
+  { stmts; block_id; annots; bloc = Loc.merge open_loc st.last_loc }
+
+and parse_stmt st =
+  match peek st with
+  | Token.PRAGMA _ ->
+      let pragmas = collect_pragmas st [] in
+      let block_pragmas, stmt_pragmas = List.partition pragma_attaches_to_block pragmas in
+      (* statement-position pragmas like `enable` become Pragma_stmt nodes;
+         block pragmas attach to the block that must follow. *)
+      if block_pragmas <> [] then begin
+        if peek st <> Token.LBRACE then
+          error st "a 'member'/'namedblock' pragma must be followed by a '{' block";
+        let b = parse_block ~annots:block_pragmas st in
+        match stmt_pragmas with
+        | [] -> mk_stmt (Block b) b.bloc
+        | p :: _ -> Diag.error ~loc:p.ploc "pragma cannot be mixed with block annotations here"
+      end
+      else begin
+        match stmt_pragmas with
+        | [ p ] -> mk_stmt (Pragma_stmt p) p.ploc
+        | p :: _ :: _ ->
+            Diag.error ~loc:p.ploc "only one statement-position pragma is allowed at a time"
+        | [] -> error st "empty pragma group"
+      end
+  | Token.LBRACE ->
+      let b = parse_block st in
+      mk_stmt (Block b) b.bloc
+  | Token.KW_IF -> parse_if st
+  | Token.KW_WHILE -> parse_while st
+  | Token.KW_FOR -> parse_for st
+  | Token.KW_RETURN ->
+      let loc = cur_loc st in
+      advance st;
+      if peek st = Token.SEMI then begin
+        advance st;
+        mk_stmt (Return None) loc
+      end
+      else begin
+        let e = parse_expr st in
+        expect st Token.SEMI;
+        mk_stmt (Return (Some e)) (Loc.merge loc e.eloc)
+      end
+  | Token.KW_BREAK ->
+      let loc = cur_loc st in
+      advance st;
+      expect st Token.SEMI;
+      mk_stmt Break loc
+  | Token.KW_CONTINUE ->
+      let loc = cur_loc st in
+      advance st;
+      expect st Token.SEMI;
+      mk_stmt Continue loc
+  | _ when looks_like_type st ->
+      let s = parse_decl_stmt st in
+      expect st Token.SEMI;
+      s
+  | _ ->
+      let s = parse_simple_stmt st in
+      expect st Token.SEMI;
+      s
+
+and parse_decl_stmt st =
+  let loc = cur_loc st in
+  let ty = parse_type st in
+  let name = expect_ident st in
+  let init =
+    if peek st = Token.ASSIGN then begin
+      advance st;
+      Some (parse_expr st)
+    end
+    else None
+  in
+  mk_stmt (Decl (ty, name, init)) (Loc.merge loc st.last_loc)
+
+(* assignment / call / increment, without the trailing semicolon *)
+and parse_simple_stmt st =
+  let loc = cur_loc st in
+  match (peek st, peek2 st) with
+  | Token.IDENT name, Token.ASSIGN ->
+      advance st;
+      advance st;
+      let e = parse_expr st in
+      mk_stmt (Assign (name, e)) (Loc.merge loc e.eloc)
+  | Token.IDENT name, Token.PLUSPLUS ->
+      advance st;
+      advance st;
+      let one = mk_expr (Int_lit 1) loc in
+      let v = mk_expr (Var name) loc in
+      mk_stmt (Assign (name, mk_expr (Binop (Add, v, one)) loc)) loc
+  | Token.IDENT name, Token.MINUSMINUS ->
+      advance st;
+      advance st;
+      let one = mk_expr (Int_lit 1) loc in
+      let v = mk_expr (Var name) loc in
+      mk_stmt (Assign (name, mk_expr (Binop (Sub, v, one)) loc)) loc
+  | Token.IDENT name, Token.PLUSEQ ->
+      advance st;
+      advance st;
+      let e = parse_expr st in
+      let v = mk_expr (Var name) loc in
+      mk_stmt (Assign (name, mk_expr (Binop (Add, v, e)) (Loc.merge loc e.eloc))) loc
+  | Token.IDENT name, Token.MINUSEQ ->
+      advance st;
+      advance st;
+      let e = parse_expr st in
+      let v = mk_expr (Var name) loc in
+      mk_stmt (Assign (name, mk_expr (Binop (Sub, v, e)) (Loc.merge loc e.eloc))) loc
+  | _ ->
+      (* expression statement, or array store `a[i] = e` *)
+      let e = parse_expr st in
+      if peek st = Token.ASSIGN then begin
+        match e.edesc with
+        | Index (arr, idx) ->
+            advance st;
+            let rhs = parse_expr st in
+            mk_stmt (Store (arr, idx, rhs)) (Loc.merge loc rhs.eloc)
+        | _ -> error st "left-hand side of assignment must be a variable or array element"
+      end
+      else
+        match e.edesc with
+        | Call _ -> mk_stmt (Expr e) e.eloc
+        | _ -> error st "expression statement must be a call"
+
+and parse_if st =
+  let loc = cur_loc st in
+  expect st Token.KW_IF;
+  expect st Token.LPAREN;
+  let cond = parse_expr st in
+  expect st Token.RPAREN;
+  let then_b = parse_stmt_as_block st in
+  let else_b =
+    if peek st = Token.KW_ELSE then begin
+      advance st;
+      Some (parse_stmt_as_block st)
+    end
+    else None
+  in
+  mk_stmt (If (cond, then_b, else_b)) (Loc.merge loc st.last_loc)
+
+and parse_while st =
+  let loc = cur_loc st in
+  expect st Token.KW_WHILE;
+  expect st Token.LPAREN;
+  let cond = parse_expr st in
+  expect st Token.RPAREN;
+  let body = parse_stmt_as_block st in
+  mk_stmt (While (cond, body)) (Loc.merge loc st.last_loc)
+
+and parse_for st =
+  let loc = cur_loc st in
+  expect st Token.KW_FOR;
+  expect st Token.LPAREN;
+  let init =
+    if peek st = Token.SEMI then None
+    else if looks_like_type st then Some (parse_decl_stmt st)
+    else Some (parse_simple_stmt st)
+  in
+  expect st Token.SEMI;
+  let cond = if peek st = Token.SEMI then None else Some (parse_expr st) in
+  expect st Token.SEMI;
+  let step = if peek st = Token.RPAREN then None else Some (parse_simple_stmt st) in
+  expect st Token.RPAREN;
+  let body = parse_stmt_as_block st in
+  mk_stmt (For (init, cond, step, body)) (Loc.merge loc st.last_loc)
+
+(* A loop/conditional body: either a braced block (possibly annotated) or a
+   single statement wrapped in a fresh block. *)
+and parse_stmt_as_block st =
+  match peek st with
+  | Token.LBRACE -> parse_block st
+  | Token.PRAGMA _ -> (
+      let s = parse_stmt st in
+      match s.sdesc with
+      | Block b -> b
+      | _ -> { stmts = [ s ]; block_id = fresh_block_id st; annots = []; bloc = s.sloc })
+  | _ ->
+      let s = parse_stmt st in
+      { stmts = [ s ]; block_id = fresh_block_id st; annots = []; bloc = s.sloc }
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_params st =
+  expect st Token.LPAREN;
+  if peek st = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let ty = parse_type st in
+      let name = expect_ident st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        loop ((ty, name) :: acc)
+      end
+      else begin
+        expect st Token.RPAREN;
+        List.rev ((ty, name) :: acc)
+      end
+    in
+    loop []
+  end
+
+let parse_topdecl st pending_pragmas =
+  let loc = cur_loc st in
+  let ty = parse_type st in
+  let name = expect_ident st in
+  if peek st = Token.LPAREN then begin
+    let params = parse_params st in
+    let fannots = List.filter pragma_attaches_to_fun pending_pragmas in
+    let strays = List.filter (fun p -> not (pragma_attaches_to_fun p)) pending_pragmas in
+    (match strays with
+    | [] -> ()
+    | p :: _ -> Diag.error ~loc:p.ploc "this pragma cannot be attached to a function declaration");
+    let body = parse_block st in
+    Gfun { fname = name; params; ret = ty; body; fannots; floc = Loc.merge loc st.last_loc }
+  end
+  else begin
+    (match pending_pragmas with
+    | [] -> ()
+    | p :: _ -> Diag.error ~loc:p.ploc "pragmas cannot be attached to a global variable");
+    let init =
+      if peek st = Token.ASSIGN then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    expect st Token.SEMI;
+    Gvar { gty = ty; gname = name; ginit = init; gloc = Loc.merge loc st.last_loc }
+  end
+
+(** Parse a whole program from source text. *)
+let parse_program ?(file = "<string>") src =
+  let toks = Lexer.tokenize ~file src in
+  let st = make_state toks in
+  let rec loop globals decls =
+    match peek st with
+    | Token.EOF -> { global_pragmas = List.rev globals; decls = List.rev decls }
+    | Token.PRAGMA _ ->
+        let pragmas = collect_pragmas st [] in
+        let global_ps, attached = List.partition pragma_is_global pragmas in
+        if attached = [] then loop (List.rev_append global_ps globals) decls
+        else begin
+          (* attached pragmas must precede a function declaration *)
+          if not (looks_like_type st) then
+            Diag.error ~loc:(cur_loc st)
+              "member/namedarg pragmas at top level must precede a function declaration";
+          let d = parse_topdecl st attached in
+          loop (List.rev_append global_ps globals) (d :: decls)
+        end
+    | _ when looks_like_type st ->
+        let d = parse_topdecl st [] in
+        loop globals (d :: decls)
+    | other -> error st "expected a declaration but found '%s'" (Token.to_string other)
+  in
+  loop [] []
+
+(** Parse a single expression, for tests and the predicate sub-grammar. *)
+let parse_expr_string ?(file = "<expr>") src =
+  let toks = Lexer.tokenize ~file src in
+  let st = make_state toks in
+  let e = parse_expr st in
+  if peek st <> Token.EOF then error st "trailing tokens after expression";
+  e

@@ -1,0 +1,23 @@
+(** Recursive-descent parser for miniC, including the COMMSET pragma
+    sub-grammar. Syntax errors raise {!Commset_support.Diag.Error}.
+
+    Pragma grammar:
+    {v
+    commset decl NAME (self|group)
+    commset predicate NAME (p1,..) (q1,..) (expr)
+    commset nosync NAME
+    commset member REF {, REF}
+    commset namedblock NAME
+    commset namedarg NAME
+    commset enable FN . BLOCK in REF {, REF}
+    v} *)
+
+(** Parse a whole program from source text. *)
+val parse_program : ?file:string -> string -> Ast.program
+
+(** Parse a single expression — used by tests and the predicate
+    sub-grammar. *)
+val parse_expr_string : ?file:string -> string -> Ast.expr
+
+(** Parse the payload of one [#pragma] line. *)
+val parse_pragma : Commset_support.Loc.t -> string -> Ast.pragma

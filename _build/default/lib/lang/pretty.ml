@@ -1,0 +1,118 @@
+(** Pretty-printer for miniC ASTs.
+
+    Output re-parses to an equal AST (modulo locations and block ids),
+    which the round-trip property tests rely on. *)
+
+open Ast
+
+let rec pp_expr ppf e =
+  match e.edesc with
+  | Int_lit n -> Fmt.int ppf n
+  | Float_lit f ->
+      (* keep a decimal point so the literal re-lexes as a float *)
+      let s = Printf.sprintf "%.17g" f in
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then
+        Fmt.string ppf s
+      else Fmt.pf ppf "%s.0" s
+  | Bool_lit b -> Fmt.bool ppf b
+  | String_lit s -> Fmt.pf ppf "%S" s
+  | Var v -> Fmt.string ppf v
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+  | Unop (op, a) -> Fmt.pf ppf "(%s%a)" (unop_to_string op) pp_expr a
+  | Call (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp_expr) args
+  | Index (a, i) -> Fmt.pf ppf "%a[%a]" pp_expr a pp_expr i
+
+let pp_commset_ref ppf { set_name; actuals } =
+  if actuals = [] then Fmt.string ppf set_name
+  else Fmt.pf ppf "%s(%a)" set_name Fmt.(list ~sep:(any ", ") pp_expr) actuals
+
+let pp_pragma ppf p =
+  match p.pdesc with
+  | P_decl { set_name; kind } ->
+      Fmt.pf ppf "#pragma commset decl %s %s" set_name
+        (match kind with Self_set -> "self" | Group_set -> "group")
+  | P_predicate { set_name; params1; params2; body } ->
+      Fmt.pf ppf "#pragma commset predicate %s (%a) (%a) (%a)" set_name
+        Fmt.(list ~sep:(any ", ") string)
+        params1
+        Fmt.(list ~sep:(any ", ") string)
+        params2 pp_expr body
+  | P_nosync name -> Fmt.pf ppf "#pragma commset nosync %s" name
+  | P_member refs ->
+      Fmt.pf ppf "#pragma commset member %a" Fmt.(list ~sep:(any ", ") pp_commset_ref) refs
+  | P_namedblock name -> Fmt.pf ppf "#pragma commset namedblock %s" name
+  | P_namedarg name -> Fmt.pf ppf "#pragma commset namedarg %s" name
+  | P_enable { callee; block_name; sets } ->
+      Fmt.pf ppf "#pragma commset enable %s.%s in %a" callee block_name
+        Fmt.(list ~sep:(any ", ") pp_commset_ref)
+        sets
+
+let indent n = String.make (2 * n) ' '
+
+let rec pp_stmt ppf (lvl, s) =
+  let ind = indent lvl in
+  match s.sdesc with
+  | Decl (ty, name, None) -> Fmt.pf ppf "%s%s %s;" ind (ty_to_string ty) name
+  | Decl (ty, name, Some e) -> Fmt.pf ppf "%s%s %s = %a;" ind (ty_to_string ty) name pp_expr e
+  | Assign (name, e) -> Fmt.pf ppf "%s%s = %a;" ind name pp_expr e
+  | Store (a, i, e) -> Fmt.pf ppf "%s%a[%a] = %a;" ind pp_expr a pp_expr i pp_expr e
+  | Expr e -> Fmt.pf ppf "%s%a;" ind pp_expr e
+  | If (c, b1, None) -> Fmt.pf ppf "%sif (%a) %a" ind pp_expr c pp_block (lvl, b1)
+  | If (c, b1, Some b2) ->
+      Fmt.pf ppf "%sif (%a) %a else %a" ind pp_expr c pp_block (lvl, b1) pp_block (lvl, b2)
+  | While (c, b) -> Fmt.pf ppf "%swhile (%a) %a" ind pp_expr c pp_block (lvl, b)
+  | For (init, cond, step, b) ->
+      let pp_opt_stmt ppf = function
+        | None -> ()
+        | Some s -> (
+            (* render without indentation or trailing semicolon *)
+            match s.sdesc with
+            | Decl (ty, name, Some e) ->
+                Fmt.pf ppf "%s %s = %a" (ty_to_string ty) name pp_expr e
+            | Decl (ty, name, None) -> Fmt.pf ppf "%s %s" (ty_to_string ty) name
+            | Assign (name, e) -> Fmt.pf ppf "%s = %a" name pp_expr e
+            | Expr e -> pp_expr ppf e
+            | _ -> Fmt.string ppf "/* unsupported for-clause */")
+      in
+      Fmt.pf ppf "%sfor (%a; %a; %a) %a" ind pp_opt_stmt init
+        Fmt.(option pp_expr)
+        cond pp_opt_stmt step pp_block (lvl, b)
+  | Return None -> Fmt.pf ppf "%sreturn;" ind
+  | Return (Some e) -> Fmt.pf ppf "%sreturn %a;" ind pp_expr e
+  | Break -> Fmt.pf ppf "%sbreak;" ind
+  | Continue -> Fmt.pf ppf "%scontinue;" ind
+  | Block b -> Fmt.pf ppf "%s%a" ind pp_block_with_annots (lvl, b)
+  | Pragma_stmt p -> Fmt.pf ppf "%s%a" ind pp_pragma p
+
+and pp_block ppf (lvl, b) =
+  if b.stmts = [] then Fmt.string ppf "{ }"
+  else begin
+    Fmt.pf ppf "{@.";
+    List.iter (fun s -> Fmt.pf ppf "%a@." pp_stmt (lvl + 1, s)) b.stmts;
+    Fmt.pf ppf "%s}" (indent lvl)
+  end
+
+and pp_block_with_annots ppf (lvl, b) =
+  List.iter (fun p -> Fmt.pf ppf "%a@.%s" pp_pragma p (indent lvl)) b.annots;
+  pp_block ppf (lvl, b)
+
+let pp_fundecl ppf f =
+  List.iter (fun p -> Fmt.pf ppf "%a@." pp_pragma p) f.fannots;
+  let pp_param ppf (ty, name) = Fmt.pf ppf "%s %s" (ty_to_string ty) name in
+  Fmt.pf ppf "%s %s(%a) %a" (ty_to_string f.ret) f.fname
+    Fmt.(list ~sep:(any ", ") pp_param)
+    f.params pp_block (0, f.body)
+
+let pp_topdecl ppf = function
+  | Gfun f -> pp_fundecl ppf f
+  | Gvar { gty; gname; ginit; _ } -> (
+      match ginit with
+      | None -> Fmt.pf ppf "%s %s;" (ty_to_string gty) gname
+      | Some e -> Fmt.pf ppf "%s %s = %a;" (ty_to_string gty) gname pp_expr e)
+
+let pp_program ppf p =
+  List.iter (fun pr -> Fmt.pf ppf "%a@." pp_pragma pr) p.global_pragmas;
+  List.iter (fun d -> Fmt.pf ppf "%a@.@." pp_topdecl d) p.decls
+
+let program_to_string p = Fmt.str "%a" pp_program p
+let expr_to_string e = Fmt.str "%a" pp_expr e

@@ -1,0 +1,11 @@
+(** Pretty-printer for miniC ASTs. Output re-parses to an equal AST
+    (modulo locations and block ids); the round-trip property tests rely
+    on printing being a fixpoint. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_pragma : Format.formatter -> Ast.pragma -> unit
+val pp_fundecl : Format.formatter -> Ast.fundecl -> unit
+val pp_topdecl : Format.formatter -> Ast.topdecl -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string
+val expr_to_string : Ast.expr -> string

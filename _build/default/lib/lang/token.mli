@@ -1,0 +1,60 @@
+(** Lexical tokens of miniC. *)
+
+open Commset_support
+
+type t =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | STRING_LIT of string
+  | IDENT of string
+  | KW_INT
+  | KW_FLOAT
+  | KW_BOOL
+  | KW_STRING
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_TRUE
+  | KW_FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
+  | ANDAND
+  | OROR
+  | BANG
+  | ASSIGN
+  | PLUSPLUS
+  | MINUSMINUS
+  | PLUSEQ
+  | MINUSEQ
+  | PRAGMA of string
+      (** a full [#pragma ...] line: the raw text after the word [pragma] *)
+  | EOF
+
+type spanned = { tok : t; loc : Loc.t }
+
+val keyword_of_string : string -> t option
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,454 @@
+(** Type checker for miniC programs with COMMSET annotations.
+
+    Checking is done in place: every expression's [ety] field is filled.
+    COMMSET-specific duties, mirroring the paper's frontend (§4.1):
+    - predicate parameter types are inferred by binding them to the actuals
+      of the set's instance declarations, and mismatches between instances
+      are reported;
+    - predicate bodies must type-check to [bool] under those bindings;
+    - [enable] pragmas must reference a function that exports the named
+      block via [namedarg];
+    - instance actual lists must match the predicate's parameter count. *)
+
+open Commset_support
+open Ast
+
+type extern_sig = { xname : string; xparams : ty list; xret : ty }
+
+type t = {
+  externs : (string, extern_sig) Hashtbl.t;
+  funs : (string, fundecl) Hashtbl.t;
+  globals : (string, ty) Hashtbl.t;
+  (* commset surface info gathered during the walk *)
+  set_decls : (string, set_kind) Hashtbl.t;
+  predicates : (string, string list * string list * expr) Hashtbl.t;
+  nosync : (string, unit) Hashtbl.t;
+  namedblocks : (string, string) Hashtbl.t;  (** named block -> exporting function *)
+  namedargs : (string, string) Hashtbl.t;  (** exported name -> function *)
+  mutable instance_types : (string * ty list * Loc.t) list;
+  mutable enables : (pragma * string) list;  (** enable pragma, enclosing function *)
+}
+
+let find_scope scopes name =
+  List.find_map (fun tbl -> Hashtbl.find_opt tbl name) scopes
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec check_expr env scopes e : ty =
+  let ty = infer_expr env scopes e in
+  e.ety <- Some ty;
+  ty
+
+and infer_expr env scopes e =
+  match e.edesc with
+  | Int_lit _ -> Tint
+  | Float_lit _ -> Tfloat
+  | Bool_lit _ -> Tbool
+  | String_lit _ -> Tstring
+  | Var name -> (
+      match find_scope scopes name with
+      | Some ty -> ty
+      | None -> (
+          match Hashtbl.find_opt env.globals name with
+          | Some ty -> ty
+          | None -> Diag.error ~loc:e.eloc "undefined variable '%s'" name))
+  | Unop (Neg, a) -> (
+      match check_expr env scopes a with
+      | Tint -> Tint
+      | Tfloat -> Tfloat
+      | ty -> Diag.error ~loc:e.eloc "operator '-' expects int or float, got %s" (ty_to_string ty))
+  | Unop (Not, a) -> (
+      match check_expr env scopes a with
+      | Tbool -> Tbool
+      | ty -> Diag.error ~loc:e.eloc "operator '!' expects bool, got %s" (ty_to_string ty))
+  | Binop (op, a, b) -> check_binop env scopes e op a b
+  | Index (a, i) -> (
+      let aty = check_expr env scopes a in
+      let ity = check_expr env scopes i in
+      if ity <> Tint then
+        Diag.error ~loc:i.eloc "array index must be int, got %s" (ty_to_string ity);
+      match aty with
+      | Tarray elt -> elt
+      | ty -> Diag.error ~loc:a.eloc "indexing a non-array value of type %s" (ty_to_string ty))
+  | Call (fname, args) -> check_call env scopes e.eloc fname args
+
+and check_binop env scopes e op a b =
+  let ta = check_expr env scopes a in
+  let tb = check_expr env scopes b in
+  let require cond =
+    if not cond then
+      Diag.error ~loc:e.eloc "operator '%s' cannot be applied to %s and %s"
+        (binop_to_string op) (ty_to_string ta) (ty_to_string tb)
+  in
+  match op with
+  | Add | Sub | Mul | Div ->
+      require (ta = tb && (ta = Tint || ta = Tfloat || (op = Add && ta = Tstring)));
+      ta
+  | Mod ->
+      require (ta = Tint && tb = Tint);
+      Tint
+  | Lt | Le | Gt | Ge ->
+      require (ta = tb && (ta = Tint || ta = Tfloat || ta = Tstring));
+      Tbool
+  | Eq | Neq ->
+      require (ta = tb && (ta = Tint || ta = Tfloat || ta = Tbool || ta = Tstring));
+      Tbool
+  | And | Or ->
+      require (ta = Tbool && tb = Tbool);
+      Tbool
+
+and check_call env scopes loc fname args =
+  let param_tys, ret =
+    match Hashtbl.find_opt env.funs fname with
+    | Some f -> (List.map fst f.params, f.ret)
+    | None -> (
+        match Hashtbl.find_opt env.externs fname with
+        | Some x -> (x.xparams, x.xret)
+        | None -> Diag.error ~loc "call to undefined function '%s'" fname)
+  in
+  if List.length args <> List.length param_tys then
+    Diag.error ~loc "function '%s' expects %d argument(s) but got %d" fname
+      (List.length param_tys) (List.length args);
+  List.iter2
+    (fun arg pty ->
+      let aty = check_expr env scopes arg in
+      if not (ty_equal aty pty) then
+        Diag.error ~loc:arg.eloc "argument of '%s' has type %s but %s was expected" fname
+          (ty_to_string aty) (ty_to_string pty))
+    args param_tys;
+  ret
+
+(* ------------------------------------------------------------------ *)
+(* COMMSET annotations                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let check_commset_ref env scopes (r : commset_ref) loc =
+  if r.set_name <> "SELF" && not (Hashtbl.mem env.set_decls r.set_name) then
+    Diag.error ~loc "reference to undeclared commset '%s'" r.set_name;
+  let tys = List.map (check_expr env scopes) r.actuals in
+  if r.set_name = "SELF" && r.actuals <> [] then
+    Diag.error ~loc "the implicit SELF set cannot take predicate actuals";
+  env.instance_types <- (r.set_name, tys, loc) :: env.instance_types
+
+let check_block_annots env scopes b =
+  List.iter
+    (fun p ->
+      match p.pdesc with
+      | P_member refs -> List.iter (fun r -> check_commset_ref env scopes r p.ploc) refs
+      | P_namedblock _ -> ()
+      | _ -> Diag.error ~loc:p.ploc "this pragma cannot be attached to a block")
+    b.annots
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type stmt_ctx = { fn : fundecl; in_loop : bool }
+
+let rec check_block env scopes ctx b =
+  let local = Hashtbl.create 8 in
+  let scopes = local :: scopes in
+  check_block_annots env scopes b;
+  List.iter (check_stmt env scopes ctx) b.stmts
+
+and check_stmt env scopes ctx s =
+  match s.sdesc with
+  | Decl (ty, name, init) ->
+      if ty = Tvoid then Diag.error ~loc:s.sloc "cannot declare a variable of type void";
+      (match init with
+      | Some e ->
+          let ety = check_expr env scopes e in
+          if not (ty_equal ety ty) then
+            Diag.error ~loc:e.eloc "initializer has type %s but variable '%s' has type %s"
+              (ty_to_string ety) name (ty_to_string ty)
+      | None -> ());
+      (match scopes with
+      | tbl :: _ ->
+          if Hashtbl.mem tbl name then
+            Diag.error ~loc:s.sloc "variable '%s' is already declared in this scope" name;
+          Hashtbl.add tbl name ty
+      | [] -> assert false)
+  | Assign (name, e) -> (
+      let ety = check_expr env scopes e in
+      match find_scope scopes name with
+      | Some vty ->
+          if not (ty_equal ety vty) then
+            Diag.error ~loc:e.eloc "cannot assign %s to variable '%s' of type %s"
+              (ty_to_string ety) name (ty_to_string vty)
+      | None -> (
+          match Hashtbl.find_opt env.globals name with
+          | Some vty ->
+              if not (ty_equal ety vty) then
+                Diag.error ~loc:e.eloc "cannot assign %s to global '%s' of type %s"
+                  (ty_to_string ety) name (ty_to_string vty)
+          | None -> Diag.error ~loc:s.sloc "assignment to undefined variable '%s'" name))
+  | Store (a, i, e) -> (
+      let aty = check_expr env scopes a in
+      let ity = check_expr env scopes i in
+      let ety = check_expr env scopes e in
+      if ity <> Tint then Diag.error ~loc:i.eloc "array index must be int";
+      match aty with
+      | Tarray elt ->
+          if not (ty_equal elt ety) then
+            Diag.error ~loc:e.eloc "cannot store %s into an array of %s" (ty_to_string ety)
+              (ty_to_string elt)
+      | ty -> Diag.error ~loc:a.eloc "storing into a non-array value of type %s" (ty_to_string ty))
+  | Expr e ->
+      let _ = check_expr env scopes e in
+      ()
+  | If (c, b1, b2) ->
+      let cty = check_expr env scopes c in
+      if cty <> Tbool then Diag.error ~loc:c.eloc "if condition must be bool";
+      check_block env scopes ctx b1;
+      Option.iter (check_block env scopes ctx) b2
+  | While (c, b) ->
+      let cty = check_expr env scopes c in
+      if cty <> Tbool then Diag.error ~loc:c.eloc "while condition must be bool";
+      check_block env scopes { ctx with in_loop = true } b
+  | For (init, cond, step, b) ->
+      let local = Hashtbl.create 4 in
+      let scopes = local :: scopes in
+      Option.iter (check_stmt env scopes ctx) init;
+      Option.iter
+        (fun c ->
+          let cty = check_expr env scopes c in
+          if cty <> Tbool then Diag.error ~loc:c.eloc "for condition must be bool")
+        cond;
+      Option.iter (check_stmt env scopes ctx) step;
+      check_block env scopes { ctx with in_loop = true } b
+  | Return None ->
+      if ctx.fn.ret <> Tvoid then
+        Diag.error ~loc:s.sloc "function '%s' must return a value of type %s" ctx.fn.fname
+          (ty_to_string ctx.fn.ret)
+  | Return (Some e) ->
+      let ety = check_expr env scopes e in
+      if ctx.fn.ret = Tvoid then
+        Diag.error ~loc:s.sloc "void function '%s' cannot return a value" ctx.fn.fname
+      else if not (ty_equal ety ctx.fn.ret) then
+        Diag.error ~loc:e.eloc "return type mismatch: %s returned from function of type %s"
+          (ty_to_string ety) (ty_to_string ctx.fn.ret)
+  | Break | Continue ->
+      if not ctx.in_loop then Diag.error ~loc:s.sloc "break/continue outside of a loop"
+  | Block b -> check_block env scopes ctx b
+  | Pragma_stmt p -> (
+      match p.pdesc with
+      | P_enable { sets; _ } ->
+          List.iter (fun r -> check_commset_ref env scopes r p.ploc) sets;
+          env.enables <- (p, ctx.fn.fname) :: env.enables
+      | _ -> Diag.error ~loc:p.ploc "this pragma is not valid in statement position")
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let register_globals env (p : program) =
+  List.iter
+    (fun pr ->
+      match pr.pdesc with
+      | P_decl { set_name; kind } ->
+          if Hashtbl.mem env.set_decls set_name then
+            Diag.error ~loc:pr.ploc "commset '%s' is declared twice" set_name;
+          if set_name = "SELF" then
+            Diag.error ~loc:pr.ploc "the name SELF is reserved for implicit self sets";
+          Hashtbl.add env.set_decls set_name kind
+      | P_predicate { set_name; params1; params2; body } ->
+          if List.length params1 <> List.length params2 then
+            Diag.error ~loc:pr.ploc "predicate parameter lists of '%s' have different lengths"
+              set_name;
+          if Hashtbl.mem env.predicates set_name then
+            Diag.error ~loc:pr.ploc "commset '%s' has two predicates" set_name;
+          Hashtbl.add env.predicates set_name (params1, params2, body)
+      | P_nosync name -> Hashtbl.replace env.nosync name ()
+      | _ -> Diag.error ~loc:pr.ploc "this pragma is not valid at global scope")
+    p.global_pragmas;
+  (* predicate / nosync targets must be declared *)
+  Hashtbl.iter
+    (fun name _ ->
+      if not (Hashtbl.mem env.set_decls name) then
+        Diag.error "predicate given for undeclared commset '%s'" name)
+    env.predicates;
+  Hashtbl.iter
+    (fun name _ ->
+      if not (Hashtbl.mem env.set_decls name) then
+        Diag.error "nosync given for undeclared commset '%s'" name)
+    env.nosync
+
+let check_fun_annots env f =
+  let param_scope = Hashtbl.create 8 in
+  List.iter (fun (ty, name) -> Hashtbl.replace param_scope name ty) f.params;
+  List.iter
+    (fun p ->
+      match p.pdesc with
+      | P_member refs ->
+          List.iter (fun r -> check_commset_ref env [ param_scope ] r p.ploc) refs
+      | P_namedarg name ->
+          if Hashtbl.mem env.namedargs name then
+            Diag.error ~loc:p.ploc "named block '%s' is exported twice" name;
+          Hashtbl.add env.namedargs name f.fname
+      | _ -> Diag.error ~loc:p.ploc "this pragma cannot be attached to a function declaration")
+    f.fannots
+
+let collect_namedblocks env f =
+  iter_blocks
+    (fun b ->
+      List.iter
+        (fun p ->
+          match p.pdesc with
+          | P_namedblock name ->
+              if Hashtbl.mem env.namedblocks name then
+                Diag.error ~loc:p.ploc "named block '%s' is defined twice" name;
+              Hashtbl.add env.namedblocks name f.fname
+          | _ -> ())
+        b.annots)
+    f.body
+
+(* Infer and check the predicate parameter types from instance actuals, and
+   check the predicate body. *)
+let check_predicates env =
+  let instance_tys_for set =
+    List.filter_map
+      (fun (name, tys, loc) -> if name = set then Some (tys, loc) else None)
+      env.instance_types
+  in
+  Hashtbl.iter
+    (fun set (params1, params2, body) ->
+      let instances = instance_tys_for set in
+      (match instances with
+      | [] -> ()
+      | (first_tys, first_loc) :: rest ->
+          if List.length first_tys <> List.length params1 then
+            Diag.error ~loc:first_loc
+              "instance of '%s' supplies %d actual(s) but its predicate declares %d parameter(s)"
+              set (List.length first_tys) (List.length params1);
+          List.iter
+            (fun (tys, loc) ->
+              if tys <> first_tys then
+                Diag.error ~loc
+                  "instances of commset '%s' bind predicate parameters at different types" set)
+            rest;
+          (* type the predicate body: both parameter lists get the instance types *)
+          let scope = Hashtbl.create 8 in
+          List.iter2 (fun p ty -> Hashtbl.replace scope p ty) params1 first_tys;
+          List.iter2 (fun p ty -> Hashtbl.replace scope p ty) params2 first_tys;
+          let bty = check_expr env [ scope ] body in
+          if bty <> Tbool then
+            Diag.error ~loc:body.eloc "predicate of commset '%s' must have type bool, got %s" set
+              (ty_to_string bty));
+      (* a set with a predicate but no instance: check nothing else *)
+      ignore params2)
+    env.predicates;
+  (* instances of predicated sets must supply actuals; instances of
+     unpredicated sets must not *)
+  List.iter
+    (fun (set, tys, loc) ->
+      if set <> "SELF" then
+        match Hashtbl.find_opt env.predicates set with
+        | Some (params1, _, _) ->
+            if List.length tys <> List.length params1 then
+              Diag.error ~loc "instance of predicated commset '%s' needs %d actual(s)" set
+                (List.length params1)
+        | None ->
+            if tys <> [] then
+              Diag.error ~loc "commset '%s' has no predicate; instance cannot take actuals" set)
+    env.instance_types
+
+let check_enables env =
+  List.iter
+    (fun (p, _fn) ->
+      match p.pdesc with
+      | P_enable { callee; block_name; _ } -> (
+          if not (Hashtbl.mem env.funs callee) then
+            Diag.error ~loc:p.ploc "enable pragma names unknown function '%s'" callee;
+          match Hashtbl.find_opt env.namedargs block_name with
+          | Some exporter when exporter = callee -> ()
+          | Some exporter ->
+              Diag.error ~loc:p.ploc "named block '%s' is exported by '%s', not by '%s'"
+                block_name exporter callee
+          | None ->
+              Diag.error ~loc:p.ploc "function '%s' does not export a named block '%s'" callee
+                block_name)
+      | _ -> ())
+    env.enables;
+  (* every namedarg must correspond to a namedblock in the same function *)
+  Hashtbl.iter
+    (fun name fn ->
+      match Hashtbl.find_opt env.namedblocks name with
+      | Some owner when owner = fn -> ()
+      | Some owner ->
+          Diag.error "named block '%s' is declared in '%s' but exported by '%s'" name owner fn
+      | None -> Diag.error "function '%s' exports '%s' but declares no such named block" fn name)
+    env.namedargs
+
+(** Type-check a program against the given extern signatures. Returns the
+    populated environment for later pipeline stages. *)
+let check ?(externs = []) (p : program) : t =
+  let env =
+    {
+      externs = Hashtbl.create 64;
+      funs = Hashtbl.create 16;
+      globals = Hashtbl.create 16;
+      set_decls = Hashtbl.create 8;
+      predicates = Hashtbl.create 8;
+      nosync = Hashtbl.create 8;
+      namedblocks = Hashtbl.create 8;
+      namedargs = Hashtbl.create 8;
+      instance_types = [];
+      enables = [];
+    }
+  in
+  List.iter (fun x -> Hashtbl.replace env.externs x.xname x) externs;
+  register_globals env p;
+  (* first pass: register functions and globals *)
+  List.iter
+    (function
+      | Gfun f ->
+          if Hashtbl.mem env.funs f.fname then
+            Diag.error ~loc:f.floc "function '%s' is defined twice" f.fname;
+          if Hashtbl.mem env.externs f.fname then
+            Diag.error ~loc:f.floc "function '%s' shadows a builtin" f.fname;
+          Hashtbl.add env.funs f.fname f
+      | Gvar { gty; gname; ginit; gloc } ->
+          if Hashtbl.mem env.globals gname then
+            Diag.error ~loc:gloc "global '%s' is defined twice" gname;
+          if gty = Tvoid then Diag.error ~loc:gloc "global '%s' cannot have type void" gname;
+          (match ginit with
+          | Some ({ edesc = Int_lit _ | Float_lit _ | Bool_lit _ | String_lit _; _ } as e) ->
+              let ety =
+                match e.edesc with
+                | Int_lit _ -> Tint
+                | Float_lit _ -> Tfloat
+                | Bool_lit _ -> Tbool
+                | String_lit _ -> Tstring
+                | _ -> assert false
+              in
+              e.ety <- Some ety;
+              if not (ty_equal ety gty) then
+                Diag.error ~loc:e.eloc "global initializer type mismatch for '%s'" gname
+          | Some e -> Diag.error ~loc:e.eloc "global initializers must be literals"
+          | None -> ());
+          Hashtbl.add env.globals gname gty)
+    p.decls;
+  List.iter (fun f -> collect_namedblocks env f) (functions p);
+  (* second pass: check bodies *)
+  List.iter
+    (fun f ->
+      check_fun_annots env f;
+      let param_scope = Hashtbl.create 8 in
+      List.iter
+        (fun (ty, name) ->
+          if ty = Tvoid then Diag.error ~loc:f.floc "parameter '%s' cannot be void" name;
+          if Hashtbl.mem param_scope name then
+            Diag.error ~loc:f.floc "duplicate parameter '%s'" name;
+          Hashtbl.add param_scope name ty)
+        f.params;
+      check_block env [ param_scope ] { fn = f; in_loop = false } f.body)
+    (functions p);
+  check_predicates env;
+  check_enables env;
+  env
+
+let set_kind env name : set_kind option = Hashtbl.find_opt env.set_decls name
+let predicate env name = Hashtbl.find_opt env.predicates name
+let is_nosync env name = Hashtbl.mem env.nosync name

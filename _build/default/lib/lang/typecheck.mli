@@ -1,0 +1,26 @@
+(** Type checker for miniC programs with COMMSET annotations.
+
+    Checking fills every expression's [ety] field in place. COMMSET
+    duties (paper §4.1): predicate parameter types are inferred from the
+    actuals of instance declarations (mismatches between instances are
+    errors), predicate bodies must type to [bool], [enable] pragmas must
+    reference exported named blocks, and instance actual lists must match
+    predicate arities. Failures raise {!Commset_support.Diag.Error}. *)
+
+(** Signature of a builtin (extern) function. *)
+type extern_sig = { xname : string; xparams : Ast.ty list; xret : Ast.ty }
+
+(** The populated environment, consumed by later pipeline stages. *)
+type t
+
+(** Type-check a program against the given extern signatures. *)
+val check : ?externs:extern_sig list -> Ast.program -> t
+
+(** Kind of a declared commset, if declared. *)
+val set_kind : t -> string -> Ast.set_kind option
+
+(** The predicate of a commset: parameter lists and body. *)
+val predicate : t -> string -> (string list * string list * Ast.expr) option
+
+(** Was the commset marked [nosync]? *)
+val is_nosync : t -> string -> bool

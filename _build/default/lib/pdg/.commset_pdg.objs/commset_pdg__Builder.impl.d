@@ -1,0 +1,1 @@
+lib/pdg/builder.ml: Array Commset_analysis Commset_ir Commset_support Hashtbl List Pdg

@@ -1,0 +1,1 @@
+lib/pdg/builder.mli: Commset_analysis Commset_ir Pdg

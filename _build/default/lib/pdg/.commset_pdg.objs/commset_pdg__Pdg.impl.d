@@ -1,0 +1,1 @@
+lib/pdg/pdg.ml: Array Commset_analysis Commset_ir Fmt Hashtbl List Printf

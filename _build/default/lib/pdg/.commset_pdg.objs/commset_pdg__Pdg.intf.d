@@ -1,0 +1,1 @@
+lib/pdg/pdg.mli: Commset_analysis Commset_ir Format Hashtbl

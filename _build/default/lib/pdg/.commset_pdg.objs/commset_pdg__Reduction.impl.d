@@ -1,0 +1,1 @@
+lib/pdg/reduction.ml: Array Commset_ir Commset_lang Fmt Hashtbl List Option Pdg

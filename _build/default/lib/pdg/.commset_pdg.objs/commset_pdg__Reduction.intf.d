@@ -1,0 +1,1 @@
+lib/pdg/reduction.mli: Commset_ir Commset_lang Format Pdg

@@ -1,0 +1,1 @@
+lib/pdg/scc.ml: Array Commset_support Digraph List Listx Pdg

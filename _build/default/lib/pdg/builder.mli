@@ -1,0 +1,23 @@
+(** PDG construction for one target loop (§4.3): register dependences
+    from loop-restricted reaching definitions, memory dependences from
+    effect-summary conflicts (conservative loop-carried rule, privatized
+    locations exempt), control dependences from post-dominance.
+    Commutative regions become super-nodes. *)
+
+module Ir = Commset_ir.Ir
+module A = Commset_analysis
+
+type input = {
+  func : Ir.func;
+  cfg : A.Cfg.t;
+  dom : A.Dominance.t;
+  post : A.Dominance.post;
+  loop : A.Loops.loop;
+  effects : A.Effects.t;
+  lookup : A.Effects.lookup;
+  priv : A.Privatization.t;
+  induction : A.Induction.t;
+  reaching : A.Reaching.t;
+}
+
+val build : input -> Pdg.t

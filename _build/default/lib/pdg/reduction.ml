@@ -1,0 +1,101 @@
+(** Scalar reduction recognition — the classic auto-parallelization
+    transform the paper points at when noting that "annotations like
+    reduction proposed in IPOT can be easily integrated with COMMSET"
+    (§6). A reduction is a loop-carried recurrence
+
+    {v acc = acc OP x v}
+
+    with an associative-commutative [OP], where [acc]'s intermediate
+    values are never otherwise observed inside the loop. DOALL may then
+    give each thread a private accumulator and combine at the end, so
+    the recurrence's carried register edges stop blocking it.
+
+    (For floating-point [OP] this asserts re-association, the same
+    semantic-commutativity judgement the paper makes for 456.hmmer's
+    histogram SUM.) *)
+
+module Ir = Commset_ir.Ir
+module Ast = Commset_lang.Ast
+
+type op = Rsum | Rprod
+
+type t = {
+  racc : Ir.reg;  (** the accumulator register *)
+  rop : op;
+  rty : Ast.ty;
+  rnodes : int list;  (** the PDG nodes forming the recurrence (move + binop) *)
+}
+
+let op_of = function Ast.Add -> Some Rsum | Ast.Mul -> Some Rprod | _ -> None
+
+(* all uses of [reg] among the loop's PDG nodes *)
+let users (pdg : Pdg.t) reg =
+  List.filter
+    (fun n ->
+      List.exists
+        (fun i -> List.mem reg (Ir.instr_uses i))
+        (Pdg.node_instrs n)
+      ||
+      match n.Pdg.kind with
+      | Pdg.Nbranch (_, o) -> List.mem reg (Ir.operand_uses o)
+      | _ -> false)
+    (Pdg.nodes pdg)
+
+let detect (pdg : Pdg.t) : t list =
+  let defs_of = Hashtbl.create 32 in
+  Array.iter
+    (fun (n : Pdg.node) ->
+      List.iter
+        (fun i ->
+          List.iter
+            (fun r ->
+              let cur = Option.value ~default:[] (Hashtbl.find_opt defs_of r) in
+              Hashtbl.replace defs_of r ((n, i) :: cur))
+            (Ir.instr_defs i))
+        (Pdg.node_instrs n))
+    pdg.Pdg.nodes;
+  let unique_def r =
+    match Hashtbl.find_opt defs_of r with Some [ (n, i) ] -> Some (n, i) | _ -> None
+  in
+  (* candidate accumulators: registers defined exactly once, by a Move
+     from a temporary computed as `acc OP x` *)
+  Hashtbl.fold
+    (fun acc defs found ->
+      match defs with
+      | [ (move_node, { Ir.desc = Ir.Move (_, Ir.Reg t); _ }) ] -> (
+          match unique_def t with
+          | Some (binop_node, { Ir.desc = Ir.Binop (bop, ty, _, a, b); _ }) -> (
+              match op_of bop with
+              | Some rop
+                when (a = Ir.Reg acc && b <> Ir.Reg acc)
+                     || (b = Ir.Reg acc && a <> Ir.Reg acc) -> (
+                  (* the only consumers of acc inside the loop must be the
+                     recurrence itself, so no intermediate value escapes *)
+                  let consumers = users pdg acc in
+                  let recurrence = [ move_node.Pdg.nid; binop_node.Pdg.nid ] in
+                  match
+                    List.filter
+                      (fun (n : Pdg.node) -> not (List.mem n.Pdg.nid recurrence))
+                      consumers
+                  with
+                  | [] ->
+                      { racc = acc; rop; rty = ty; rnodes = recurrence } :: found
+                  | _ -> found)
+              | _ -> found)
+          | _ -> found)
+      | _ -> found)
+    defs_of []
+
+(** Node ids covered by some reduction. *)
+let covered_nodes (rs : t list) =
+  List.concat_map (fun r -> r.rnodes) rs
+
+(** Is this carried edge part of a recognized reduction's recurrence? *)
+let edge_exempt (rs : t list) (e : Pdg.edge) =
+  let covered = covered_nodes rs in
+  List.mem e.Pdg.esrc covered && List.mem e.Pdg.edst covered
+
+let pp ppf (r : t) =
+  Fmt.pf ppf "reduction %%%d (%s, %s)" r.racc
+    (match r.rop with Rsum -> "sum" | Rprod -> "product")
+    (Ast.ty_to_string r.rty)

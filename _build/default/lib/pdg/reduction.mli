@@ -1,0 +1,25 @@
+(** Scalar reduction recognition (sum/product recurrences with
+    unobserved intermediate values) — the classic transform the paper
+    points at when noting that IPOT-style reduction annotations integrate
+    with COMMSET (§6). Recognized reductions run on per-thread private
+    accumulators and no longer block DOALL. *)
+
+module Ir = Commset_ir.Ir
+module Ast = Commset_lang.Ast
+
+type op = Rsum | Rprod
+
+type t = {
+  racc : Ir.reg;  (** the accumulator register *)
+  rop : op;
+  rty : Ast.ty;
+  rnodes : int list;  (** the PDG nodes forming the recurrence *)
+}
+
+val detect : Pdg.t -> t list
+val covered_nodes : t list -> int list
+
+(** Is this carried edge part of a recognized reduction's recurrence? *)
+val edge_exempt : t list -> Pdg.edge -> bool
+
+val pp : Format.formatter -> t -> unit

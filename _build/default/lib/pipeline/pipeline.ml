@@ -1,0 +1,385 @@
+(** The end-to-end COMMSET parallelization pipeline (paper Figure 5):
+
+    source → frontend → lowering → effect analysis → metadata manager →
+    well-formedness checks → profiling (hot-loop selection) → PDG →
+    COMMSET dependence analysis (Algorithm 1) → DOALL / DSWP / PS-DSWP
+    plans with automatic concurrency control → simulated multicore
+    execution with performance estimates and output-equivalence checks.
+
+    This module is the library's main public entry point. *)
+
+module Ast = Commset_lang.Ast
+module Parser = Commset_lang.Parser
+module Tc = Commset_lang.Typecheck
+module Ir = Commset_ir.Ir
+module Lower = Commset_ir.Lower
+module A = Commset_analysis
+module Pdg = Commset_pdg.Pdg
+module Pdg_builder = Commset_pdg.Builder
+module Scc = Commset_pdg.Scc
+module Metadata = Commset_core.Metadata
+module Wellformed = Commset_core.Wellformed
+module Dep_analysis = Commset_core.Dep_analysis
+module T = Commset_transforms
+module R = Commset_runtime
+open Commset_support
+
+type setup = R.Machine.t -> unit
+
+type target = {
+  func : Ir.func;
+  cfg : A.Cfg.t;
+  dom : A.Dominance.t;
+  post : A.Dominance.post;
+  loop : A.Loops.loop;
+  induction : A.Induction.t;
+  priv : A.Privatization.t;
+  reaching : A.Reaching.t;
+  pdg : Pdg.t;  (** annotated with uco/ico *)
+  pdg_plain : Pdg.t;  (** identical PDG without commutativity annotations *)
+  n_uco : int;
+  n_ico : int;
+}
+
+type t = {
+  name : string;
+  source : string;
+  ast : Ast.program;
+  tcenv : Tc.t;
+  prog : Ir.program;
+  effects : A.Effects.t;
+  md : Metadata.t;
+  commset_graph : string Digraph.t;
+  profile : R.Profile.t;
+  target : target;
+  trace : R.Trace.t;
+  sync : T.Sync.t;
+  sync_none : T.Sync.t;
+  setup : setup;
+}
+
+type output_fidelity = Exact | Multiset_equal | Mismatch
+
+type run = {
+  plan : T.Plan.t;
+  speedup : float;
+  makespan : float;  (** whole-program simulated cycles *)
+  fidelity : output_fidelity;
+  lock_contended : int;
+  tx_aborts : int;
+  timelines : (float * float * string) list array;
+}
+
+let fidelity_to_string = function
+  | Exact -> "exact (deterministic)"
+  | Multiset_equal -> "multiset-equal"
+  | Mismatch -> "MISMATCH"
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_machine setup () =
+  let m = R.Machine.create () in
+  setup m;
+  m
+
+let build_target prog effects (lookup : A.Effects.lookup) md ~fname ~header ~setup : target * R.Trace.t =
+  let func =
+    match Ir.find_func prog fname with
+    | Some f -> f
+    | None -> Diag.error "internal: target function '%s' not found" fname
+  in
+  let cfg = A.Cfg.of_func func in
+  let dom = A.Dominance.compute cfg in
+  let post = A.Dominance.compute_post cfg in
+  let loops = A.Loops.compute cfg dom in
+  let loop =
+    match A.Loops.find_by_header loops header with
+    | Some l -> l
+    | None -> Diag.error "internal: target loop at L%d not found in '%s'" header fname
+  in
+  let induction = A.Induction.compute func cfg dom loop in
+  let priv = A.Privatization.compute effects lookup func loop in
+  let reaching = A.Reaching.compute cfg loop in
+  let input =
+    {
+      Pdg_builder.func;
+      cfg;
+      dom;
+      post;
+      loop;
+      effects;
+      lookup;
+      priv;
+      induction;
+      reaching;
+    }
+  in
+  let pdg = Pdg_builder.build input in
+  let pdg_plain = Pdg_builder.build input in
+  let trace, _machine = R.Trace.record ~machine:(fresh_machine setup ()) prog pdg in
+  R.Trace.apply_weights trace pdg;
+  R.Trace.apply_weights trace pdg_plain;
+  let n_uco, n_ico = Dep_analysis.annotate md pdg dom induction in
+  ( {
+      func;
+      cfg;
+      dom;
+      post;
+      loop;
+      induction;
+      priv;
+      reaching;
+      pdg;
+      pdg_plain;
+      n_uco;
+      n_ico;
+    },
+    trace )
+
+let src_log = Logs.Src.create "commset.pipeline" ~doc:"COMMSET parallelization workflow"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+(** Compile a miniC source: all static stages plus one profiling run and
+    one tracing run (both on fresh machines built by [setup]). Stage
+    progress is reported on the [commset.pipeline] log source (paper
+    Figure 5's workflow). *)
+let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) (source : string) : t =
+  let lookup = R.Builtins.lookup_spec in
+  Log.info (fun m -> m "[%s] frontend: parsing and type checking" name);
+  let ast = Parser.parse_program ~file:name source in
+  let tcenv = Tc.check ~externs:R.Builtins.extern_sigs ast in
+  Log.info (fun m -> m "[%s] lowering to IR" name);
+  let prog = Lower.lower_program ast in
+  Log.info (fun m -> m "[%s] effect analysis over %d function(s)" name
+      (List.length prog.Ir.func_order));
+  let effects = A.Effects.analyze lookup prog in
+  Log.info (fun m -> m "[%s] COMMSET metadata manager and well-formedness checks" name);
+  let md = Metadata.build prog tcenv effects in
+  let commset_graph = Wellformed.check md ~lookup in
+  Log.info (fun m -> m "[%s] profiling to select the hottest loop" name);
+  let profile = R.Profile.analyze ~machine:(fresh_machine setup ()) prog in
+  let hottest =
+    match R.Profile.hottest profile with
+    | Some h -> h
+    | None -> Diag.error "program '%s' has no loop to parallelize" name
+  in
+  Log.info (fun m ->
+      m "[%s] target loop: %s at L%d (%.1f%% of execution)" name hottest.R.Profile.lr_func
+        hottest.R.Profile.lr_header
+        (100. *. hottest.R.Profile.lr_fraction));
+  let target, trace =
+    build_target prog effects lookup md ~fname:hottest.R.Profile.lr_func
+      ~header:hottest.R.Profile.lr_header ~setup
+  in
+  Log.info (fun m ->
+      m "[%s] PDG built (%d nodes, %d edges); Algorithm 1: %d uco, %d ico" name
+        (Array.length target.pdg.Pdg.nodes)
+        (List.length target.pdg.Pdg.edges)
+        target.n_uco target.n_ico);
+  let sync = T.Sync.compute md target.pdg trace target.priv in
+  Log.info (fun m -> m "[%s] synchronization engine: %d node(s) compiler-locked" name
+      (Hashtbl.length sync.T.Sync.node_locks));
+  let sync_none = T.Sync.none md in
+  {
+    name;
+    source;
+    ast;
+    tcenv;
+    prog;
+    effects;
+    md;
+    commset_graph;
+    profile;
+    target;
+    trace;
+    sync;
+    sync_none;
+    setup;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** All plans at a given thread count: COMMSET-enabled plans over the
+    annotated PDG plus non-COMMSET baseline plans over the plain PDG. *)
+let plans t ~threads : T.Plan.t list =
+  let comm =
+    let pdg = t.target.pdg in
+    let reductions = Commset_pdg.Reduction.detect pdg in
+    let scc = Scc.compute pdg ~edges:(Pdg.effective_edges pdg) in
+    T.Doall.plans ~reductions t.sync t.trace pdg ~threads ~uses_commset:true
+    @ T.Dswp.plans pdg t.sync scc t.trace ~threads ~uses_commset:true
+    @ T.Spec.plans t.md t.sync pdg ~threads ~uses_commset:true
+  in
+  let plain =
+    let pdg = t.target.pdg_plain in
+    let reductions = Commset_pdg.Reduction.detect pdg in
+    let scc = Scc.compute pdg ~edges:(Pdg.effective_edges pdg) in
+    T.Doall.plans ~reductions t.sync_none t.trace pdg ~threads ~uses_commset:false
+    @ T.Dswp.plans pdg t.sync_none scc t.trace ~threads ~uses_commset:false
+  in
+  comm @ plain
+
+(* ------------------------------------------------------------------ *)
+(* Simulation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_outputs t (sim_outputs : (float * string) list) : output_fidelity =
+  let loop_outputs = List.map snd sim_outputs in
+  let full = t.trace.R.Trace.outputs_before @ loop_outputs @ t.trace.R.Trace.outputs_after in
+  if full = t.trace.R.Trace.seq_outputs then Exact
+  else if
+    List.sort compare full = List.sort compare t.trace.R.Trace.seq_outputs
+  then Multiset_equal
+  else Mismatch
+
+let simulate ?(record_timeline = false) t (plan : T.Plan.t) : run =
+  let pdg = if plan.T.Plan.uses_commset then t.target.pdg else t.target.pdg_plain in
+  let result, makespan = T.Emit.simulate ~record_timeline ~plan ~pdg ~trace:t.trace () in
+  {
+    plan;
+    speedup = t.trace.R.Trace.seq_total /. makespan;
+    makespan;
+    fidelity = check_outputs t result.R.Sim.outputs;
+    lock_contended = result.R.Sim.lock_contended;
+    tx_aborts = result.R.Sim.tx_aborts;
+    timelines = result.R.Sim.timelines;
+  }
+
+(** Simulate every plan at [threads]; sorted by speedup, best first. *)
+let evaluate ?record_timeline t ~threads : run list =
+  List.map (simulate ?record_timeline t) (plans t ~threads)
+  |> List.sort (fun a b -> compare b.speedup a.speedup)
+
+let best ?record_timeline t ~threads : run option =
+  match evaluate ?record_timeline t ~threads with [] -> None | r :: _ -> Some r
+
+(** Speedup curves: series name -> (threads, speedup) points, for thread
+    counts 1..max_threads. *)
+let sweep ?(min_threads = 1) t ~max_threads : (string * (int * float) list) list =
+  let table : (string, (int * float) list) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  for threads = min_threads to max_threads do
+    List.iter
+      (fun r ->
+        let key = r.plan.T.Plan.series in
+        if not (Hashtbl.mem table key) then order := key :: !order;
+        let cur = Option.value ~default:[] (Hashtbl.find_opt table key) in
+        (* keep the best plan per series per thread count *)
+        match List.assoc_opt threads cur with
+        | Some s when s >= r.speedup -> ()
+        | _ ->
+            Hashtbl.replace table key
+              ((threads, r.speedup) :: List.remove_assoc threads cur))
+      (evaluate t ~threads)
+  done;
+  List.rev_map
+    (fun key -> (key, List.sort compare (Hashtbl.find table key)))
+    !order
+
+(* ------------------------------------------------------------------ *)
+(* Reporting helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Count of COMMSET pragma annotations in the source. *)
+let count_annotations source =
+  String.split_on_char '\n' source
+  |> List.filter (fun line ->
+         let l = String.trim line in
+         String.length l >= 7 && String.sub l 0 7 = "#pragma")
+  |> List.length
+
+(** Source lines of code (non-blank, non-comment-only). *)
+let sloc source =
+  String.split_on_char '\n' source
+  |> List.filter (fun line ->
+         let l = String.trim line in
+         l <> "" && not (String.length l >= 2 && String.sub l 0 2 = "//"))
+  |> List.length
+
+(** Fraction of program cycles spent in the target loop. *)
+let loop_fraction t =
+  match R.Profile.hottest t.profile with
+  | Some h -> h.R.Profile.lr_fraction
+  | None -> 0.
+
+(** COMMSET feature letters used (Table 2: PI, PC, C, I, S, G). *)
+let features_used t : string list =
+  let ast = t.ast in
+  let has_region_members = ref false in
+  let has_iface_members = ref false in
+  let has_pred_iface = ref false in
+  let has_pred_client = ref false in
+  let has_self = ref false in
+  let has_group = ref false in
+  let predicated set = Tc.predicate t.tcenv set <> None in
+  let kind set = Tc.set_kind t.tcenv set in
+  let scan_ref ~client (r : Ast.commset_ref) =
+    if r.Ast.set_name = "SELF" then has_self := true
+    else begin
+      (match kind r.Ast.set_name with
+      | Some Ast.Self_set -> has_self := true
+      | Some Ast.Group_set -> has_group := true
+      | None -> ());
+      if predicated r.Ast.set_name then
+        if client then has_pred_client := true else has_pred_iface := true
+    end
+  in
+  List.iter
+    (fun (f : Ast.fundecl) ->
+      List.iter
+        (fun (p : Ast.pragma) ->
+          match p.Ast.pdesc with
+          | Ast.P_member refs ->
+              has_iface_members := true;
+              List.iter (scan_ref ~client:false) refs
+          | _ -> ())
+        f.Ast.fannots;
+      Ast.iter_blocks
+        (fun b ->
+          List.iter
+            (fun (p : Ast.pragma) ->
+              match p.Ast.pdesc with
+              | Ast.P_member refs ->
+                  has_region_members := true;
+                  List.iter (scan_ref ~client:true) refs
+              | _ -> ())
+            b.Ast.annots)
+        f.Ast.body;
+      Ast.iter_stmts
+        (fun s ->
+          match s.Ast.sdesc with
+          | Ast.Pragma_stmt { Ast.pdesc = Ast.P_enable { sets; _ }; _ } ->
+              has_region_members := true;
+              List.iter (scan_ref ~client:true) sets
+          | _ -> ())
+        f.Ast.body)
+    (Ast.functions ast);
+  List.filter_map
+    (fun (flag, name) -> if !flag then Some name else None)
+    [
+      (has_pred_iface, "PI");
+      (has_pred_client, "PC");
+      (has_region_members, "C");
+      (has_iface_members, "I");
+      (has_self, "S");
+      (has_group, "G");
+    ]
+
+(** Names of the transform families applicable with COMMSET annotations. *)
+let applicable_transforms t : string list =
+  let pdg = t.target.pdg in
+  let scc = Scc.compute pdg ~edges:(Pdg.effective_edges pdg) in
+  let doall = T.Doall.applicable pdg in
+  let pipeline_plans = T.Dswp.plans pdg t.sync scc t.trace ~threads:8 ~uses_commset:true in
+  let has_psdswp = List.exists T.Plan.is_psdswp pipeline_plans in
+  let has_dswp =
+    List.exists (fun (p : T.Plan.t) -> not (T.Plan.is_psdswp p)) pipeline_plans
+  in
+  List.filter_map
+    (fun (flag, name) -> if flag then Some name else None)
+    [ (doall, "DOALL"); (has_dswp, "DSWP"); (has_psdswp, "PS-DSWP") ]

@@ -1,0 +1,99 @@
+(** The end-to-end COMMSET parallelization pipeline (paper Figure 5) and
+    the library's main public entry point:
+
+    source → frontend → lowering → effect analysis → metadata manager →
+    well-formedness checks → profiling (hot-loop selection) → PDG →
+    Algorithm 1 → DOALL / (PS-)DSWP / speculative plans with automatic
+    concurrency control → simulated multicore execution with performance
+    estimates and output-fidelity checks. *)
+
+module Ast = Commset_lang.Ast
+module Tc = Commset_lang.Typecheck
+module Ir = Commset_ir.Ir
+module A = Commset_analysis
+module Pdg = Commset_pdg.Pdg
+module Metadata = Commset_core.Metadata
+module T = Commset_transforms
+module R = Commset_runtime
+open Commset_support
+
+(** Prepares a fresh machine's input data (files, packets, database rows). *)
+type setup = R.Machine.t -> unit
+
+(** Analyses of the hottest loop. *)
+type target = {
+  func : Ir.func;
+  cfg : A.Cfg.t;
+  dom : A.Dominance.t;
+  post : A.Dominance.post;
+  loop : A.Loops.loop;
+  induction : A.Induction.t;
+  priv : A.Privatization.t;
+  reaching : A.Reaching.t;
+  pdg : Pdg.t;  (** annotated with uco/ico *)
+  pdg_plain : Pdg.t;  (** identical PDG without commutativity annotations *)
+  n_uco : int;
+  n_ico : int;
+}
+
+(** A compiled program: every static stage plus one profiling run and one
+    tracing run. *)
+type t = {
+  name : string;
+  source : string;
+  ast : Ast.program;
+  tcenv : Tc.t;
+  prog : Ir.program;
+  effects : A.Effects.t;
+  md : Metadata.t;
+  commset_graph : string Digraph.t;
+  profile : R.Profile.t;
+  target : target;
+  trace : R.Trace.t;
+  sync : T.Sync.t;
+  sync_none : T.Sync.t;
+  setup : setup;
+}
+
+(** How a simulated schedule's output compares with the sequential run. *)
+type output_fidelity = Exact | Multiset_equal | Mismatch
+
+type run = {
+  plan : T.Plan.t;
+  speedup : float;
+  makespan : float;  (** whole-program simulated cycles *)
+  fidelity : output_fidelity;
+  lock_contended : int;
+  tx_aborts : int;
+  timelines : (float * float * string) list array;
+}
+
+val fidelity_to_string : output_fidelity -> string
+
+(** Compile a miniC source. Raises {!Diag.Error} on any frontend,
+    metadata, well-formedness or runtime failure. *)
+val compile : ?name:string -> ?setup:setup -> string -> t
+
+(** All plans at a thread count: COMMSET-enabled plans over the annotated
+    PDG plus non-COMMSET baseline plans over the plain PDG. *)
+val plans : t -> threads:int -> T.Plan.t list
+
+val simulate : ?record_timeline:bool -> t -> T.Plan.t -> run
+
+(** Simulate every plan; sorted by speedup, best first. *)
+val evaluate : ?record_timeline:bool -> t -> threads:int -> run list
+
+val best : ?record_timeline:bool -> t -> threads:int -> run option
+
+(** Speedup curves: series name -> (threads, speedup) points. *)
+val sweep : ?min_threads:int -> t -> max_threads:int -> (string * (int * float) list) list
+
+(* reporting helpers *)
+val count_annotations : string -> int
+val sloc : string -> int
+val loop_fraction : t -> float
+
+(** COMMSET feature letters used (Table 2: PI, PC, C, I, S, G). *)
+val features_used : t -> string list
+
+val applicable_transforms : t -> string list

@@ -1,0 +1,1 @@
+lib/report/evaluation.mli: Commset_pipeline Commset_workloads

@@ -1,0 +1,1 @@
+lib/report/explain.ml: Array Buffer Commset_analysis Commset_ir Commset_pdg Commset_pipeline Commset_support Commset_transforms Fmt Hashtbl List Loc Printf String

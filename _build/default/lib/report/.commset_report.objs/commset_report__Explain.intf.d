@@ -1,0 +1,1 @@
+lib/report/explain.mli: Commset_pdg Commset_pipeline Commset_support Loc

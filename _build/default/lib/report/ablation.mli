@@ -1,0 +1,13 @@
+(** Ablation studies of the design choices DESIGN.md calls out: md5sum
+    annotation groups, queue capacity on a bursty pipeline, the spin-lock
+    cache-bounce coefficient, the STM instrumentation factor, and
+    privatization. *)
+
+val annotation_ablation : unit -> string list list
+val queue_capacity_sweep : unit -> string list list
+val spin_bounce_sweep : unit -> string list list
+val tm_factor_sweep : unit -> string list list
+val privatization_ablation : unit -> string list list
+
+(** All ablations, rendered as tables. *)
+val render : unit -> string

@@ -1,0 +1,231 @@
+(** The full evaluation engine: compiles every workload (and its
+    annotation variants), simulates every applicable parallelization plan
+    across thread counts, and produces the data behind the paper's
+    Table 2 and Figure 6. *)
+
+module P = Commset_pipeline.Pipeline
+module T = Commset_transforms
+module W = Commset_workloads.Workload
+module Registry = Commset_workloads.Registry
+open Commset_support
+
+type variant_eval = {
+  v_name : string;  (** "" for the primary source *)
+  v_comp : P.t;
+  v_runs8 : P.run list;  (** all plans at 8 threads, best first *)
+  v_sweep : (string * (int * float) list) list;
+}
+
+type bench_eval = {
+  be_workload : W.t;
+  be_primary : variant_eval;
+  be_variants : variant_eval list;
+  be_best : P.run;  (** best COMMSET plan over all variants, 8 threads *)
+  be_best_noncomm : P.run option;  (** best non-COMMSET plan, 8 threads *)
+}
+
+let eval_variant ?(sweep = true) ~name ~setup source : variant_eval =
+  let v_comp = P.compile ~name ~setup source in
+  let v_runs8 = P.evaluate v_comp ~threads:8 in
+  let v_sweep = if sweep then P.sweep v_comp ~max_threads:8 else [] in
+  { v_name = ""; v_comp; v_runs8; v_sweep }
+
+let evaluate_workload ?(sweep = true) (w : W.t) : bench_eval =
+  let primary =
+    eval_variant ~sweep ~name:w.W.wname ~setup:w.W.setup w.W.source
+  in
+  let variants =
+    List.map
+      (fun (vn, src) ->
+        let ve =
+          eval_variant ~sweep ~name:(w.W.wname ^ "/" ^ vn) ~setup:w.W.setup src
+        in
+        { ve with v_name = vn })
+      w.W.variants
+  in
+  (* Table 2's "best" reflects the primary annotation choice; the extra
+     variants (deterministic md5sum, single-file potrace, dynamic geti)
+     appear in the Figure 6 curves and extension sections instead *)
+  let all_runs = primary.v_runs8 in
+  let comm_runs = List.filter (fun r -> r.P.plan.T.Plan.uses_commset) all_runs in
+  let noncomm_runs =
+    List.filter (fun r -> not r.P.plan.T.Plan.uses_commset) all_runs
+  in
+  let best_of = function
+    | [] -> None
+    | runs -> Some (List.fold_left (fun a b -> if b.P.speedup > a.P.speedup then b else a) (List.hd runs) runs)
+  in
+  let be_best =
+    match best_of comm_runs with
+    | Some r -> r
+    | None -> Diag.error "workload '%s' has no COMMSET-enabled plan" w.W.wname
+  in
+  { be_workload = w; be_primary = primary; be_variants = variants; be_best;
+    be_best_noncomm = best_of noncomm_runs }
+
+let evaluate_all ?(sweep = true) () : bench_eval list =
+  List.map (evaluate_workload ~sweep) Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let strip_comm_prefix label =
+  if String.length label > 5 && String.sub label 0 5 = "Comm-" then
+    String.sub label 5 (String.length label - 5)
+  else label
+
+(* "Comm-PS-DSWP[DOALL:6|S] (seq-sync) + Spin" -> "PS-DSWP + Spin" *)
+let scheme_of_run (r : P.run) =
+  strip_comm_prefix r.P.plan.T.Plan.series
+  |> String.split_on_char '('
+  |> List.hd |> String.trim
+  |> fun base ->
+  let variant = T.Plan.sync_variant_to_string r.P.plan.T.Plan.variant in
+  if String.length base >= 1 && String.contains base '+' then base
+  else base ^ " + " ^ variant
+
+let table2_rows (evals : bench_eval list) =
+  List.map
+    (fun be ->
+      let w = be.be_workload in
+      let c = be.be_primary.v_comp in
+      [
+        w.W.paper_name;
+        Printf.sprintf "%.0f%%" (100. *. P.loop_fraction c);
+        string_of_int (P.count_annotations w.W.source);
+        string_of_int (P.sloc w.W.source);
+        String.concat "," (P.features_used c);
+        String.concat "," (P.applicable_transforms c);
+        Printf.sprintf "%.1fx" be.be_best.P.speedup;
+        scheme_of_run be.be_best;
+        Printf.sprintf "%.1fx" w.W.paper_best_speedup;
+        w.W.paper_best_scheme;
+      ])
+    evals
+
+let render_table2 evals =
+  Ascii.table
+    ~header:
+      [
+        "Program"; "Loop"; "Annots"; "SLOC"; "Features"; "Transforms"; "Best"; "Scheme";
+        "Paper"; "Paper scheme";
+      ]
+    (table2_rows evals)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* keep the chart readable: top COMMSET series, best non-COMMSET series *)
+let figure6_series (be : bench_eval) =
+  let tag v_name series =
+    if v_name = "" then series else Printf.sprintf "%s [%s]" series v_name
+  in
+  let all =
+    List.concat_map
+      (fun v -> List.map (fun (s, pts) -> (tag v.v_name s, pts)) v.v_sweep)
+      (be.be_primary :: be.be_variants)
+  in
+  let at8 pts = Option.value ~default:0. (List.assoc_opt 8 pts) in
+  let is_comm (name, _) =
+    String.length name >= 5 && String.sub name 0 5 = "Comm-"
+  in
+  let comm = List.filter is_comm all |> List.sort (fun a b -> compare (at8 (snd b)) (at8 (snd a))) in
+  let noncomm =
+    List.filter (fun s -> not (is_comm s)) all
+    |> List.sort (fun a b -> compare (at8 (snd b)) (at8 (snd a)))
+  in
+  Listx.take 4 comm @ Listx.take 1 noncomm
+
+let render_figure6 (be : bench_eval) =
+  let series = figure6_series be in
+  Printf.sprintf "Figure 6: %s (paper best: %.1fx via %s)\n%s"
+    be.be_workload.W.paper_name be.be_workload.W.paper_best_speedup
+    be.be_workload.W.paper_best_scheme
+    (Ascii.chart ~max_threads:8 series)
+
+let geomean values =
+  match values with
+  | [] -> 0.
+  | _ ->
+      exp (List.fold_left (fun acc v -> acc +. log (max 1e-9 v)) 0. values
+           /. float_of_int (List.length values))
+
+(** Figure 6i: geomean of the best COMMSET and best non-COMMSET speedups
+    per thread count. *)
+let geomean_series (evals : bench_eval list) =
+  let best_at ~comm be t =
+    let candidates =
+      List.concat_map
+        (fun v ->
+          List.filter_map
+            (fun (name, pts) ->
+              let is_comm = String.length name >= 5 && String.sub name 0 5 = "Comm-" in
+              if is_comm = comm then List.assoc_opt t pts else None)
+            v.v_sweep)
+        (be.be_primary :: be.be_variants)
+    in
+    (* with no applicable plan at this thread count the program simply
+       runs sequentially *)
+    List.fold_left max 1.0 candidates
+  in
+  let series comm =
+    List.init 8 (fun i ->
+        let t = i + 1 in
+        (t, geomean (List.map (fun be -> best_at ~comm be t) evals)))
+  in
+  [ ("Comm (geomean of best)", series true); ("Best non-CommSet (geomean)", series false) ]
+
+let render_geomean evals =
+  "Figure 6i: geomean speedup across the eight programs\n"
+  ^ Ascii.chart ~max_threads:8 (geomean_series evals)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 2 and 3 (md5sum PDG and timelines)                          *)
+(* ------------------------------------------------------------------ *)
+
+let render_figure2 () =
+  let w = Registry.find "md5sum" |> Option.get in
+  let c = P.compile ~name:"md5sum" ~setup:w.W.setup w.W.source in
+  let pdg = c.P.target.P.pdg in
+  Printf.sprintf
+    "Figure 2: PDG for md5sum's main loop with COMMSET annotations\n(%d edges annotated uco, %d ico)\n\n%s"
+    c.P.target.P.n_uco c.P.target.P.n_ico
+    (Fmt.str "%a" Commset_pdg.Pdg.pp pdg)
+
+let render_timeline ?(limit = 40) (r : P.run) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%s: %.2fx\n" r.P.plan.T.Plan.label r.P.speedup);
+  Array.iteri
+    (fun tid intervals ->
+      Buffer.add_string buf (Printf.sprintf "  thread %d: " tid);
+      List.iteri
+        (fun i (start, stop, tag) ->
+          if i < limit then
+            Buffer.add_string buf
+              (Printf.sprintf "[%.0f-%.0f %s] " start stop tag))
+        intervals;
+      Buffer.add_char buf '\n')
+    r.P.timelines;
+  Buffer.contents buf
+
+let render_figure3 () =
+  let w = Registry.find "md5sum" |> Option.get in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "Figure 3: md5sum execution timelines (sequential vs PS-DSWP vs DOALL)\n\n";
+  let c = P.compile ~name:"md5sum" ~setup:w.W.setup w.W.source in
+  Buffer.add_string buf
+    (Printf.sprintf "Sequential: %.0f cycles (baseline, 1.00x)\n\n"
+       c.P.trace.Commset_runtime.Trace.seq_total);
+  (match P.best ~record_timeline:true c ~threads:8 with
+  | Some r -> Buffer.add_string buf (render_timeline ~limit:6 r)
+  | None -> ());
+  let det = List.assoc "deterministic" w.W.variants in
+  let cd = P.compile ~name:"md5sum-det" ~setup:w.W.setup det in
+  (match P.best ~record_timeline:true cd ~threads:8 with
+  | Some r ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (render_timeline ~limit:6 r)
+  | None -> ());
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** The full evaluation engine: compiles every workload (and its
+    annotation variants), simulates every applicable parallelization plan
+    across thread counts, and produces the data behind the paper's
+    Table 2 and Figure 6. *)
+
+module P = Commset_pipeline.Pipeline
+module W = Commset_workloads.Workload
+
+type variant_eval = {
+  v_name : string;  (** "" for the primary source *)
+  v_comp : P.t;
+  v_runs8 : P.run list;  (** all plans at 8 threads, best first *)
+  v_sweep : (string * (int * float) list) list;
+}
+
+type bench_eval = {
+  be_workload : W.t;
+  be_primary : variant_eval;
+  be_variants : variant_eval list;
+  be_best : P.run;  (** best COMMSET plan of the primary source, 8 threads *)
+  be_best_noncomm : P.run option;
+}
+
+val evaluate_workload : ?sweep:bool -> W.t -> bench_eval
+
+(** All eight workloads; [sweep = false] skips the 1..8-thread curves. *)
+val evaluate_all : ?sweep:bool -> unit -> bench_eval list
+
+(* Table 2 *)
+val table2_rows : bench_eval list -> string list list
+val render_table2 : bench_eval list -> string
+
+(* Figure 6 *)
+val figure6_series : bench_eval -> (string * (int * float) list) list
+val render_figure6 : bench_eval -> string
+val geomean : float list -> float
+val geomean_series : bench_eval list -> (string * (int * float) list) list
+val render_geomean : bench_eval list -> string
+
+(* Figures 2 and 3 (md5sum PDG and timelines) *)
+val render_figure2 : unit -> string
+val render_timeline : ?limit:int -> P.run -> string
+val render_figure3 : unit -> string

@@ -1,0 +1,108 @@
+(** Source-level dependence reporting — the feedback step of the paper's
+    workflow (Figure 5): "the memory flow dependences in the PDG that
+    inhibit parallelization are displayed at source level to the
+    programmer, who inserts COMMSET primitives".
+
+    For every loop-carried dependence that survives the commutativity
+    annotations, this module reports the source locations of both
+    endpoints, the conflicting abstract state, and a suggestion for the
+    COMMSET primitive that would relax it. *)
+
+module P = Commset_pipeline.Pipeline
+module T = Commset_transforms
+module Pdg = Commset_pdg.Pdg
+module Ir = Commset_ir.Ir
+module Effects = Commset_analysis.Effects
+open Commset_support
+
+type blocker = {
+  b_edge : Pdg.edge;
+  b_src_loc : Loc.t;
+  b_dst_loc : Loc.t;
+  b_what : string;  (** human description of the conflicting state *)
+  b_suggestion : string;
+}
+
+let node_loc (pdg : Pdg.t) nid =
+  let n = pdg.Pdg.nodes.(nid) in
+  match n.Pdg.kind with
+  | Pdg.Ninstr i -> i.Ir.iloc
+  | Pdg.Nregion (r, _) -> r.Ir.rloc
+  | Pdg.Nbranch (l, _) -> (
+      match (Ir.block pdg.Pdg.func l).Ir.instrs with
+      | i :: _ -> i.Ir.iloc
+      | [] -> Loc.dummy)
+
+let describe_locs locs =
+  String.concat ", "
+    (List.map (fun l -> Fmt.str "%a" Effects.pp_location l) locs)
+
+let suggest (pdg : Pdg.t) (e : Pdg.edge) =
+  let src = pdg.Pdg.nodes.(e.Pdg.esrc) in
+  let self = e.Pdg.esrc = e.Pdg.edst in
+  let is_region (n : Pdg.node) = Pdg.node_region n <> None in
+  match e.Pdg.ekind with
+  | Pdg.Kmem _ when self && is_region src ->
+      "add SELF (or a predicated self set) to this block's membership if its \
+       instances may execute in any order"
+  | Pdg.Kmem _ when self ->
+      "enclose this statement in a block annotated `#pragma commset member SELF` \
+       if reordering its instances preserves the intended semantics"
+  | Pdg.Kmem _ ->
+      "add both endpoints to one group commset (predicated on the loop induction \
+       variable if they only commute across iterations)"
+  | Pdg.Kreg _ ->
+      "this is a value recurrence; restructure the computation (e.g. privatize \
+       or re-associate the accumulation) — commutativity annotations apply to \
+       memory state, not register recurrences"
+  | Pdg.Kcontrol -> "loop-exit control dependence (handled by control replication)"
+
+(** Loop-carried dependences that still block DOALL after Algorithm 1 and
+    reduction recognition. *)
+let blockers (c : P.t) : blocker list =
+  let pdg = c.P.target.P.pdg in
+  let reductions = Commset_pdg.Reduction.detect pdg in
+  match T.Doall.applicability ~reductions pdg with
+  | T.Doall.Applicable -> []
+  | T.Doall.Blocked edges ->
+      List.map
+        (fun (e : Pdg.edge) ->
+          let what =
+            match e.Pdg.ekind with
+            | Pdg.Kmem locs -> "shared state: " ^ describe_locs locs
+            | Pdg.Kreg r -> (
+                match Hashtbl.find_opt pdg.Pdg.func.Ir.reg_names r with
+                | Some n -> Printf.sprintf "value recurrence through '%s'" n
+                | None -> Printf.sprintf "value recurrence through %%%d" r)
+            | Pdg.Kcontrol -> "control dependence"
+          in
+          {
+            b_edge = e;
+            b_src_loc = node_loc pdg e.Pdg.esrc;
+            b_dst_loc = node_loc pdg e.Pdg.edst;
+            b_what = what;
+            b_suggestion = suggest pdg e;
+          })
+        edges
+
+let render (c : P.t) : string =
+  let buf = Buffer.create 1024 in
+  let bs = blockers c in
+  if bs = [] then
+    Buffer.add_string buf
+      "No parallelism-inhibiting loop-carried dependences remain: DOALL applies.\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf
+         "%d loop-carried dependence(s) inhibit DOALL on the hottest loop:\n\n"
+         (List.length bs));
+    List.iteri
+      (fun i b ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d. %s\n   %s -> %s%s\n   hint: %s\n\n" (i + 1) b.b_what
+             (Loc.to_string b.b_src_loc) (Loc.to_string b.b_dst_loc)
+             (if b.b_edge.Pdg.esrc = b.b_edge.Pdg.edst then " (self)" else "")
+             b.b_suggestion))
+      bs
+  end;
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Source-level dependence reporting — the feedback step of the paper's
+    workflow (Figure 5): loop-carried dependences that survive the
+    commutativity annotations are reported with the source locations of
+    both endpoints, the conflicting abstract state, and a suggestion for
+    the COMMSET primitive that would relax them. *)
+
+module P = Commset_pipeline.Pipeline
+module Pdg = Commset_pdg.Pdg
+open Commset_support
+
+type blocker = {
+  b_edge : Pdg.edge;
+  b_src_loc : Loc.t;
+  b_dst_loc : Loc.t;
+  b_what : string;  (** human description of the conflicting state *)
+  b_suggestion : string;
+}
+
+(** Loop-carried dependences that still block DOALL after Algorithm 1. *)
+val blockers : P.t -> blocker list
+
+val render : P.t -> string

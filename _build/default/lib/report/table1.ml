@@ -1,0 +1,147 @@
+(** Paper Table 1: comparison of semantic-commutativity-based parallel
+    programming models. The matrix is encoded as a typed model of each
+    system's features (reconstructed from the paper's §1 and §6
+    discussion) and rendered like the original. *)
+
+type driver = Runtime_driver | Programmer_driver | Compiler_driver
+
+type system = {
+  sys_name : string;
+  predication : bool;  (** commutativity predicates supported *)
+  commuting_blocks : bool;  (** arbitrary structured code blocks as members *)
+  group_commutativity : bool;  (** set-based (linear) group specification *)
+  needs_extra_extensions : bool;  (** requires additional parallelism constructs *)
+  task : bool;
+  pipelined : bool;
+  data : bool;
+  iface_spec : bool;  (** commutativity assertions on interfaces *)
+  client_spec : bool;  (** assertions in client code *)
+  concurrency_control : driver;  (** who inserts synchronization *)
+  parallelization : [ `Automatic | `Manual ];
+  optimistic : bool;  (** optimistic / speculative parallelism *)
+}
+
+let systems =
+  [
+    {
+      sys_name = "Jade";
+      predication = false;
+      commuting_blocks = false;
+      group_commutativity = false;
+      needs_extra_extensions = true;
+      task = true;
+      pipelined = true;
+      data = false;
+      iface_spec = false;
+      client_spec = true;
+      concurrency_control = Runtime_driver;
+      parallelization = `Automatic;
+      optimistic = false;
+    };
+    {
+      sys_name = "Galois";
+      predication = true;
+      commuting_blocks = false;
+      group_commutativity = false;
+      needs_extra_extensions = true;
+      task = false;
+      pipelined = false;
+      data = true;
+      iface_spec = true;
+      client_spec = false;
+      concurrency_control = Runtime_driver;
+      parallelization = `Manual;
+      optimistic = true;
+    };
+    {
+      sys_name = "DPJ";
+      predication = false;
+      commuting_blocks = false;
+      group_commutativity = false;
+      needs_extra_extensions = true;
+      task = true;
+      pipelined = false;
+      data = true;
+      iface_spec = true;
+      client_spec = false;
+      concurrency_control = Programmer_driver;
+      parallelization = `Manual;
+      optimistic = false;
+    };
+    {
+      sys_name = "Paralax";
+      predication = false;
+      commuting_blocks = false;
+      group_commutativity = false;
+      needs_extra_extensions = false;
+      task = false;
+      pipelined = true;
+      data = false;
+      iface_spec = true;
+      client_spec = false;
+      concurrency_control = Compiler_driver;
+      parallelization = `Automatic;
+      optimistic = false;
+    };
+    {
+      sys_name = "VELOCITY";
+      predication = false;
+      commuting_blocks = false;
+      group_commutativity = false;
+      needs_extra_extensions = false;
+      task = false;
+      pipelined = true;
+      data = false;
+      iface_spec = true;
+      client_spec = false;
+      concurrency_control = Compiler_driver;
+      parallelization = `Automatic;
+      optimistic = true;
+    };
+    {
+      sys_name = "CommSet";
+      predication = true;
+      commuting_blocks = true;
+      group_commutativity = true;
+      needs_extra_extensions = false;
+      task = false;
+      pipelined = true;
+      data = true;
+      iface_spec = true;
+      client_spec = true;
+      concurrency_control = Compiler_driver;
+      parallelization = `Automatic;
+      optimistic = false;
+    };
+  ]
+
+let commset = List.nth systems (List.length systems - 1)
+
+let yn b = if b then "yes" else "-"
+
+let driver_to_string = function
+  | Runtime_driver -> "Runtime"
+  | Programmer_driver -> "Programmer"
+  | Compiler_driver -> "Compiler"
+
+let render () =
+  let header = "Feature" :: List.map (fun s -> s.sys_name) systems in
+  let row name f = name :: List.map f systems in
+  let rows =
+    [
+      row "Predication" (fun s -> yn s.predication);
+      row "Commuting blocks" (fun s -> yn s.commuting_blocks);
+      row "Group commutativity" (fun s -> yn s.group_commutativity);
+      row "Needs extra parallel constructs" (fun s -> yn s.needs_extra_extensions);
+      row "Task parallelism" (fun s -> yn s.task);
+      row "Pipeline parallelism" (fun s -> yn s.pipelined);
+      row "Data parallelism" (fun s -> yn s.data);
+      row "Interface commutativity" (fun s -> yn s.iface_spec);
+      row "Client-code commutativity" (fun s -> yn s.client_spec);
+      row "Concurrency control" (fun s -> driver_to_string s.concurrency_control);
+      row "Parallelization" (fun s ->
+          match s.parallelization with `Automatic -> "Automatic" | `Manual -> "Manual");
+      row "Optimistic/speculative" (fun s -> yn s.optimistic);
+    ]
+  in
+  Ascii.table ~header rows

@@ -1,0 +1,27 @@
+(** Paper Table 1: comparison of semantic-commutativity-based parallel
+    programming models, encoded as a typed model of each system's
+    features (reconstructed from the paper's §1 and §6 discussion). *)
+
+type driver = Runtime_driver | Programmer_driver | Compiler_driver
+
+type system = {
+  sys_name : string;
+  predication : bool;
+  commuting_blocks : bool;
+  group_commutativity : bool;
+  needs_extra_extensions : bool;
+  task : bool;
+  pipelined : bool;
+  data : bool;
+  iface_spec : bool;
+  client_spec : bool;
+  concurrency_control : driver;
+  parallelization : [ `Automatic | `Manual ];
+  optimistic : bool;
+}
+
+(** Jade, Galois, DPJ, Paralax, VELOCITY, COMMSET. *)
+val systems : system list
+
+val commset : system
+val render : unit -> string

@@ -1,0 +1,1 @@
+lib/runtime/builtins.ml: Array Buffer Char Commset_analysis Commset_lang Commset_support Costmodel Diag Hashtbl List Machine Md5 Option Printf String Value

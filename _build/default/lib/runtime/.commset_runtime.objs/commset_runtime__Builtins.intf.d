@@ -1,0 +1,1 @@
+lib/runtime/builtins.mli: Commset_analysis Commset_lang Machine Value

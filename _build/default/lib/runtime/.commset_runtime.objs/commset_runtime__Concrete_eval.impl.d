@@ -1,0 +1,1 @@
+lib/runtime/concrete_eval.ml: Commset_lang Commset_support Diag List Value

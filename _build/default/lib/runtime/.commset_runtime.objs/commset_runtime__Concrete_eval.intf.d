@@ -1,0 +1,1 @@
+lib/runtime/concrete_eval.mli: Commset_lang Value

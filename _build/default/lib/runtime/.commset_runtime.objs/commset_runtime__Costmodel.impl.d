@@ -1,0 +1,1 @@
+lib/runtime/costmodel.ml: Commset_ir Commset_lang

@@ -1,0 +1,1 @@
+lib/runtime/costmodel.mli: Commset_ir

@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Builtins Commset_ir Commset_lang Commset_support Costmodel Diag Hashtbl List Machine Option Value

@@ -1,0 +1,1 @@
+lib/runtime/interp.mli: Builtins Commset_ir Hashtbl Machine Value

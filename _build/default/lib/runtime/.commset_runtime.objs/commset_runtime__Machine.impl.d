@@ -1,0 +1,1 @@
+lib/runtime/machine.ml: Array Bytes Char Commset_support Diag Hashtbl Int64 List Option Printf String

@@ -1,0 +1,1 @@
+lib/runtime/md5.ml: Array Buffer Bytes Char Int32 Int64 List Printf

@@ -1,0 +1,1 @@
+lib/runtime/md5.mli: Bytes

@@ -1,0 +1,1 @@
+lib/runtime/profile.ml: Commset_analysis Commset_ir Commset_support Hashtbl Interp List Machine Option

@@ -1,0 +1,1 @@
+lib/runtime/sim.ml: Array Commset_support Costmodel Diag List Queue Value

@@ -1,0 +1,1 @@
+lib/runtime/trace.ml: Array Builtins Commset_analysis Commset_ir Commset_pdg Hashtbl Interp List Machine Value

@@ -1,0 +1,1 @@
+lib/runtime/trace.mli: Commset_ir Commset_pdg Hashtbl Machine Value

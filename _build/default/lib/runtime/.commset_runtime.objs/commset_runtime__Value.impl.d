@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Array Commset_ir Commset_support Diag Fmt List Printf

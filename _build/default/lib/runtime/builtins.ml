@@ -1,0 +1,422 @@
+(** The builtin (extern) functions of miniC: signatures for the type
+    checker, effect specifications for the analyses, thread-safety and
+    TM-safety flags for the synchronization engine, and implementations
+    plus cost functions for the interpreter.
+
+    Abstract resources (the [Lext] locations):
+    - ["io.fdtable"]: the open-file table (fopen/fclose);
+    - ["io.stream.in"] / ["io.stream.out"]: input / output stream
+      positions and buffers (libc keeps per-FILE locks; input and output
+      streams never alias in these workloads);
+    - ["io.disk"]: shared disk bandwidth — read-only in the effect system
+      (no dependence edges) but a serialization point for transfers;
+    - ["io.stdout"]: the console;
+    - ["rng"]: the shared RNG seed;
+    - ["hist"]: the histogram accumulator;
+    - ["heap.alloc"]: the allocator free-list (matrix_alloc/matrix_free,
+      bm_new/bm_free);
+    - ["vec"], ["bm.data"], ["lst"]: collection contents;
+    - ["stats"]: statistics accumulators;
+    - ["pkt.pool"]: the packet input queue;
+    - ["db.cursor"]: the database read cursor;
+    - ["log"]: the log sink. *)
+
+module Ast = Commset_lang.Ast
+module Effects = Commset_analysis.Effects
+module Tc = Commset_lang.Typecheck
+open Commset_support
+
+type impl = Machine.t -> Value.t list -> Value.t * float
+
+type t = {
+  name : string;
+  params : Ast.ty list;
+  ret : Ast.ty;
+  spec : Effects.builtin_spec;
+  thread_safe : bool;  (** internally synchronized (the paper's Lib mode) *)
+  tm_safe : bool;  (** may execute inside a transaction *)
+  impl : impl;
+}
+
+let pure_spec =
+  {
+    Effects.bs_reads = [];
+    bs_writes = [];
+    bs_reads_arrays = [];
+    bs_writes_arrays = [];
+    bs_allocates = false;
+  }
+
+let rw_spec ?(reads = []) ?(writes = []) ?(reads_arrays = []) ?(writes_arrays = [])
+    ?(allocates = false) () =
+  {
+    Effects.bs_reads = reads;
+    bs_writes = writes;
+    bs_reads_arrays = reads_arrays;
+    bs_writes_arrays = writes_arrays;
+    bs_allocates = allocates;
+  }
+
+let b ?(thread_safe = false) ?(tm_safe = true) ?(spec = pure_spec) name params ret impl =
+  { name; params; ret; spec; thread_safe; tm_safe; impl }
+
+let int_v n = Value.Vint n
+let float_v f = Value.Vfloat f
+let bool_v x = Value.Vbool x
+let string_v s = Value.Vstring s
+
+let arg n args = List.nth args n
+let iarg n args = Value.to_int ~what:(Printf.sprintf "argument %d" n) (arg n args)
+let farg n args = Value.to_float ~what:(Printf.sprintf "argument %d" n) (arg n args)
+let sarg n args = Value.to_string_val ~what:(Printf.sprintf "argument %d" n) (arg n args)
+let aarg n args = Value.to_array ~what:(Printf.sprintf "argument %d" n) (arg n args)
+
+open Ast
+
+let alloc_cost n = Costmodel.alloc_base +. (Costmodel.alloc_per_slot *. float_of_int n)
+
+let all : t list =
+  [
+    (* ---- pure conversions and string ops ---- *)
+    b "int_to_string" [ Tint ] Tstring (fun _ a -> (string_v (string_of_int (iarg 0 a)), 12.));
+    b "float_to_string" [ Tfloat ] Tstring (fun _ a ->
+        (string_v (Printf.sprintf "%.4f" (farg 0 a)), 30.));
+    b "int_to_float" [ Tint ] Tfloat (fun _ a -> (float_v (float_of_int (iarg 0 a)), 1.));
+    b "float_to_int" [ Tfloat ] Tint (fun _ a -> (int_v (int_of_float (farg 0 a)), 1.));
+    b "fsqrt" [ Tfloat ] Tfloat (fun _ a -> (float_v (sqrt (farg 0 a)), 8.));
+    b "fabs" [ Tfloat ] Tfloat (fun _ a -> (float_v (abs_float (farg 0 a)), 1.));
+    b "imin" [ Tint; Tint ] Tint (fun _ a -> (int_v (min (iarg 0 a) (iarg 1 a)), 1.));
+    b "imax" [ Tint; Tint ] Tint (fun _ a -> (int_v (max (iarg 0 a) (iarg 1 a)), 1.));
+    b "strlen" [ Tstring ] Tint (fun _ a -> (int_v (String.length (sarg 0 a)), 2.));
+    b "substr" [ Tstring; Tint; Tint ] Tstring (fun _ a ->
+        let s = sarg 0 a and pos = iarg 1 a and len = iarg 2 a in
+        let pos = max 0 (min pos (String.length s)) in
+        let len = max 0 (min len (String.length s - pos)) in
+        (string_v (String.sub s pos len), 4. +. (0.1 *. float_of_int len)));
+    b "str_get" [ Tstring; Tint ] Tint (fun _ a ->
+        let s = sarg 0 a and i = iarg 1 a in
+        let c = if i >= 0 && i < String.length s then Char.code s.[i] else 0 in
+        (int_v c, 2.));
+    b "str_find" [ Tstring; Tstring ] Tint (fun _ a ->
+        let hay = sarg 0 a and needle = sarg 1 a in
+        let n = String.length needle and h = String.length hay in
+        let rec search i =
+          if n = 0 then 0
+          else if i + n > h then -1
+          else if String.sub hay i n = needle then i
+          else search (i + 1)
+        in
+        (int_v (search 0), 6. +. (0.15 *. float_of_int h)));
+    b "str_hash" [ Tstring ] Tint (fun _ a ->
+        let s = sarg 0 a in
+        let h = ref 5381 in
+        String.iter (fun c -> h := ((!h lsl 5) + !h + Char.code c) land 0x3FFFFFFF) s;
+        (int_v !h, 4. +. (0.3 *. float_of_int (String.length s))));
+    (* ---- heavy pure kernels ---- *)
+    b "md5_hex" [ Tstring ] Tstring (fun _ a ->
+        let s = sarg 0 a in
+        ( string_v (Md5.digest_string s),
+          80. +. (Costmodel.md5_cost_per_byte *. float_of_int (String.length s)) ));
+    b "trace_bitmap" [ Tstring ] Tstring (fun _ a ->
+        (* potrace stand-in: "vectorize" a bitmap into a path whose size is
+           proportional to the input, like a real vector tracer *)
+        let s = sarg 0 a in
+        let path = Buffer.create (String.length s / 4) in
+        let crc = ref 0 and segments = ref 0 in
+        String.iteri
+          (fun i c ->
+            let v = Char.code c in
+            crc := ((!crc * 131) + (v * (1 + (i land 7)))) land 0xFFFFFF;
+            if v land 1 = 1 then incr segments;
+            if i land 1 = 0 then Buffer.add_char path (Char.chr (65 + (!crc land 15))))
+          s;
+        ( string_v (Printf.sprintf "P%d;%s" !segments (Buffer.contents path)),
+          120. +. (Costmodel.trace_cost_per_byte *. float_of_int (String.length s)) ));
+    (* ---- arrays ---- *)
+    b "iarray" [ Tint ] (Tarray Tint)
+      ~spec:(rw_spec ~allocates:true ())
+      (fun _ a ->
+        let n = max 0 (iarg 0 a) in
+        (Value.Varray (Array.make n (int_v 0)), alloc_cost n));
+    b "farray" [ Tint ] (Tarray Tfloat)
+      ~spec:(rw_spec ~allocates:true ())
+      (fun _ a ->
+        let n = max 0 (iarg 0 a) in
+        (Value.Varray (Array.make n (float_v 0.)), alloc_cost n));
+    b "sarray" [ Tint ] (Tarray Tstring)
+      ~spec:(rw_spec ~allocates:true ())
+      (fun _ a ->
+        let n = max 0 (iarg 0 a) in
+        (Value.Varray (Array.make n (string_v "")), alloc_cost n));
+    b "alen_i" [ Tarray Tint ] Tint
+      ~spec:(rw_spec ~reads_arrays:[ 0 ] ())
+      (fun _ a -> (int_v (Array.length (aarg 0 a)), 1.));
+    b "alen_f" [ Tarray Tfloat ] Tint
+      ~spec:(rw_spec ~reads_arrays:[ 0 ] ())
+      (fun _ a -> (int_v (Array.length (aarg 0 a)), 1.));
+    b "alen_s" [ Tarray Tstring ] Tint
+      ~spec:(rw_spec ~reads_arrays:[ 0 ] ())
+      (fun _ a -> (int_v (Array.length (aarg 0 a)), 1.));
+    (* matrix = float[] from the shared allocator: the allocator free-list
+       is the shared resource, the storage itself is fresh (456.hmmer) *)
+    b "matrix_alloc" [ Tint ] (Tarray Tfloat) ~tm_safe:true ~thread_safe:true
+      ~spec:(rw_spec ~reads:[ "heap.alloc" ] ~writes:[ "heap.alloc" ] ~allocates:true ())
+      (fun _ a ->
+        let n = max 0 (iarg 0 a) in
+        (Value.Varray (Array.make n (float_v 0.)), alloc_cost n +. 120.));
+    b "matrix_free" [ Tarray Tfloat ] Tvoid ~tm_safe:true ~thread_safe:true
+      ~spec:(rw_spec ~reads:[ "heap.alloc" ] ~writes:[ "heap.alloc" ] ~reads_arrays:[ 0 ] ())
+      (fun _ _ -> (int_v 0, 140.));
+    (* ---- console and files ---- *)
+    b "print" [ Tstring ] Tvoid ~tm_safe:false
+      ~spec:(rw_spec ~reads:[ "io.stdout" ] ~writes:[ "io.stdout" ] ())
+      ~thread_safe:true
+      (fun m a ->
+        m.Machine.emit (sarg 0 a);
+        (int_v 0, Costmodel.print_cost));
+    b "fopen" [ Tstring ] Tint ~tm_safe:false
+      ~spec:(rw_spec ~reads:[ "io.fdtable" ] ~writes:[ "io.fdtable" ] ())
+      ~thread_safe:true
+      (fun m a -> (int_v (Machine.fopen m (sarg 0 a)), Costmodel.file_open_cost));
+    b "fclose" [ Tint ] Tvoid ~tm_safe:false
+      ~spec:(rw_spec ~reads:[ "io.fdtable" ] ~writes:[ "io.fdtable" ] ())
+      ~thread_safe:true
+      (fun m a ->
+        Machine.fclose m (iarg 0 a);
+        (int_v 0, Costmodel.file_close_cost));
+    b "fread" [ Tint; Tint ] Tstring ~tm_safe:false
+      ~spec:
+        (rw_spec
+           ~reads:[ "io.stream.in"; "io.disk" ]
+             (* "io.disk" models shared disk bandwidth: it serializes
+                transfers (library lock) but, being read-only in the
+                effect system, adds no dependence edges *)
+           ~writes:[ "io.stream.in" ] ())
+      ~thread_safe:true
+      (fun m a ->
+        let s = Machine.fread m (iarg 0 a) (iarg 1 a) in
+        (string_v s, Costmodel.file_read_base +. (Costmodel.per_byte *. float_of_int (String.length s))));
+    b "fsize" [ Tint ] Tint ~tm_safe:false
+      ~spec:(rw_spec ~reads:[ "io.stream.in" ] ())
+      ~thread_safe:true
+      (fun m a -> (int_v (Machine.fsize m (iarg 0 a)), 40.));
+    b "feof" [ Tint ] Tbool ~tm_safe:false
+      ~spec:(rw_spec ~reads:[ "io.stream.in" ] ())
+      ~thread_safe:true
+      (fun m a -> (bool_v (Machine.feof m (iarg 0 a)), 20.));
+    b "fwrite" [ Tint; Tstring ] Tvoid ~tm_safe:false
+      ~spec:(rw_spec ~reads:[ "io.stream.out"; "io.disk" ] ~writes:[ "io.stream.out" ] ())
+      ~thread_safe:true
+      (fun m a ->
+        let s = sarg 1 a in
+        Machine.fwrite m (iarg 0 a) s;
+        (int_v 0, Costmodel.file_write_base +. (Costmodel.write_per_byte *. float_of_int (String.length s))));
+    (* ---- RNG ---- *)
+    b "rng_int" [ Tint ] Tint ~thread_safe:true
+      ~spec:(rw_spec ~reads:[ "rng" ] ~writes:[ "rng" ] ())
+      (fun m a -> (int_v (Machine.rng_int m (iarg 0 a)), Costmodel.rng_cost));
+    b "rng_range" [ Tint; Tint ] Tint ~thread_safe:true
+      ~spec:(rw_spec ~reads:[ "rng" ] ~writes:[ "rng" ] ())
+      (fun m a ->
+        let lo = iarg 0 a and hi = iarg 1 a in
+        let v = if hi <= lo then lo else lo + Machine.rng_int m (hi - lo) in
+        (int_v v, Costmodel.rng_cost));
+    b "rng_float" [] Tfloat ~thread_safe:true
+      ~spec:(rw_spec ~reads:[ "rng" ] ~writes:[ "rng" ] ())
+      (fun m _ -> (float_v (Machine.rng_float m), Costmodel.rng_cost));
+    b "rng_gauss" [] Tfloat ~thread_safe:true
+      ~spec:(rw_spec ~reads:[ "rng" ] ~writes:[ "rng" ] ())
+      (fun m _ ->
+        let u1 = max 1e-9 (Machine.rng_float m) and u2 = Machine.rng_float m in
+        (float_v (sqrt (-2. *. log u1) *. cos (6.2831853 *. u2)), Costmodel.rng_cost *. 2.));
+    b "rng_reseed" [ Tint ] Tvoid ~thread_safe:true
+      ~spec:(rw_spec ~writes:[ "rng" ] ())
+      (fun m a ->
+        Machine.rng_reseed m (iarg 0 a);
+        (int_v 0, Costmodel.rng_cost));
+    (* ---- histogram ---- *)
+    b "hist_add" [ Tfloat ] Tvoid
+      ~spec:(rw_spec ~reads:[ "hist" ] ~writes:[ "hist" ] ())
+      (fun m a ->
+        Machine.hist_add m (farg 0 a);
+        (int_v 0, Costmodel.hist_cost));
+    b "hist_summary" [] Tstring
+      ~spec:(rw_spec ~reads:[ "hist" ] ())
+      (fun m _ -> (string_v (Machine.hist_summary m), 60.));
+    (* ---- vector ---- *)
+    b "vec_push" [ Tstring ] Tvoid
+      ~spec:(rw_spec ~reads:[ "vec" ] ~writes:[ "vec" ] ())
+      (fun m a ->
+        Machine.vec_push m (sarg 0 a);
+        (int_v 0, Costmodel.collection_op_cost));
+    b "vec_size" [] Tint
+      ~spec:(rw_spec ~reads:[ "vec" ] ())
+      (fun m _ -> (int_v (Machine.vec_size m), 4.));
+    b "vec_get" [ Tint ] Tstring
+      ~spec:(rw_spec ~reads:[ "vec" ] ())
+      (fun m a -> (string_v (Machine.vec_get m (iarg 0 a)), 6.));
+    (* ---- bitmaps ---- *)
+    b "bm_new" [ Tint ] Tint ~thread_safe:true
+      ~spec:(rw_spec ~reads:[ "heap.alloc" ] ~writes:[ "heap.alloc" ] ())
+      (fun m a -> (int_v (Machine.bm_new m (iarg 0 a)), 60. +. (0.05 *. float_of_int (iarg 0 a / 8))));
+    b "bm_free" [ Tint ] Tvoid ~thread_safe:true
+      ~spec:(rw_spec ~reads:[ "heap.alloc" ] ~writes:[ "heap.alloc" ] ())
+      (fun m a ->
+        Machine.bm_free m (iarg 0 a);
+        (int_v 0, 40.));
+    b "bm_set" [ Tint; Tint ] Tvoid
+      ~spec:(rw_spec ~reads:[ "bm.data" ] ~writes:[ "bm.data" ] ())
+      (fun m a ->
+        Machine.bm_set m (iarg 0 a) (iarg 1 a);
+        (int_v 0, Costmodel.collection_op_cost));
+    b "bm_get" [ Tint; Tint ] Tbool
+      ~spec:(rw_spec ~reads:[ "bm.data" ] ())
+      (fun m a -> (bool_v (Machine.bm_get m (iarg 0 a) (iarg 1 a)), 8.));
+    (* ---- lists ---- *)
+    b "list_new" [] Tint ~thread_safe:true
+      ~spec:(rw_spec ~reads:[ "heap.alloc" ] ~writes:[ "heap.alloc" ] ())
+      (fun m _ -> (int_v (Machine.list_new m), 50.));
+    b "list_insert" [ Tint; Tint ] Tvoid
+      ~spec:(rw_spec ~reads:[ "lst" ] ~writes:[ "lst" ] ())
+      (fun m a ->
+        Machine.list_insert m (iarg 0 a) (iarg 1 a);
+        (int_v 0, Costmodel.collection_op_cost));
+    b "list_contains" [ Tint; Tint ] Tbool
+      ~spec:(rw_spec ~reads:[ "lst" ] ())
+      (fun m a ->
+        let l = Machine.list_lookup m (iarg 0 a) in
+        (bool_v (List.mem (iarg 1 a) !l), 8. +. (0.4 *. float_of_int (List.length !l))));
+    b "list_size" [ Tint ] Tint
+      ~spec:(rw_spec ~reads:[ "lst" ] ())
+      (fun m a -> (int_v (Machine.list_size m (iarg 0 a)), 6.));
+    b "list_sum" [ Tint ] Tint
+      ~spec:(rw_spec ~reads:[ "lst" ] ())
+      (fun m a -> (int_v (Machine.list_sum m (iarg 0 a)), 20.));
+    (* ---- stats ---- *)
+    b "stat_add" [ Tfloat ] Tvoid
+      ~spec:(rw_spec ~reads:[ "stats" ] ~writes:[ "stats" ] ())
+      (fun m a ->
+        Machine.stat_add m (farg 0 a);
+        (int_v 0, 16.));
+    b "stat_note_max" [ Tfloat ] Tvoid
+      ~spec:(rw_spec ~reads:[ "stats" ] ~writes:[ "stats" ] ())
+      (fun m a ->
+        Machine.stat_note_max m (farg 0 a);
+        (int_v 0, 14.));
+    b "stat_summary" [] Tstring
+      ~spec:(rw_spec ~reads:[ "stats" ] ())
+      (fun m _ -> (string_v (Machine.stat_summary m), 60.));
+    (* ---- packets ---- *)
+    b "pkt_dequeue" [] Tint
+      ~spec:(rw_spec ~reads:[ "pkt.pool" ] ~writes:[ "pkt.pool" ] ())
+      (fun m _ -> (int_v (Machine.pkt_dequeue m), Costmodel.packet_dequeue_cost));
+    b "pkt_url" [ Tint ] Tstring (fun m a -> (string_v (Machine.pkt_url m (iarg 0 a)), 10.));
+    (* ---- database ---- *)
+    b "db_read" [] Tstring ~tm_safe:false
+      ~spec:(rw_spec ~reads:[ "db.cursor" ] ~writes:[ "db.cursor" ] ())
+      (fun m _ ->
+        let row = Machine.db_read m in
+        (string_v row, Costmodel.db_read_cost +. (Costmodel.per_byte *. float_of_int (String.length row))));
+    (* ---- log ---- *)
+    b "log_write" [ Tstring ] Tvoid ~thread_safe:true
+      ~spec:(rw_spec ~reads:[ "log" ] ~writes:[ "log" ] ())
+      (fun m a ->
+        let s = sarg 0 a in
+        Machine.log_write m s;
+        (int_v 0, Costmodel.log_write_base +. (Costmodel.per_byte *. float_of_int (String.length s))));
+    b "log_count" [] Tint
+      ~spec:(rw_spec ~reads:[ "log" ] ())
+      (fun m _ -> (int_v (Machine.log_count m), 6.));
+    (* ---- list destruction (heap free-list, like bm_free) ---- *)
+    b "list_free" [ Tint ] Tvoid ~thread_safe:true
+      ~spec:(rw_spec ~reads:[ "heap.alloc" ] ~writes:[ "heap.alloc" ] ())
+      (fun m a ->
+        Hashtbl.remove m.Machine.lists (iarg 0 a);
+        (int_v 0, 60.));
+    (* ---- potrace output encoding (pure, heavy) ---- *)
+    b "svg_encode" [ Tstring ] Tstring (fun _ a ->
+        let s = sarg 0 a in
+        let buf = Buffer.create (String.length s * 2) in
+        Buffer.add_string buf "<svg>";
+        String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+        Buffer.add_string buf "</svg>";
+        (string_v (Buffer.contents buf), 60. +. (4.5 *. float_of_int (String.length s))));
+    (* ---- memoization cache (string registry) ---- *)
+    b "cache_get" [ Tstring ] Tstring ~thread_safe:true
+      ~spec:(rw_spec ~reads:[ "registry" ] ())
+      (fun m a -> (string_v (Machine.cache_get m (sarg 0 a)), 26.));
+    b "cache_put" [ Tstring; Tstring ] Tvoid ~thread_safe:true
+      ~spec:(rw_spec ~reads:[ "registry" ] ~writes:[ "registry" ] ())
+      (fun m a ->
+        Machine.cache_put m (sarg 0 a) (sarg 1 a);
+        (int_v 0, 30.));
+    (* ---- em3d bipartite graph library ----
+       The graph library guarantees per-node isolation of neighbour slots
+       (each (node, slot) cell is written by exactly one loop iteration),
+       which a shape analysis would prove; its writes are therefore not
+       modeled as conflicting abstract state. See DESIGN.md. *)
+    b "graph_build_nodes" [ Tint ] Tvoid
+      ~spec:(rw_spec ~writes:[ "graph.nodes" ] ())
+      (fun m a ->
+        Machine.graph_build_nodes m (iarg 0 a);
+        (int_v 0, 100. +. (2.0 *. float_of_int (iarg 0 a))));
+    b "graph_first" [] Tint
+      ~spec:(rw_spec ~reads:[ "graph.nodes" ] ())
+      (fun m _ -> (int_v (Machine.graph_first m), 6.));
+    b "graph_next" [ Tint ] Tint
+      ~spec:(rw_spec ~reads:[ "graph.nodes" ] ())
+      (fun m a -> (int_v (Machine.graph_next m (iarg 0 a)), 18.));
+    b "graph_set_neighbor" [ Tint; Tint; Tint ] Tvoid (fun m a ->
+        Machine.graph_set_neighbor m (iarg 0 a) (iarg 1 a) (iarg 2 a);
+        (int_v 0, 22.));
+    b "graph_set_weight" [ Tint; Tint; Tfloat ] Tvoid (fun m a ->
+        Machine.graph_set_weight m (iarg 0 a) (iarg 1 a) (farg 2 a);
+        (int_v 0, 22.));
+    b "graph_summary" [] Tstring
+      ~spec:(rw_spec ~reads:[ "graph.nodes" ] ())
+      (fun m _ -> (string_v (Machine.graph_summary m), 80.));
+    (* ---- array fill helpers used by workload setup code ---- *)
+    b "afill_f" [ Tarray Tfloat; Tint; Tint ] Tvoid
+      ~spec:(rw_spec ~writes_arrays:[ 0 ] ())
+      (fun _ a ->
+        let arr = aarg 0 a and mult = iarg 1 a and modv = max 1 (iarg 2 a) in
+        Array.iteri
+          (fun i _ ->
+            arr.(i) <- float_v (float_of_int ((i * mult) mod modv) /. float_of_int modv))
+          arr;
+        (int_v 0, 40. +. (1.5 *. float_of_int (Array.length arr))));
+    b "afill_i" [ Tarray Tint; Tint; Tint ] Tvoid
+      ~spec:(rw_spec ~writes_arrays:[ 0 ] ())
+      (fun _ a ->
+        let arr = aarg 0 a and mult = iarg 1 a and modv = max 1 (iarg 2 a) in
+        Array.iteri (fun i _ -> arr.(i) <- int_v ((i * mult) mod modv)) arr;
+        (int_v 0, 40. +. (1.5 *. float_of_int (Array.length arr))));
+    b "aset_f" [ Tarray Tfloat; Tint; Tfloat ] Tvoid
+      ~spec:(rw_spec ~writes_arrays:[ 0 ] ())
+      (fun _ a ->
+        (aarg 0 a).(iarg 1 a) <- float_v (farg 2 a);
+        (int_v 0, 3.));
+  ]
+
+let table : (string, t) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun bi -> Hashtbl.replace tbl bi.name bi) all;
+  tbl
+
+let find name = Hashtbl.find_opt table name
+
+let find_exn name =
+  match find name with
+  | Some bi -> bi
+  | None -> Diag.error "unknown builtin '%s'" name
+
+(** Effect lookup for the analyses. *)
+let lookup_spec : Effects.lookup = fun name -> Option.map (fun bi -> bi.spec) (find name)
+
+(** Extern signatures for the type checker. *)
+let extern_sigs : Tc.extern_sig list =
+  List.map (fun bi -> { Tc.xname = bi.name; xparams = bi.params; xret = bi.ret }) all
+
+(** Abstract resources a builtin touches (for Lib-mode locking). *)
+let resources bi =
+  Commset_support.Listx.uniq (bi.spec.Effects.bs_reads @ bi.spec.Effects.bs_writes)

@@ -1,0 +1,19 @@
+(** Concrete evaluation of pure COMMSET predicate expressions over runtime
+    values — the basis of the speculative (runtime-checked) commutativity
+    mode. *)
+
+module Ast = Commset_lang.Ast
+
+type env = (string * Value.t) list
+
+val eval : env -> Ast.expr -> Value.t
+
+(** Evaluate a predicate body with the two instances' actuals bound to
+    the two parameter lists. *)
+val predicate_holds :
+  params1:string list ->
+  params2:string list ->
+  actuals1:Value.t list ->
+  actuals2:Value.t list ->
+  Ast.expr ->
+  bool

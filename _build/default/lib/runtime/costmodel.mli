@@ -1,0 +1,62 @@
+(** Cost model of the simulated multicore (all values in simulated
+    cycles), calibrated so the *relative* behaviour of the paper's eight
+    workloads is preserved (DESIGN.md §7). The [ref] cells are the knobs
+    the ablation benchmarks sweep. *)
+
+module Ir = Commset_ir.Ir
+
+(* instruction costs *)
+val instr_cost : Ir.instr_desc -> float
+val terminator_cost : float
+
+(* synchronization *)
+type lock_flavor = Mutex | Spin | Libsafe
+
+(** Cost of an uncontended acquire / release. *)
+val acquire_base : lock_flavor -> float
+
+val release_base : lock_flavor -> float
+
+(** Knobs for the contended-handoff model: mutexes pay an OS
+    sleep/wakeup; spin locks pay cache-line bouncing that grows with the
+    number of spinners. *)
+val mutex_wakeup : float ref
+
+val spin_handoff_base : float ref
+val spin_handoff_per_waiter : float ref
+
+(** Extra latency before a blocked thread obtains a released lock. *)
+val handoff_penalty : lock_flavor -> n_waiters:int -> float
+
+(* transactions *)
+val tx_begin_cost : float
+val tx_commit_cost : float
+val tx_abort_penalty : float
+val tx_max_retries : int
+
+(** Read/write-set instrumentation slows code inside a transaction. *)
+val tx_instrumentation_factor : float ref
+
+(* pipeline queues *)
+val queue_push_cost : float
+val queue_pop_cost : float
+val queue_capacity : int ref
+
+(* builtin cost helpers *)
+val per_byte : float
+val md5_cost_per_byte : float
+val trace_cost_per_byte : float
+val file_open_cost : float
+val file_close_cost : float
+val file_read_base : float
+val file_write_base : float
+val write_per_byte : float
+val print_cost : float
+val rng_cost : float
+val hist_cost : float
+val alloc_base : float
+val alloc_per_slot : float
+val collection_op_cost : float
+val db_read_cost : float
+val packet_dequeue_cost : float
+val log_write_base : float

@@ -1,0 +1,45 @@
+(** Sequential IR interpreter with cycle accounting and instrumentation
+    hooks; the profiler, the trace recorder, and the output-equivalence
+    checks build on these hooks. *)
+
+module Ir = Commset_ir.Ir
+
+type hooks = {
+  mutable on_instr : Ir.func -> Ir.instr -> unit;
+  mutable on_block : Ir.func -> Ir.label -> unit;
+  mutable on_base_cost : float -> unit;
+  mutable on_builtin : Builtins.t -> float -> unit;
+  mutable on_output : string -> unit;
+  mutable on_enter_func : Ir.func -> unit;
+  mutable on_exit_func : Ir.func -> unit;
+  mutable on_region_enter : Ir.func -> Ir.region -> (string * Value.t list) list -> unit;
+      (** fired on entry to a commutative region, with the predicate
+          actuals of each of its commsets evaluated at that instant *)
+  mutable on_call_actuals : Ir.instr -> Value.t list -> unit;
+      (** fired before a call to a user-defined function, with the
+          evaluated argument values *)
+}
+
+val null_hooks : unit -> hooks
+
+type t = {
+  prog : Ir.program;
+  machine : Machine.t;
+  globals : (string, Value.t) Hashtbl.t;
+  hooks : hooks;
+  region_entries : (string * Ir.label, Ir.region) Hashtbl.t;
+  mutable fuel : int;
+  mutable total_cost : float;
+}
+
+val default_fuel : int
+
+(** Runtime failures raise {!Commset_support.Diag.Error}; exhausting the
+    fuel (charged per instruction and per block) raises {!Out_of_fuel}. *)
+exception Out_of_fuel
+
+val create : ?hooks:hooks -> ?fuel:int -> ?machine:Machine.t -> Ir.program -> t
+val exec_func : t -> Ir.func -> Value.t list -> Value.t option
+
+(** Run [main()] to completion; returns total simulated cycles. *)
+val run_main : t -> float

@@ -1,0 +1,85 @@
+(** MD5 message digest (RFC 1321), implemented from scratch on int32.
+
+    The md5sum and potrace workloads call this through the [md5_hex]
+    builtin; the test suite checks the RFC 1321 vectors. *)
+
+let s =
+  [|
+    7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22;
+    5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20;
+    4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23;
+    6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21;
+  |]
+
+(* K[i] = floor(2^32 × abs(sin(i + 1))); computed through the native int
+   so values >= 2^31 wrap into Int32 correctly instead of saturating *)
+let k =
+  Array.init 64 (fun i ->
+      Int32.of_int (int_of_float (abs_float (sin (float_of_int (i + 1))) *. 4294967296.0)))
+
+let rotl32 x c = Int32.logor (Int32.shift_left x c) (Int32.shift_right_logical x (32 - c))
+
+type ctx = { mutable a : int32; mutable b : int32; mutable c : int32; mutable d : int32 }
+
+let init () = { a = 0x67452301l; b = 0xefcdab89l; c = 0x98badcfel; d = 0x10325476l }
+
+(* process one 64-byte chunk starting at [off] *)
+let process_chunk ctx (msg : Bytes.t) off =
+  let m j =
+    let base = off + (j * 4) in
+    let byte i = Int32.of_int (Char.code (Bytes.get msg (base + i))) in
+    Int32.logor (byte 0)
+      (Int32.logor
+         (Int32.shift_left (byte 1) 8)
+         (Int32.logor (Int32.shift_left (byte 2) 16) (Int32.shift_left (byte 3) 24)))
+  in
+  let a = ref ctx.a and b = ref ctx.b and c = ref ctx.c and d = ref ctx.d in
+  for i = 0 to 63 do
+    let f, g =
+      if i < 16 then (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), i)
+      else if i < 32 then
+        (Int32.logor (Int32.logand !d !b) (Int32.logand (Int32.lognot !d) !c), ((5 * i) + 1) mod 16)
+      else if i < 48 then (Int32.logxor !b (Int32.logxor !c !d), ((3 * i) + 5) mod 16)
+      else (Int32.logxor !c (Int32.logor !b (Int32.lognot !d)), (7 * i) mod 16)
+    in
+    let f = Int32.add f (Int32.add !a (Int32.add k.(i) (m g))) in
+    a := !d;
+    d := !c;
+    c := !b;
+    b := Int32.add !b (rotl32 f s.(i))
+  done;
+  ctx.a <- Int32.add ctx.a !a;
+  ctx.b <- Int32.add ctx.b !b;
+  ctx.c <- Int32.add ctx.c !c;
+  ctx.d <- Int32.add ctx.d !d
+
+let digest_bytes (input : Bytes.t) : string =
+  let ctx = init () in
+  let len = Bytes.length input in
+  (* padded length: message + 0x80 + zeros + 8-byte little-endian bit length *)
+  let padded_len = ((len + 8) / 64 * 64) + 64 in
+  let msg = Bytes.make padded_len '\000' in
+  Bytes.blit input 0 msg 0 len;
+  Bytes.set msg len '\x80';
+  let bitlen = Int64.of_int (len * 8) in
+  for i = 0 to 7 do
+    Bytes.set msg
+      (padded_len - 8 + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xFFL)))
+  done;
+  let n_chunks = padded_len / 64 in
+  for chunk = 0 to n_chunks - 1 do
+    process_chunk ctx msg (chunk * 64)
+  done;
+  let out = Buffer.create 32 in
+  List.iter
+    (fun word ->
+      for i = 0 to 3 do
+        Buffer.add_string out
+          (Printf.sprintf "%02x"
+             (Int32.to_int (Int32.logand (Int32.shift_right_logical word (8 * i)) 0xFFl)))
+      done)
+    [ ctx.a; ctx.b; ctx.c; ctx.d ];
+  Buffer.contents out
+
+let digest_string (s : string) : string = digest_bytes (Bytes.of_string s)

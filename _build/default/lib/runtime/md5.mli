@@ -1,0 +1,7 @@
+(** MD5 message digest (RFC 1321), implemented from scratch; validated
+    against the RFC's test vectors in the test suite. *)
+
+(** Lowercase hexadecimal digest (32 characters). *)
+val digest_bytes : Bytes.t -> string
+
+val digest_string : string -> string

@@ -1,0 +1,83 @@
+(** Runtime profiler: attributes inclusive simulated cycles to each basic
+    block (callee time counted at the call site's block) and ranks the
+    program's loops by execution share, mirroring the paper's workflow of
+    focusing parallelization on hot loops identified via profiling. *)
+
+module Ir = Commset_ir.Ir
+module A = Commset_analysis
+
+type frame = { fname : string; mutable cur_label : Ir.label }
+
+type block_costs = (string * Ir.label, float) Hashtbl.t
+
+type loop_report = {
+  lr_func : string;
+  lr_header : Ir.label;
+  lr_cost : float;
+  lr_fraction : float;  (** share of total program cycles *)
+  lr_depth : int;
+}
+
+type t = { reports : loop_report list; total : float }
+
+let record ?(machine = Machine.create ()) (prog : Ir.program) : block_costs * float =
+  let costs : block_costs = Hashtbl.create 256 in
+  let stack : frame list ref = ref [] in
+  let attribute c =
+    List.iter
+      (fun fr ->
+        let key = (fr.fname, fr.cur_label) in
+        Hashtbl.replace costs key (c +. Option.value ~default:0. (Hashtbl.find_opt costs key)))
+      !stack
+  in
+  let hooks = Interp.null_hooks () in
+  hooks.Interp.on_enter_func <-
+    (fun f -> stack := { fname = f.Ir.fname; cur_label = f.Ir.entry } :: !stack);
+  hooks.Interp.on_exit_func <- (fun _ -> match !stack with [] -> () | _ :: rest -> stack := rest);
+  hooks.Interp.on_block <-
+    (fun f l ->
+      match !stack with
+      | fr :: _ when fr.fname = f.Ir.fname -> fr.cur_label <- l
+      | _ -> ());
+  hooks.Interp.on_base_cost <- attribute;
+  hooks.Interp.on_builtin <- (fun _ c -> attribute c);
+  let interp = Interp.create ~hooks ~machine prog in
+  let total = Interp.run_main interp in
+  (costs, total)
+
+(** Profile the program and rank its loops by inclusive cost. *)
+let analyze ?machine (prog : Ir.program) : t =
+  let costs, total = record ?machine prog in
+  let reports = ref [] in
+  List.iter
+    (fun fname ->
+      let func = Hashtbl.find prog.Ir.funcs fname in
+      let cfg = A.Cfg.of_func func in
+      let dom = A.Dominance.compute cfg in
+      let loops = A.Loops.compute cfg dom in
+      List.iter
+        (fun (l : A.Loops.loop) ->
+          let cost =
+            Commset_support.Listx.sum_float
+              (fun label -> Option.value ~default:0. (Hashtbl.find_opt costs (fname, label)))
+              l.A.Loops.body
+          in
+          reports :=
+            {
+              lr_func = fname;
+              lr_header = l.A.Loops.header;
+              lr_cost = cost;
+              lr_fraction = (if total > 0. then cost /. total else 0.);
+              lr_depth = l.A.Loops.depth;
+            }
+            :: !reports)
+        loops.A.Loops.loops)
+    prog.Ir.func_order;
+  let reports =
+    List.sort (fun a b -> compare b.lr_cost a.lr_cost) !reports
+  in
+  { reports; total }
+
+(** The hottest outermost loop — the parallelization target. *)
+let hottest t =
+  List.find_opt (fun r -> r.lr_depth = 1) t.reports

@@ -1,0 +1,286 @@
+(** Discrete-event simulator of the multicore target.
+
+    Each virtual thread executes a segment list produced from a
+    parallelization plan plus the sequential trace. Locks model the three
+    paper synchronization modes (mutex with sleep/wakeup handoff, spin
+    lock with cache-line bouncing that grows with the number of spinners,
+    thread-safe-library internal locks), queues model the bounded
+    lock-free inter-stage channels of (PS-)DSWP, and transactional
+    segments model the optimistic TM runtime with abort-and-retry.
+
+    Threads are processed in virtual-time order (always the minimum-time
+    runnable thread), which preserves causality for all resource
+    interactions. *)
+
+open Commset_support
+
+type lock_spec = { lflavor : Costmodel.lock_flavor; lname : string }
+
+(** Runtime commutativity information attached to a speculative
+    transaction: the member's identity and the predicate actuals of each
+    dynamic instance the transaction covers. *)
+type spec_info = {
+  sp_member : string;
+  sp_keys : (string * Value.t list) list list;  (** per instance: set -> actuals *)
+}
+
+type seg =
+  | Compute of { cost : float; tag : string }
+  | Acquire of int
+  | Release of int
+  | Push of int
+  | Pop of int
+  | Emit of string
+  | Tx of {
+      cost : float;
+      reads : string list;
+      writes : string list;
+      outputs : string list;
+      tag : string;
+      spec : spec_info option;
+    }
+
+type lock_state = {
+  spec : lock_spec;
+  mutable owner : int option;
+  waiters : int Queue.t;
+  mutable contended_acquires : int;
+}
+
+type queue_state = {
+  capacity : int;
+  mutable count : int;
+  mutable waiting_producer : int option;
+  mutable waiting_consumer : int option;
+}
+
+type thread = {
+  tid : int;
+  segs : seg array;
+  mutable pc : int;
+  mutable time : float;
+  mutable blocked : bool;
+  mutable busy : float;  (** cycles spent computing (not waiting) *)
+  mutable intervals : (float * float * string) list;  (** for timelines; reverse *)
+}
+
+type committed_tx = {
+  ctime : float;
+  cthread : int;
+  creads : string list;
+  cwrites : string list;
+  cspec : spec_info option;
+}
+
+type result = {
+  makespan : float;
+  outputs : (float * string) list;  (** commit-time ordered *)
+  thread_busy : float array;
+  timelines : (float * float * string) list array;
+  lock_contended : int;
+  tx_aborts : int;
+}
+
+type t = {
+  threads : thread array;
+  locks : lock_state array;
+  queues : queue_state array;
+  mutable emitted : (float * string) list;
+  mutable tx_log : committed_tx list;
+  mutable tx_aborts : int;
+  spec_commutes : (spec_info -> spec_info -> bool) option;
+      (** runtime commutativity check for speculative transactions: when
+          both transactions carry [spec_info] and this returns [true],
+          an overlapping read/write footprint is not a conflict *)
+  record_timeline : bool;
+}
+
+let create ?(record_timeline = false) ?spec_commutes ~locks ~n_queues (seg_lists : seg list array) : t =
+  {
+    threads =
+      Array.mapi
+        (fun tid segs ->
+          {
+            tid;
+            segs = Array.of_list segs;
+            pc = 0;
+            time = 0.;
+            blocked = false;
+            busy = 0.;
+            intervals = [];
+          })
+        seg_lists;
+    locks =
+      Array.map
+        (fun spec -> { spec; owner = None; waiters = Queue.create (); contended_acquires = 0 })
+        locks;
+    queues =
+      Array.init n_queues (fun _ ->
+          {
+            capacity = !Costmodel.queue_capacity;
+            count = 0;
+            waiting_producer = None;
+            waiting_consumer = None;
+          });
+    emitted = [];
+    tx_log = [];
+    tx_aborts = 0;
+    spec_commutes;
+    record_timeline;
+  }
+
+let finished th = th.pc >= Array.length th.segs
+
+let note_interval t th start stop tag =
+  if t.record_timeline && stop > start then th.intervals <- (start, stop, tag) :: th.intervals
+
+(* conflict of a transaction window against the commit log: an
+   overlapping footprint is forgiven when the runtime commutativity check
+   proves the two transactions' member instances commute *)
+let tx_conflicts t ~tid ~start ~stop ~reads ~writes ~spec =
+  List.exists
+    (fun c ->
+      c.cthread <> tid && c.ctime > start && c.ctime < stop
+      && (List.exists (fun w -> List.mem w reads || List.mem w writes) c.cwrites
+         || List.exists (fun r -> List.mem r writes) c.creads)
+      &&
+      match (spec, c.cspec, t.spec_commutes) with
+      | Some s1, Some s2, Some commutes -> not (commutes s1 s2)
+      | _ -> true)
+    t.tx_log
+
+let step t th =
+  let seg = th.segs.(th.pc) in
+  match seg with
+  | Compute { cost; tag } ->
+      note_interval t th th.time (th.time +. cost) tag;
+      th.time <- th.time +. cost;
+      th.busy <- th.busy +. cost;
+      th.pc <- th.pc + 1
+  | Emit s ->
+      t.emitted <- (th.time, s) :: t.emitted;
+      th.pc <- th.pc + 1
+  | Acquire l ->
+      let lock = t.locks.(l) in
+      if lock.owner = None && Queue.is_empty lock.waiters then begin
+        lock.owner <- Some th.tid;
+        th.time <- th.time +. Costmodel.acquire_base lock.spec.lflavor;
+        th.pc <- th.pc + 1
+      end
+      else begin
+        lock.contended_acquires <- lock.contended_acquires + 1;
+        Queue.add th.tid lock.waiters;
+        th.blocked <- true
+      end
+  | Release l ->
+      let lock = t.locks.(l) in
+      if lock.owner <> Some th.tid then
+        Diag.error "simulator: thread %d releases lock %s it does not own" th.tid
+          lock.spec.lname;
+      th.time <- th.time +. Costmodel.release_base lock.spec.lflavor;
+      th.pc <- th.pc + 1;
+      let n_waiters = Queue.length lock.waiters in
+      if n_waiters = 0 then lock.owner <- None
+      else begin
+        (* direct handoff to the first waiter *)
+        let w = Queue.pop lock.waiters in
+        let waiter = t.threads.(w) in
+        lock.owner <- Some w;
+        let grant =
+          max waiter.time
+            (th.time +. Costmodel.handoff_penalty lock.spec.lflavor ~n_waiters)
+        in
+        waiter.time <- grant;
+        waiter.blocked <- false;
+        waiter.pc <- waiter.pc + 1 (* past its Acquire *)
+      end
+  | Push q ->
+      let queue = t.queues.(q) in
+      if queue.count < queue.capacity then begin
+        queue.count <- queue.count + 1;
+        th.time <- th.time +. Costmodel.queue_push_cost;
+        th.pc <- th.pc + 1;
+        match queue.waiting_consumer with
+        | Some c ->
+            queue.waiting_consumer <- None;
+            let consumer = t.threads.(c) in
+            consumer.blocked <- false;
+            consumer.time <- max consumer.time th.time
+        | None -> ()
+      end
+      else begin
+        queue.waiting_producer <- Some th.tid;
+        th.blocked <- true
+      end
+  | Pop q ->
+      let queue = t.queues.(q) in
+      if queue.count > 0 then begin
+        queue.count <- queue.count - 1;
+        th.time <- th.time +. Costmodel.queue_pop_cost;
+        th.pc <- th.pc + 1;
+        match queue.waiting_producer with
+        | Some p ->
+            queue.waiting_producer <- None;
+            let producer = t.threads.(p) in
+            producer.blocked <- false;
+            producer.time <- max producer.time th.time
+        | None -> ()
+      end
+      else begin
+        queue.waiting_consumer <- Some th.tid;
+        th.blocked <- true
+      end
+  | Tx { cost; reads; writes; outputs; tag; spec } ->
+      (* execute-with-retry until the commit window is conflict-free *)
+      let rec attempt tries start =
+        let stop = start +. Costmodel.tx_begin_cost +. cost +. Costmodel.tx_commit_cost in
+        if
+          tries < Costmodel.tx_max_retries
+          && tx_conflicts t ~tid:th.tid ~start ~stop ~reads ~writes ~spec
+        then begin
+          t.tx_aborts <- t.tx_aborts + 1;
+          th.busy <- th.busy +. cost;
+          attempt (tries + 1) (stop +. Costmodel.tx_abort_penalty)
+        end
+        else (start, stop)
+      in
+      let start, stop = attempt 0 th.time in
+      note_interval t th th.time stop tag;
+      ignore start;
+      th.time <- stop;
+      th.busy <- th.busy +. cost;
+      t.tx_log <-
+        { ctime = stop; cthread = th.tid; creads = reads; cwrites = writes; cspec = spec }
+        :: t.tx_log;
+      List.iter (fun s -> t.emitted <- (stop, s) :: t.emitted) outputs;
+      th.pc <- th.pc + 1
+
+let run t : result =
+  let n = Array.length t.threads in
+  let continue_ = ref true in
+  while !continue_ do
+    (* pick the minimum-time runnable unfinished thread *)
+    let best = ref None in
+    for i = 0 to n - 1 do
+      let th = t.threads.(i) in
+      if (not (finished th)) && not th.blocked then
+        match !best with
+        | Some b when t.threads.(b).time <= th.time -> ()
+        | _ -> best := Some i
+    done;
+    match !best with
+    | Some i -> step t t.threads.(i)
+    | None ->
+        if Array.exists (fun th -> not (finished th)) t.threads then
+          Diag.error "simulator: deadlock (all unfinished threads are blocked)"
+        else continue_ := false
+  done;
+  let makespan = Array.fold_left (fun acc th -> max acc th.time) 0. t.threads in
+  {
+    makespan;
+    outputs = List.sort compare (List.rev t.emitted);
+    thread_busy = Array.map (fun th -> th.busy) t.threads;
+    timelines = Array.map (fun th -> List.rev th.intervals) t.threads;
+    lock_contended = Array.fold_left (fun acc l -> acc + l.contended_acquires) 0 t.locks;
+    tx_aborts = t.tx_aborts;
+  }

@@ -1,0 +1,58 @@
+(** Discrete-event simulator of the multicore target. Threads execute
+    segment lists; locks model the paper's synchronization modes, queues
+    the bounded lock-free inter-stage channels, and transactional
+    segments the optimistic runtimes (TM, and speculative commutativity
+    with a runtime predicate check). Threads are processed in
+    virtual-time order, which preserves causality for all resource
+    interactions. *)
+
+type lock_spec = { lflavor : Costmodel.lock_flavor; lname : string }
+
+(** Runtime commutativity information attached to a speculative
+    transaction: the member's identity and the predicate actuals of each
+    dynamic instance it covers. *)
+type spec_info = {
+  sp_member : string;
+  sp_keys : (string * Value.t list) list list;
+}
+
+type seg =
+  | Compute of { cost : float; tag : string }
+  | Acquire of int
+  | Release of int
+  | Push of int
+  | Pop of int
+  | Emit of string
+  | Tx of {
+      cost : float;
+      reads : string list;
+      writes : string list;
+      outputs : string list;
+      tag : string;
+      spec : spec_info option;
+    }
+
+type t
+
+type result = {
+  makespan : float;
+  outputs : (float * string) list;  (** commit-time ordered *)
+  thread_busy : float array;
+  timelines : (float * float * string) list array;
+  lock_contended : int;
+  tx_aborts : int;
+}
+
+(** [create ~locks ~n_queues seg_lists] builds a machine with one thread
+    per segment list. [spec_commutes], when given, forgives transaction
+    footprint overlaps between transactions whose [spec_info]s commute. *)
+val create :
+  ?record_timeline:bool ->
+  ?spec_commutes:(spec_info -> spec_info -> bool) ->
+  locks:lock_spec array ->
+  n_queues:int ->
+  seg list array ->
+  t
+
+(** Run to completion; detects deadlock (raises a diagnostic). *)
+val run : t -> result

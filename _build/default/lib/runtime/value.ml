@@ -1,0 +1,52 @@
+(** Runtime values of the miniC interpreter. *)
+
+module Ir = Commset_ir.Ir
+open Commset_support
+
+type t =
+  | Vint of int
+  | Vfloat of float
+  | Vbool of bool
+  | Vstring of string
+  | Varray of t array
+
+let of_const = function
+  | Ir.Cint n -> Vint n
+  | Ir.Cfloat f -> Vfloat f
+  | Ir.Cbool b -> Vbool b
+  | Ir.Cstring s -> Vstring s
+
+let to_int ?(what = "value") = function
+  | Vint n -> n
+  | _ -> Diag.error "runtime: %s is not an int" what
+
+let to_float ?(what = "value") = function
+  | Vfloat f -> f
+  | _ -> Diag.error "runtime: %s is not a float" what
+
+let to_bool ?(what = "value") = function
+  | Vbool b -> b
+  | _ -> Diag.error "runtime: %s is not a bool" what
+
+let to_string_val ?(what = "value") = function
+  | Vstring s -> s
+  | _ -> Diag.error "runtime: %s is not a string" what
+
+let to_array ?(what = "value") = function
+  | Varray a -> a
+  | _ -> Diag.error "runtime: %s is not an array" what
+
+let rec pp ppf = function
+  | Vint n -> Fmt.int ppf n
+  | Vfloat f -> Fmt.pf ppf "%g" f
+  | Vbool b -> Fmt.bool ppf b
+  | Vstring s -> Fmt.pf ppf "%S" s
+  | Varray a ->
+      Fmt.pf ppf "[|%a|]" Fmt.(list ~sep:(any "; ") pp) (Array.to_list a |> List.filteri (fun i _ -> i < 8))
+
+let to_display_string = function
+  | Vint n -> string_of_int n
+  | Vfloat f -> Printf.sprintf "%g" f
+  | Vbool b -> string_of_bool b
+  | Vstring s -> s
+  | Varray _ -> "<array>"

@@ -1,0 +1,21 @@
+(** Runtime values of the miniC interpreter. *)
+
+type t =
+  | Vint of int
+  | Vfloat of float
+  | Vbool of bool
+  | Vstring of string
+  | Varray of t array
+
+val of_const : Commset_ir.Ir.const -> t
+
+(** The [to_*] projections raise a diagnostic naming [what] on a type
+    mismatch. *)
+val to_int : ?what:string -> t -> int
+
+val to_float : ?what:string -> t -> float
+val to_bool : ?what:string -> t -> bool
+val to_string_val : ?what:string -> t -> string
+val to_array : ?what:string -> t -> t array
+val pp : Format.formatter -> t -> unit
+val to_display_string : t -> string

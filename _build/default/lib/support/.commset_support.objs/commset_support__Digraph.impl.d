@@ -1,0 +1,1 @@
+lib/support/digraph.ml: Hashtbl List

@@ -1,0 +1,31 @@
+(** Compiler diagnostics: errors and warnings carrying source locations.
+
+    All front-end and analysis failures are reported through [error], which
+    raises [Error]. Drivers catch it once at the top level. *)
+
+type severity = Error_sev | Warning_sev
+
+type diagnostic = { severity : severity; loc : Loc.t; message : string }
+
+exception Error of diagnostic
+
+let diagnostic severity loc message = { severity; loc; message }
+
+let error ?(loc = Loc.dummy) fmt =
+  Format.kasprintf (fun message -> raise (Error (diagnostic Error_sev loc message))) fmt
+
+let errorf = error
+
+let pp_severity ppf = function
+  | Error_sev -> Fmt.string ppf "error"
+  | Warning_sev -> Fmt.string ppf "warning"
+
+let pp ppf d = Fmt.pf ppf "%a: %a: %s" Loc.pp d.loc pp_severity d.severity d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+(** [guard f] runs [f ()] and converts a raised diagnostic into [Error]. *)
+let guard f = match f () with v -> Ok v | exception Error d -> (Error d : ('a, diagnostic) result)
+
+(** [message_of_exn e] renders a diagnostic exception for test assertions. *)
+let message_of_exn = function Error d -> Some d.message | _ -> None

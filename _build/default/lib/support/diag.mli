@@ -1,0 +1,27 @@
+(** Compiler diagnostics: errors and warnings carrying source locations.
+
+    All front-end and analysis failures are reported through {!error},
+    which raises {!Error}; drivers catch it once at the top level. *)
+
+type severity = Error_sev | Warning_sev
+
+type diagnostic = { severity : severity; loc : Loc.t; message : string }
+
+exception Error of diagnostic
+
+val diagnostic : severity -> Loc.t -> string -> diagnostic
+
+(** [error ~loc fmt ...] raises {!Error} with the formatted message. *)
+val error : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val errorf : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val pp_severity : Format.formatter -> severity -> unit
+val pp : Format.formatter -> diagnostic -> unit
+val to_string : diagnostic -> string
+
+(** [guard f] runs [f ()] and converts a raised diagnostic into [Error]. *)
+val guard : (unit -> 'a) -> ('a, diagnostic) result
+
+(** [message_of_exn e] renders a diagnostic exception for test assertions. *)
+val message_of_exn : exn -> string option

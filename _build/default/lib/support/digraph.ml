@@ -1,0 +1,111 @@
+(** A small directed-graph library used for call graphs, COMMSET graphs and
+    DAG-SCC construction.
+
+    Nodes are arbitrary values compared with structural equality and hashed
+    with [Hashtbl.hash]. Node and successor orders are insertion orders, so
+    every traversal below is deterministic for a deterministic build
+    sequence. *)
+
+type 'a t = {
+  mutable order : 'a list;  (** nodes in reverse insertion order *)
+  succ : ('a, 'a list ref) Hashtbl.t;  (** successor lists, reverse order *)
+  pred : ('a, 'a list ref) Hashtbl.t;
+}
+
+let create () = { order = []; succ = Hashtbl.create 32; pred = Hashtbl.create 32 }
+
+let mem t n = Hashtbl.mem t.succ n
+
+let add_node t n =
+  if not (mem t n) then begin
+    t.order <- n :: t.order;
+    Hashtbl.add t.succ n (ref []);
+    Hashtbl.add t.pred n (ref [])
+  end
+
+let add_edge t a b =
+  add_node t a;
+  add_node t b;
+  let sa = Hashtbl.find t.succ a in
+  if not (List.mem b !sa) then begin
+    sa := b :: !sa;
+    let pb = Hashtbl.find t.pred b in
+    pb := a :: !pb
+  end
+
+let nodes t = List.rev t.order
+let succs t n = match Hashtbl.find_opt t.succ n with Some l -> List.rev !l | None -> []
+let preds t n = match Hashtbl.find_opt t.pred n with Some l -> List.rev !l | None -> []
+let has_edge t a b = match Hashtbl.find_opt t.succ a with Some l -> List.mem b !l | None -> false
+let n_nodes t = List.length t.order
+let n_edges t = Hashtbl.fold (fun _ l acc -> acc + List.length !l) t.succ 0
+
+(** Nodes reachable from [start], including [start] itself. *)
+let reachable t start =
+  let seen = Hashtbl.create 16 in
+  let rec go n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      List.iter go (succs t n)
+    end
+  in
+  if mem t start then go start;
+  List.filter (Hashtbl.mem seen) (nodes t)
+
+(** [reaches t a b]: is there a path (length >= 1) from [a] to [b]? *)
+let reaches t a b = List.exists (fun n -> n = b) (List.concat_map (reachable t) (succs t a))
+
+(** Tarjan's strongly connected components, returned in reverse topological
+    order of the condensation (i.e. an SCC appears before its
+    predecessors). Each component lists nodes in discovery order. *)
+let sccs t =
+  let index = Hashtbl.create 32 in
+  let lowlink = Hashtbl.create 32 in
+  let on_stack = Hashtbl.create 32 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs t v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) (nodes t);
+  List.rev !components
+
+(** A graph has a cycle iff some SCC has more than one node or a self edge. *)
+let has_cycle t =
+  List.exists
+    (function [ n ] -> has_edge t n n | _ :: _ :: _ -> true | [] -> false)
+    (sccs t)
+
+(** Topological order of an acyclic graph; [None] when cyclic. *)
+let topo_sort t =
+  if has_cycle t then None
+  else begin
+    let comps = sccs t in
+    (* each SCC is a singleton here; Tarjan emits reverse topological order *)
+    Some (List.rev (List.concat comps))
+  end

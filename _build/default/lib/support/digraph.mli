@@ -1,0 +1,40 @@
+(** A small directed-graph library used for call graphs, COMMSET graphs
+    and DAG-SCC construction.
+
+    Nodes are arbitrary values compared with structural equality. Node and
+    successor orders follow insertion order, so every traversal is
+    deterministic for a deterministic build sequence. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val mem : 'a t -> 'a -> bool
+val add_node : 'a t -> 'a -> unit
+
+(** [add_edge g a b] adds both endpoints if needed; duplicate edges are
+    ignored. *)
+val add_edge : 'a t -> 'a -> 'a -> unit
+
+val nodes : 'a t -> 'a list
+val succs : 'a t -> 'a -> 'a list
+val preds : 'a t -> 'a -> 'a list
+val has_edge : 'a t -> 'a -> 'a -> bool
+val n_nodes : 'a t -> int
+val n_edges : 'a t -> int
+
+(** Nodes reachable from the start node, including itself. *)
+val reachable : 'a t -> 'a -> 'a list
+
+(** [reaches g a b]: is there a path of length >= 1 from [a] to [b]? *)
+val reaches : 'a t -> 'a -> 'a -> bool
+
+(** Tarjan's strongly connected components, in reverse topological order
+    of the condensation (an SCC appears after every SCC it points to). *)
+val sccs : 'a t -> 'a list list
+
+(** A graph has a cycle iff some SCC has more than one node or a self
+    edge. *)
+val has_cycle : 'a t -> bool
+
+(** Topological order of an acyclic graph; [None] when cyclic. *)
+val topo_sort : 'a t -> 'a list option

@@ -1,0 +1,21 @@
+(** Deterministic fresh-name generation.
+
+    Each [t] is an independent counter namespace, so separate compiler
+    pipelines produce identical names for identical inputs — a property
+    the golden tests rely on. *)
+
+type t = { prefix : string; mutable next : int }
+
+let create ?(prefix = "t") () = { prefix; next = 0 }
+
+let fresh t =
+  let n = t.next in
+  t.next <- n + 1;
+  Printf.sprintf "%s%d" t.prefix n
+
+let fresh_named t base =
+  let n = t.next in
+  t.next <- n + 1;
+  Printf.sprintf "%s.%d" base n
+
+let reset t = t.next <- 0

@@ -1,0 +1,14 @@
+(** Deterministic fresh-name generation; each [t] is an independent
+    counter namespace, so identical pipelines produce identical names. *)
+
+type t
+
+val create : ?prefix:string -> unit -> t
+
+(** [fresh t] is ["<prefix><n>"] for the next counter value. *)
+val fresh : t -> string
+
+(** [fresh_named t base] is ["<base>.<n>"]. *)
+val fresh_named : t -> string -> string
+
+val reset : t -> unit

@@ -1,0 +1,62 @@
+(** List helpers shared across the compiler; only what the stdlib lacks. *)
+
+(** [index_of p xs] is the 0-based index of the first element satisfying
+    [p], if any. *)
+let index_of p xs =
+  let rec loop i = function
+    | [] -> None
+    | x :: rest -> if p x then Some i else loop (i + 1) rest
+  in
+  loop 0 xs
+
+(** [take n xs] is the first [n] elements of [xs] (all of [xs] if shorter). *)
+let take n xs =
+  let rec loop n acc = function
+    | x :: rest when n > 0 -> loop (n - 1) (x :: acc) rest
+    | _ -> List.rev acc
+  in
+  loop n [] xs
+
+(** [drop n xs] is [xs] without its first [n] elements. *)
+let rec drop n xs = match xs with _ :: rest when n > 0 -> drop (n - 1) rest | _ -> xs
+
+(** [uniq xs] removes duplicates, keeping first occurrences, preserving order. *)
+let uniq xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+(** All unordered pairs of distinct positions of [xs]. *)
+let pairs xs =
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | x :: rest -> loop (List.rev_append (List.map (fun y -> (x, y)) rest) acc) rest
+  in
+  loop [] xs
+
+(** [sum f xs] folds integer measure [f] over [xs]. *)
+let sum f xs = List.fold_left (fun acc x -> acc + f x) 0 xs
+
+let sum_float f xs = List.fold_left (fun acc x -> acc +. f x) 0. xs
+
+(** [group_by key xs] buckets [xs] by [key], preserving insertion order of
+    both buckets and bucket members. *)
+let group_by key xs =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      let k = key x in
+      match Hashtbl.find_opt tbl k with
+      | Some bucket -> Hashtbl.replace tbl k (x :: bucket)
+      | None ->
+          order := k :: !order;
+          Hashtbl.add tbl k [ x ])
+    xs;
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find tbl k))) !order

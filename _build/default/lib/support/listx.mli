@@ -1,0 +1,26 @@
+(** List helpers shared across the compiler; only what the stdlib lacks. *)
+
+(** [index_of p xs] is the 0-based index of the first element satisfying
+    [p], if any. *)
+val index_of : ('a -> bool) -> 'a list -> int option
+
+(** [take n xs] is the first [n] elements of [xs] (all of [xs] if shorter). *)
+val take : int -> 'a list -> 'a list
+
+(** [drop n xs] is [xs] without its first [n] elements. *)
+val drop : int -> 'a list -> 'a list
+
+(** [uniq xs] removes duplicates, keeping first occurrences in order. *)
+val uniq : 'a list -> 'a list
+
+(** All unordered pairs of distinct positions of the input. *)
+val pairs : 'a list -> ('a * 'a) list
+
+(** [sum f xs] folds the integer measure [f] over [xs]. *)
+val sum : ('a -> int) -> 'a list -> int
+
+val sum_float : ('a -> float) -> 'a list -> float
+
+(** [group_by key xs] buckets [xs] by [key], preserving insertion order of
+    both buckets and bucket members. *)
+val group_by : ('a -> 'b) -> 'a list -> ('b * 'a list) list

@@ -1,0 +1,45 @@
+(** Source locations for miniC programs.
+
+    A location is a half-open span [(start, stop))] within a named source
+    buffer. Lines and columns are 1-based; [offset] is the 0-based byte
+    offset used for slicing the original text when reporting. *)
+
+type position = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+  offset : int;  (** 0-based byte offset in the buffer *)
+}
+
+type t = {
+  file : string;  (** logical name of the source buffer *)
+  start_pos : position;
+  end_pos : position;
+}
+
+let dummy_position = { line = 0; col = 0; offset = 0 }
+let dummy = { file = "<none>"; start_pos = dummy_position; end_pos = dummy_position }
+let is_dummy t = t.file = "<none>"
+
+let make ~file ~start_pos ~end_pos = { file; start_pos; end_pos }
+
+let position ~line ~col ~offset = { line; col; offset }
+
+(** [merge a b] spans from the start of [a] to the end of [b]. The file of
+    [a] wins; merging with a dummy location returns the other location. *)
+let merge a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else { a with end_pos = b.end_pos }
+
+let line t = t.start_pos.line
+let column t = t.start_pos.col
+
+let pp ppf t =
+  if is_dummy t then Fmt.string ppf "<unknown>"
+  else if t.start_pos.line = t.end_pos.line then
+    Fmt.pf ppf "%s:%d:%d-%d" t.file t.start_pos.line t.start_pos.col t.end_pos.col
+  else
+    Fmt.pf ppf "%s:%d:%d-%d:%d" t.file t.start_pos.line t.start_pos.col t.end_pos.line
+      t.end_pos.col
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,30 @@
+(** Source locations for miniC programs.
+
+    A location is a half-open span within a named source buffer. Lines
+    and columns are 1-based; [offset] is a 0-based byte offset. *)
+
+type position = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+  offset : int;  (** 0-based byte offset in the buffer *)
+}
+
+type t = { file : string; start_pos : position; end_pos : position }
+
+val dummy_position : position
+
+(** The location used when no source position is known. *)
+val dummy : t
+
+val is_dummy : t -> bool
+val make : file:string -> start_pos:position -> end_pos:position -> t
+val position : line:int -> col:int -> offset:int -> position
+
+(** [merge a b] spans from the start of [a] to the end of [b]; merging
+    with a dummy location returns the other location. *)
+val merge : t -> t -> t
+
+val line : t -> int
+val column : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

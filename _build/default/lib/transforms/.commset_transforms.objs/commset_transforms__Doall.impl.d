@@ -1,0 +1,1 @@
+lib/transforms/doall.ml: Array Commset_pdg Commset_runtime List Plan Printf Sync

@@ -1,0 +1,1 @@
+lib/transforms/doall.mli: Commset_pdg Commset_runtime Plan Sync

@@ -1,0 +1,1 @@
+lib/transforms/dswp.ml: Array Commset_pdg Commset_runtime Commset_support Hashtbl List Listx Plan Printf String Sync

@@ -1,0 +1,1 @@
+lib/transforms/dswp.mli: Commset_pdg Commset_runtime Plan Sync

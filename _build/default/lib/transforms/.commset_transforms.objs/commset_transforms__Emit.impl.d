@@ -1,0 +1,1 @@
+lib/transforms/emit.ml: Array Commset_analysis Commset_pdg Commset_runtime Fmt Hashtbl List Option Plan

@@ -1,0 +1,1 @@
+lib/transforms/emit.mli: Commset_pdg Commset_runtime Plan

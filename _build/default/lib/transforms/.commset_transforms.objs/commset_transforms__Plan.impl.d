@@ -1,0 +1,1 @@
+lib/transforms/plan.ml: Commset_runtime Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/transforms/plan.mli: Commset_runtime Hashtbl

@@ -1,0 +1,1 @@
+lib/transforms/spec.ml: Array Commset_core Commset_ir Commset_pdg Commset_runtime Commset_support Diag Doall Hashtbl List Plan Sync

@@ -1,0 +1,1 @@
+lib/transforms/spec.mli: Commset_core Commset_pdg Commset_runtime Plan Sync

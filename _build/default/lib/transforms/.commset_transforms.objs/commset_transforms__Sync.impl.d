@@ -1,0 +1,1 @@
+lib/transforms/sync.ml: Array Commset_analysis Commset_core Commset_ir Commset_pdg Commset_runtime Hashtbl List Option

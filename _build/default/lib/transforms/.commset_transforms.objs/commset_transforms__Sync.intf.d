@@ -1,0 +1,1 @@
+lib/transforms/sync.mli: Commset_analysis Commset_core Commset_pdg Commset_runtime Hashtbl

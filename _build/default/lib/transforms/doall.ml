@@ -1,0 +1,61 @@
+(** The DOALL transform (paper §4.5): statically schedules iterations
+    round-robin onto threads. Applicable when, after applying the
+    commutativity annotations ([uco] edges erased, carried [ico] edges
+    demoted to intra-iteration), the only remaining loop-carried
+    dependences belong to the replicated loop-control slice (induction
+    update and exit test). *)
+
+module Pdg = Commset_pdg.Pdg
+module Reduction = Commset_pdg.Reduction
+
+type verdict = Applicable | Blocked of Pdg.edge list
+
+let applicability ?(reductions = []) (pdg : Pdg.t) : verdict =
+  let blocking =
+    List.filter
+      (fun (e : Pdg.edge) ->
+        e.Pdg.carried
+        && (let src = pdg.Pdg.nodes.(e.Pdg.esrc) in
+            (* carried edges out of the replicated loop-control slice feed
+               each thread's private copy of the induction state *)
+            not src.Pdg.loop_control)
+        && not (Reduction.edge_exempt reductions e)
+        (* a recognized reduction runs on per-thread private accumulators
+           combined after the loop *))
+      (Pdg.effective_edges pdg)
+  in
+  if blocking = [] then Applicable else Blocked blocking
+
+let applicable ?reductions pdg = applicability ?reductions pdg = Applicable
+
+(** Build DOALL plans (one per synchronization variant) for [threads]. *)
+let plans ?(reductions = []) (sync : Sync.t) (trace : Commset_runtime.Trace.t) (pdg : Pdg.t)
+    ~threads ~uses_commset : Plan.t list =
+  if not (applicable ~reductions pdg) then []
+  else begin
+    (* did the reductions matter? (for labelling only) *)
+    let needed_reductions = not (applicable pdg) in
+    let mk variant =
+      let name =
+        Printf.sprintf "%sDOALL%s + %s"
+          (if uses_commset then "Comm-" else "")
+          (if needed_reductions then "(red)" else "")
+          (Plan.sync_variant_to_string variant)
+      in
+      {
+        Plan.shape = Plan.Sdoall;
+        threads;
+        variant;
+        node_locks = sync.Sync.node_locks;
+        uses_commset;
+        label = name;
+        series = name;
+        spec_ctx = None;
+      }
+    in
+    if not (Sync.any_compiler_locks sync) then [ mk Plan.Lib ]
+    else begin
+      let base = [ mk Plan.Mutex; mk Plan.Spin ] in
+      if Sync.tm_applicable sync trace then base @ [ mk Plan.Tm ] else base
+    end
+  end

@@ -1,0 +1,28 @@
+(** The DOALL transform (§4.5): applicable when, after applying the
+    commutativity annotations, the only remaining loop-carried dependences
+    belong to the replicated loop-control slice. *)
+
+module Pdg = Commset_pdg.Pdg
+
+module Reduction = Commset_pdg.Reduction
+
+type verdict = Applicable | Blocked of Pdg.edge list
+
+(** Recognized reductions run on per-thread private accumulators and do
+    not block DOALL. *)
+val applicability : ?reductions:Reduction.t list -> Pdg.t -> verdict
+
+val applicable : ?reductions:Reduction.t list -> Pdg.t -> bool
+
+(** DOALL plans for the given thread count, one per applicable
+    synchronization variant (Lib when no compiler lock is needed;
+    otherwise mutex, spin and — when every locked member is revocable —
+    TM). *)
+val plans :
+  ?reductions:Reduction.t list ->
+  Sync.t ->
+  Commset_runtime.Trace.t ->
+  Pdg.t ->
+  threads:int ->
+  uses_commset:bool ->
+  Plan.t list

@@ -1,0 +1,39 @@
+(** The DSWP family of transforms (§4.5): the annotated PDG's DAG-SCC is
+    linearized with a replicable-first priority topological sort and
+    partitioned into pipeline stages — balanced sequential stages for
+    DSWP, maximal replicable runs as parallel stages for PS-DSWP (with a
+    second variant that forces synchronization-heavy SCCs sequential).
+    Loop-control SCCs are replicated into every stage. *)
+
+module Pdg = Commset_pdg.Pdg
+module Scc = Commset_pdg.Scc
+
+(** Balanced sequential pipelines with at most [threads] stages. *)
+val dswp_plans :
+  Pdg.t ->
+  Sync.t ->
+  Scc.t ->
+  Commset_runtime.Trace.t ->
+  threads:int ->
+  uses_commset:bool ->
+  Plan.t list
+
+(** PS-DSWP plans (both stage-assignment variants, deduplicated). *)
+val psdswp_plans :
+  Pdg.t ->
+  Sync.t ->
+  Scc.t ->
+  Commset_runtime.Trace.t ->
+  threads:int ->
+  uses_commset:bool ->
+  Plan.t list
+
+(** All pipeline plans. *)
+val plans :
+  Pdg.t ->
+  Sync.t ->
+  Scc.t ->
+  Commset_runtime.Trace.t ->
+  threads:int ->
+  uses_commset:bool ->
+  Plan.t list

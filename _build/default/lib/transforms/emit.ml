@@ -1,0 +1,294 @@
+(** Emission: turn a {!Plan.t} plus the sequential {!Trace.t} into
+    per-thread segment lists for the discrete-event simulator.
+
+    This is the multi-threaded code generation step of the paper's
+    compiler, at trace granularity: DOALL distributes iterations
+    round-robin; (PS-)DSWP assigns each pipeline stage its thread(s),
+    replicates the loop-control slice into every stage, and connects
+    communicating stages with bounded queues (one queue per
+    producer/consumer thread pair, tokens in iteration order).
+
+    Synchronization emission per node instance:
+    - Mutex / Spin variants: acquire the node's commset locks in global
+      rank order around the whole member (plus library-internal locks
+      around thread-safe builtins — those exist in every variant);
+    - TM variant: locked members execute as transactions over the node's
+      abstract read/write sets;
+    - Lib variant: no compiler locks (legal only when commset atomicity
+      is already provided by thread-safe libraries, nosync assertions, or
+      a single sequential stage). *)
+
+module Pdg = Commset_pdg.Pdg
+module Effects = Commset_analysis.Effects
+module Trace = Commset_runtime.Trace
+module Sim = Commset_runtime.Sim
+module Costmodel = Commset_runtime.Costmodel
+
+
+type t = {
+  seg_lists : Sim.seg list array;
+  locks : Sim.lock_spec array;
+  n_queues : int;
+}
+
+type lock_registry = {
+  mutable specs : Sim.lock_spec list;  (** reverse order *)
+  ids : (string, int) Hashtbl.t;
+}
+
+let lock_id reg name flavor =
+  match Hashtbl.find_opt reg.ids name with
+  | Some id -> id
+  | None ->
+      let id = Hashtbl.length reg.ids in
+      Hashtbl.replace reg.ids name id;
+      reg.specs <- { Sim.lflavor = flavor; lname = name } :: reg.specs;
+      id
+
+let loc_strings set =
+  List.map (fun l -> Fmt.str "%a" Effects.pp_location l) (Effects.LocSet.elements set)
+
+(* segments for one node instance *)
+let node_segs ~(plan : Plan.t) ~(pdg : Pdg.t) ~reg (e : Trace.node_exec) : Sim.seg list =
+  let node = pdg.Pdg.nodes.(e.Trace.nid) in
+  let tag = Pdg.node_name pdg node in
+  let atoms = Trace.exec_atoms e in
+  let locks =
+    match plan.Plan.variant with
+    | Plan.Lib -> []
+    | _ -> Option.value ~default:[] (Hashtbl.find_opt plan.Plan.node_locks e.Trace.nid)
+  in
+  let flavor =
+    match plan.Plan.variant with
+    | Plan.Mutex -> Costmodel.Mutex
+    | Plan.Spin | Plan.Spec -> Costmodel.Spin
+    | Plan.Tm | Plan.Lib -> Costmodel.Spin (* unused for Lib; TM handled below *)
+  in
+  let speculated =
+    match (plan.Plan.variant, plan.Plan.spec_ctx) with
+    | Plan.Spec, Some ctx -> Hashtbl.find_opt ctx.Plan.sc_members e.Trace.nid
+    | _ -> None
+  in
+  match speculated with
+  | Some member ->
+      (* runtime-checked commutativity: the whole member instance runs as
+         a speculative transaction carrying its predicate actuals *)
+      let ctx = Option.get plan.Plan.spec_ctx in
+      let cost =
+        !Costmodel.tx_instrumentation_factor
+        *. List.fold_left (fun acc a -> acc +. Trace.atom_cost a) 0. atoms
+      in
+      let outputs = List.filter_map (function Trace.Aout s -> Some s | _ -> None) atoms in
+      let keys =
+        List.map (ctx.Plan.sc_resolve e.Trace.nid) (Trace.exec_actuals e)
+      in
+      [
+        Sim.Tx
+          {
+            cost;
+            reads = loc_strings node.Pdg.rw.Effects.reads;
+            writes = loc_strings node.Pdg.rw.Effects.writes;
+            outputs;
+            tag;
+            spec = Some { Sim.sp_member = member; sp_keys = keys };
+          };
+      ]
+  | None ->
+  if plan.Plan.variant = Plan.Tm && locks <> [] then begin
+    (* one transaction covering the whole member; read/write-set
+       instrumentation inflates the code inside the transaction *)
+    let cost =
+      !Costmodel.tx_instrumentation_factor
+      *. List.fold_left (fun acc a -> acc +. Trace.atom_cost a) 0. atoms
+    in
+    let outputs =
+      List.filter_map (function Trace.Aout s -> Some s | _ -> None) atoms
+    in
+    [
+      Sim.Tx
+        {
+          cost;
+          reads = loc_strings node.Pdg.rw.Effects.reads;
+          writes = loc_strings node.Pdg.rw.Effects.writes;
+          outputs;
+          tag;
+          spec = None;
+        };
+    ]
+  end
+  else begin
+    let acquires = List.map (fun set -> Sim.Acquire (lock_id reg ("cs:" ^ set) flavor)) locks in
+    let releases =
+      List.rev_map (fun set -> Sim.Release (lock_id reg ("cs:" ^ set) flavor)) locks
+    in
+    let body =
+      List.concat_map
+        (fun atom ->
+          match atom with
+          | Trace.Acompute c -> [ Sim.Compute { cost = c; tag } ]
+          | Trace.Aout s -> [ Sim.Emit s ]
+          | Trace.Abuiltin { cost; resources; thread_safe; _ } ->
+              if thread_safe && resources <> [] && locks = [] then begin
+                (* library-internal serialization *)
+                let rls =
+                  List.map (fun r -> lock_id reg ("lib:" ^ r) Costmodel.Libsafe) resources
+                in
+                List.map (fun l -> Sim.Acquire l) rls
+                @ [ Sim.Compute { cost; tag } ]
+                @ List.rev_map (fun l -> Sim.Release l) rls
+              end
+              else [ Sim.Compute { cost; tag } ])
+        atoms
+    in
+    acquires @ body @ releases
+  end
+
+(* ------------------------------------------------------------------ *)
+(* DOALL                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let emit_doall ~plan ~pdg ~(trace : Trace.t) ~reg : Sim.seg list array =
+  let threads = plan.Plan.threads in
+  let n = Trace.n_iterations trace in
+  Array.init threads (fun t ->
+      let segs = ref [] in
+      let i = ref t in
+      while !i < n do
+        List.iter
+          (fun e -> segs := List.rev_append (node_segs ~plan ~pdg ~reg e) !segs)
+          (Trace.iteration_execs trace.Trace.iterations.(!i));
+        i := !i + threads
+      done;
+      List.rev !segs)
+
+(* ------------------------------------------------------------------ *)
+(* DSWP / PS-DSWP                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type pipeline_layout = {
+  stage_of_node : (int, int) Hashtbl.t;  (** non-control node -> stage index *)
+  stage_threads : int array array;  (** stage index -> thread ids *)
+  n_threads : int;
+  comm_pairs : (int * int) list;  (** communicating stage index pairs, s1 < s2 *)
+}
+
+let layout_of_stages (pdg : Pdg.t) (stages : Plan.stage list) : pipeline_layout =
+  let stage_of_node = Hashtbl.create 32 in
+  List.iteri
+    (fun si (s : Plan.stage) ->
+      List.iter (fun nid -> Hashtbl.replace stage_of_node nid si) s.Plan.snodes)
+    stages;
+  let next_thread = ref 0 in
+  let stage_threads =
+    Array.of_list
+      (List.map
+         (fun (s : Plan.stage) ->
+           Array.init s.Plan.sthreads (fun _ ->
+               let t = !next_thread in
+               incr next_thread;
+               t))
+         stages)
+  in
+  let comm = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Pdg.edge) ->
+      match
+        ( Hashtbl.find_opt stage_of_node e.Pdg.esrc,
+          Hashtbl.find_opt stage_of_node e.Pdg.edst )
+      with
+      | Some s1, Some s2 when s1 < s2 -> Hashtbl.replace comm (s1, s2) ()
+      | _ -> ())
+    (Pdg.effective_edges pdg);
+  (* adjacent stages always exchange an iteration token so that a stage
+     with no direct dependence still respects pipeline order of outputs *)
+  List.iteri
+    (fun si _ -> if si > 0 then Hashtbl.replace comm (si - 1, si) ())
+    stages;
+  {
+    stage_of_node;
+    stage_threads;
+    n_threads = !next_thread;
+    comm_pairs = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) comm []);
+  }
+
+(* the thread of [stage] that handles iteration [i] *)
+let thread_for (layout : pipeline_layout) stage i =
+  let ths = layout.stage_threads.(stage) in
+  ths.(i mod Array.length ths)
+
+let emit_pipeline ~plan ~(pdg : Pdg.t) ~(trace : Trace.t) ~reg (stages : Plan.stage list) :
+    Sim.seg list array * int =
+  let layout = layout_of_stages pdg stages in
+  let n = Trace.n_iterations trace in
+  let queue_ids : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let queue_id p c =
+    match Hashtbl.find_opt queue_ids (p, c) with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length queue_ids in
+        Hashtbl.replace queue_ids (p, c) id;
+        id
+  in
+  let segs = Array.make layout.n_threads [] in
+  let push_seg t s = segs.(t) <- s :: segs.(t) in
+  (* walk iterations in order, interleaving stage work per thread; the
+     per-thread lists stay in that thread's program order *)
+  for i = 0 to n - 1 do
+    let it = trace.Trace.iterations.(i) in
+    List.iteri
+      (fun si (_stage : Plan.stage) ->
+        let t = thread_for layout si i in
+        (* pops from upstream stages *)
+        List.iter
+          (fun (s1, s2) ->
+            if s2 = si then
+              let p = thread_for layout s1 i in
+              push_seg t (Sim.Pop (queue_id p t)))
+          layout.comm_pairs;
+        (* node executions of this stage (plus replicated loop control) *)
+        List.iter
+          (fun (e : Trace.node_exec) ->
+            let node = pdg.Pdg.nodes.(e.Trace.nid) in
+            let belongs =
+              node.Pdg.loop_control
+              || Hashtbl.find_opt layout.stage_of_node e.Trace.nid = Some si
+            in
+            if belongs then
+              List.iter (push_seg t) (node_segs ~plan ~pdg ~reg e))
+          (Trace.iteration_execs it);
+        (* pushes to downstream stages *)
+        List.iter
+          (fun (s1, s2) ->
+            if s1 = si then
+              let c = thread_for layout s2 i in
+              push_seg t (Sim.Push (queue_id t c)))
+          layout.comm_pairs)
+      stages
+  done;
+  (Array.map List.rev segs, Hashtbl.length queue_ids)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let emit ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t) : t =
+  let reg = { specs = []; ids = Hashtbl.create 16 } in
+  let seg_lists, n_queues =
+    match plan.Plan.shape with
+    | Plan.Sdoall -> (emit_doall ~plan ~pdg ~trace ~reg, 0)
+    | Plan.Sdswp stages -> emit_pipeline ~plan ~pdg ~trace ~reg stages
+  in
+  { seg_lists; locks = Array.of_list (List.rev reg.specs); n_queues }
+
+(** Simulate a plan; returns the simulator result plus the whole-program
+    makespan (loop makespan + the sequential non-loop cost). *)
+let simulate ?(record_timeline = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t) () :
+    Sim.result * float =
+  let emitted = emit ~plan ~pdg ~trace in
+  let spec_commutes = Option.map (fun c -> c.Plan.sc_commutes) plan.Plan.spec_ctx in
+  let sim =
+    Sim.create ?spec_commutes ~record_timeline ~locks:emitted.locks ~n_queues:emitted.n_queues
+      emitted.seg_lists
+  in
+  let result = Sim.run sim in
+  (result, result.Sim.makespan +. trace.Trace.other_cost)

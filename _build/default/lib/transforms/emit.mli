@@ -1,0 +1,23 @@
+(** Emission: turn a plan plus the sequential trace into per-thread
+    segment lists for the discrete-event simulator — the multi-threaded
+    code-generation step of the paper's compiler at trace granularity
+    (round-robin iterations for DOALL; per-stage threads, replicated loop
+    control, and bounded queues for the pipelines; locks / transactions /
+    library-internal serialization per synchronization variant). *)
+
+module Pdg = Commset_pdg.Pdg
+module Trace = Commset_runtime.Trace
+module Sim = Commset_runtime.Sim
+
+type t = {
+  seg_lists : Sim.seg list array;
+  locks : Sim.lock_spec array;
+  n_queues : int;
+}
+
+val emit : plan:Plan.t -> pdg:Pdg.t -> trace:Trace.t -> t
+
+(** Simulate a plan; returns the simulator result plus the whole-program
+    makespan (loop makespan + the sequential non-loop cost). *)
+val simulate :
+  ?record_timeline:bool -> plan:Plan.t -> pdg:Pdg.t -> trace:Trace.t -> unit -> Sim.result * float

@@ -1,0 +1,68 @@
+(** Parallelization plans: the output of the transforms, consumed by the
+    segment emitter and the simulator. *)
+
+type sync_variant = Mutex | Spin | Tm | Lib | Spec
+
+let sync_variant_to_string = function
+  | Mutex -> "Mutex"
+  | Spin -> "Spin"
+  | Tm -> "TM"
+  | Lib -> "Lib"
+  | Spec -> "Spec"
+
+type stage = {
+  snodes : int list;  (** PDG node ids (loop-control nodes excluded) *)
+  sparallel : bool;  (** can be replicated onto several threads *)
+  sthreads : int;  (** replicas assigned *)
+}
+
+type shape =
+  | Sdoall
+  | Sdswp of stage list  (** includes PS-DSWP when a stage has sthreads > 1 *)
+
+(** Runtime-checked (speculative) commutativity context, attached to
+    [Spec]-variant plans: which nodes run as speculative transactions,
+    how their recorded trace actuals resolve to per-set key values, and
+    the concrete commutativity check the simulator consults on
+    transaction-footprint overlap. *)
+type spec_ctx = {
+  sc_members : (int, string) Hashtbl.t;  (** node id -> member identity *)
+  sc_resolve :
+    int -> Commset_runtime.Trace.actuals -> (string * Commset_runtime.Value.t list) list;
+  sc_commutes :
+    Commset_runtime.Sim.spec_info -> Commset_runtime.Sim.spec_info -> bool;
+}
+
+type t = {
+  shape : shape;
+  threads : int;
+  variant : sync_variant;
+  node_locks : (int, string list) Hashtbl.t;
+      (** node id -> commset names whose locks it must hold, in rank order *)
+  uses_commset : bool;  (** did commutativity annotations enable this plan? *)
+  label : string;  (** full description, e.g. "Comm-PS-DSWP[DOALL:6|S] + Spin" *)
+  series : string;  (** thread-count-independent name for speedup curves *)
+  spec_ctx : spec_ctx option;  (** present on [Spec]-variant plans *)
+}
+
+let is_psdswp t =
+  match t.shape with
+  | Sdswp stages -> List.exists (fun s -> s.sthreads > 1) stages
+  | Sdoall -> false
+
+let shape_name t =
+  match t.shape with
+  | Sdoall -> "DOALL"
+  | Sdswp stages ->
+      if is_psdswp t then
+        Printf.sprintf "PS-DSWP[%s]"
+          (String.concat "|"
+             (List.map (fun s -> if s.sthreads > 1 then Printf.sprintf "P%d" s.sthreads else "S") stages))
+      else Printf.sprintf "DSWP[%d]" (List.length stages)
+
+let describe t =
+  Printf.sprintf "%s%s + %s (%d threads)"
+    (if t.uses_commset then "Comm-" else "")
+    (shape_name t)
+    (sync_variant_to_string t.variant)
+    t.threads

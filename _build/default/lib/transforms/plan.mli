@@ -1,0 +1,42 @@
+(** Parallelization plans: the output of the transforms, consumed by the
+    segment emitter and the simulator. *)
+
+type sync_variant = Mutex | Spin | Tm | Lib | Spec
+
+val sync_variant_to_string : sync_variant -> string
+
+type stage = {
+  snodes : int list;  (** PDG node ids (loop-control nodes excluded) *)
+  sparallel : bool;  (** can be replicated onto several threads *)
+  sthreads : int;  (** replicas assigned *)
+}
+
+type shape =
+  | Sdoall
+  | Sdswp of stage list  (** includes PS-DSWP when a stage has sthreads > 1 *)
+
+(** Runtime-checked (speculative) commutativity context, attached to
+    [Spec]-variant plans. *)
+type spec_ctx = {
+  sc_members : (int, string) Hashtbl.t;  (** node id -> member identity *)
+  sc_resolve :
+    int -> Commset_runtime.Trace.actuals -> (string * Commset_runtime.Value.t list) list;
+  sc_commutes :
+    Commset_runtime.Sim.spec_info -> Commset_runtime.Sim.spec_info -> bool;
+}
+
+type t = {
+  shape : shape;
+  threads : int;
+  variant : sync_variant;
+  node_locks : (int, string list) Hashtbl.t;
+      (** node id -> commset names whose locks it must hold, in rank order *)
+  uses_commset : bool;  (** did commutativity annotations enable this plan? *)
+  label : string;  (** full description, e.g. "Comm-PS-DSWP[DOALL:6|S] + Spin" *)
+  series : string;  (** thread-count-independent name for speedup curves *)
+  spec_ctx : spec_ctx option;  (** present on [Spec]-variant plans *)
+}
+
+val is_psdswp : t -> bool
+val shape_name : t -> string
+val describe : t -> string

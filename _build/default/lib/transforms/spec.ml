@@ -1,0 +1,124 @@
+(** The speculative DOALL transform: optimistic parallelism with
+    runtime-checked commutativity predicates.
+
+    When Algorithm 1 leaves loop-carried dependences that a *predicated*
+    commset covers but whose predicate the symbolic interpreter cannot
+    discharge (e.g. the actuals are data-dependent rather than affine in
+    the induction variable), the loop can still run as DOALL
+    *optimistically*: every member instance executes as a transaction
+    carrying its predicate actuals, and on a footprint overlap the
+    simulator evaluates the predicate concretely — commuting instances
+    proceed, non-commuting ones abort and retry. This is the runtime
+    checking the paper attributes to Galois and lists as future work for
+    COMMSET (§6). *)
+
+module Ir = Commset_ir.Ir
+module Pdg = Commset_pdg.Pdg
+module Metadata = Commset_core.Metadata
+module Dep_analysis = Commset_core.Dep_analysis
+module R = Commset_runtime
+open Commset_support
+
+(* member identity of a node, when it has commset memberships *)
+let member_of (md : Metadata.t) ~caller (n : Pdg.node) : string option =
+  match Metadata.facets md ~caller n with
+  | { Metadata.fmember; fsets = _ :: _; _ } :: _ -> Some (Metadata.member_to_string fmember)
+  | _ -> (
+      (* call nodes whose named facets carry the sets *)
+      match
+        List.find_opt
+          (fun (f : Metadata.facet) -> f.Metadata.fsets <> [])
+          (Metadata.facets md ~caller n)
+      with
+      | Some f -> Some (Metadata.member_to_string f.Metadata.fmember)
+      | None -> None)
+
+(* resolve a recorded trace actual to per-set key values *)
+let resolve (md : Metadata.t) (pdg : Pdg.t) nid (a : R.Trace.actuals) :
+    (string * R.Value.t list) list =
+  match a with
+  | R.Trace.Aregion_sets sets -> sets
+  | R.Trace.Acall_args (callee, argv) ->
+      ignore (pdg, nid);
+      List.map
+        (fun (set, indices) ->
+          ( set,
+            List.map
+              (fun idx ->
+                match List.nth_opt argv idx with
+                | Some v -> v
+                | None -> Diag.error "spec: interface actual index out of range")
+              indices ))
+        (Metadata.interface_refs md callee)
+
+(* runtime commutativity of two transactions: every instance pair must
+   share a set of the right kind whose predicate evaluates true (or that
+   is unpredicated) *)
+let commutes (md : Metadata.t) (s1 : R.Sim.spec_info) (s2 : R.Sim.spec_info) : bool =
+  let same_member = s1.R.Sim.sp_member = s2.R.Sim.sp_member in
+  let instance_pair_commutes keys1 keys2 =
+    List.exists
+      (fun (set, vals1) ->
+        match List.assoc_opt set keys2 with
+        | None -> false
+        | Some vals2 -> (
+            match Metadata.set_info md set with
+            | None -> false
+            | Some info -> (
+                let kind_ok =
+                  match (same_member, info.Metadata.kind) with
+                  | true, Metadata.Self_set | false, Metadata.Group_set -> true
+                  | true, Metadata.Group_set | false, Metadata.Self_set -> false
+                in
+                kind_ok
+                &&
+                match info.Metadata.predicate with
+                | None -> true
+                | Some p ->
+                    R.Concrete_eval.predicate_holds ~params1:p.Metadata.params1
+                      ~params2:p.Metadata.params2 ~actuals1:vals1 ~actuals2:vals2
+                      p.Metadata.body)))
+      keys1
+  in
+  List.for_all
+    (fun k1 -> List.for_all (fun k2 -> instance_pair_commutes k1 k2) s2.R.Sim.sp_keys)
+    s1.R.Sim.sp_keys
+
+let build_ctx (md : Metadata.t) (pdg : Pdg.t) : Plan.spec_ctx =
+  let caller = pdg.Pdg.func.Ir.fname in
+  let sc_members = Hashtbl.create 16 in
+  Array.iter
+    (fun n ->
+      match member_of md ~caller n with
+      | Some m -> Hashtbl.replace sc_members n.Pdg.nid m
+      | None -> ())
+    pdg.Pdg.nodes;
+  {
+    Plan.sc_members;
+    sc_resolve = (fun nid a -> resolve md pdg nid a);
+    sc_commutes = (fun s1 s2 -> commutes md s1 s2);
+  }
+
+(** Speculative DOALL plans: produced exactly when static DOALL is blocked
+    but every blocking dependence is covered by a runtime-checkable
+    predicate. *)
+let plans (md : Metadata.t) (sync : Sync.t) (pdg : Pdg.t) ~threads ~uses_commset : Plan.t list =
+  if not uses_commset then []
+  else
+    match Doall.applicability pdg with
+    | Doall.Applicable -> []
+    | Doall.Blocked edges ->
+        if edges <> [] && List.for_all (fun e -> Dep_analysis.speculable md pdg e) edges then
+          [
+            {
+              Plan.shape = Plan.Sdoall;
+              threads;
+              variant = Plan.Spec;
+              node_locks = sync.Sync.node_locks;
+              uses_commset;
+              label = "Comm-DOALL + Spec";
+              series = "Comm-DOALL + Spec";
+              spec_ctx = Some (build_ctx md pdg);
+            };
+          ]
+        else []

@@ -1,0 +1,18 @@
+(** The speculative DOALL transform: optimistic parallelism with
+    runtime-checked commutativity predicates — produced exactly when
+    static DOALL is blocked but every blocking dependence is covered by a
+    predicated commset (the runtime checking the paper attributes to
+    Galois and lists as future work, §6). *)
+
+module Pdg = Commset_pdg.Pdg
+module Metadata = Commset_core.Metadata
+
+(** The runtime commutativity check two transactions are subjected to on
+    footprint overlap: every instance pair must share a set of the right
+    kind whose predicate evaluates true (or that is unpredicated). *)
+val commutes :
+  Metadata.t -> Commset_runtime.Sim.spec_info -> Commset_runtime.Sim.spec_info -> bool
+
+val build_ctx : Metadata.t -> Pdg.t -> Plan.spec_ctx
+
+val plans : Metadata.t -> Sync.t -> Pdg.t -> threads:int -> uses_commset:bool -> Plan.t list

@@ -1,0 +1,36 @@
+(** The synchronization engine (§4.6): assigns each commset a lock ranked
+    by registration order and computes the commsets whose locks every PDG
+    node must hold. A commset needs no compiler lock when it is marked
+    COMMSETNOSYNC or when all member effects come from internally
+    thread-safe builtins (Lib mode). *)
+
+module Pdg = Commset_pdg.Pdg
+module Metadata = Commset_core.Metadata
+module Trace = Commset_runtime.Trace
+
+type set_sync = {
+  ss_name : string;
+  ss_rank : int;
+  ss_nosync : bool;
+  ss_lib_safe : bool;  (** all member effects come from thread-safe builtins *)
+}
+
+type t = {
+  md : Metadata.t;
+  set_sync : (string, set_sync) Hashtbl.t;
+  node_locks : (int, string list) Hashtbl.t;  (** compiler-locked sets per node, rank order *)
+  node_sets_all : (int, string list) Hashtbl.t;
+}
+
+val compute : Metadata.t -> Pdg.t -> Trace.t -> Commset_analysis.Privatization.t -> t
+
+(** Commsets whose locks the node must hold, in global rank order. *)
+val locks_of : t -> int -> string list
+
+val any_compiler_locks : t -> bool
+
+(** Are all locked members TM-safe (no irrevocable builtins, no output)? *)
+val tm_applicable : t -> Trace.t -> bool
+
+(** Empty assignment, for the non-COMMSET baseline plans. *)
+val none : Metadata.t -> t

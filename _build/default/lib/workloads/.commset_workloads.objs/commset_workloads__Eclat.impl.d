@@ -1,0 +1,1 @@
+lib/workloads/eclat.ml: Array Char Commset_runtime Printf String Workload

@@ -1,0 +1,1 @@
+lib/workloads/geti.ml: Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/md5sum.ml: Bytes Char Commset_runtime Printf Workload

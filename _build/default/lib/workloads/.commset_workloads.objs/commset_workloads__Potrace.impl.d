@@ -1,0 +1,1 @@
+lib/workloads/potrace.ml: Bytes Char Commset_runtime Printf Workload

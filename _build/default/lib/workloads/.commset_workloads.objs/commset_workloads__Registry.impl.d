@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Eclat Em3d Geti Hmmer Kmeans List Md5sum Potrace Url Workload

@@ -1,0 +1,1 @@
+lib/workloads/url.ml: Char Commset_runtime List Printf String Workload

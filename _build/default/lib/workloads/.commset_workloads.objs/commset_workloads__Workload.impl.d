@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Commset_runtime List String

@@ -1,0 +1,90 @@
+(** em3d — electromagnetic wave propagation, graph construction phase
+    (paper §5.4).
+
+    The outer loop chases a linked list of graph nodes (which defeats
+    DOALL), and the inner loop picks random neighbours through a common
+    RNG library with routines for several data types, all updating one
+    shared seed. Adding the four RNG routines to one Group commset plus
+    their own SELF sets (linear, not quadratic, specification) lets
+    PS-DSWP replicate the neighbour-selection stage. *)
+
+let n_nodes = 220
+let degree = 6
+
+let source =
+  Printf.sprintf
+    {|
+// em3d: bipartite graph construction
+#pragma commset decl RSET group
+
+#pragma commset member RSET, SELF
+int rand_int(int bound) {
+  return rng_int(bound);
+}
+
+#pragma commset member RSET, SELF
+int rand_range(int lo, int hi) {
+  return rng_range(lo, hi);
+}
+
+#pragma commset member RSET, SELF
+float rand_float() {
+  return rng_float();
+}
+
+#pragma commset member RSET, SELF
+float rand_gauss() {
+  return rng_gauss();
+}
+
+void main() {
+  int nnodes = %d;
+  int degree = %d;
+  graph_build_nodes(nnodes);
+  int node = graph_first();
+  while (node >= 0) {
+    int jitter = rand_int(7);
+    float bias = rand_gauss() * 0.01;
+    for (int j = 0; j < degree; j++) {
+      // redraw until the field-strength weight passes the quality bar;
+      // the retry loop ties each neighbour's numeric work to the RNG
+      int to = 0;
+      float w = 0.0;
+      bool ok = false;
+      while (!ok) {
+        to = rand_range(0, nnodes);
+        w = rand_float() + bias;
+        for (int r = 0; r < 26; r++) {
+          w = (w * 0.875) + fsqrt(fabs(w) + 0.125) * 0.25;
+        }
+        ok = w > 0.3;
+        if (to == (node + jitter) %% nnodes) {
+          ok = false;
+        }
+      }
+      graph_set_neighbor(node, j, to);
+      graph_set_weight(node, j, w);
+    }
+    node = graph_next(node);
+  }
+  print(graph_summary());
+}
+|}
+    n_nodes degree
+
+let workload : Workload.t =
+  {
+    Workload.wname = "em3d";
+    paper_name = "em3d";
+    description = "linked-list graph construction with a shared RNG library";
+    source;
+    variants = [];
+    setup = (fun _ -> ());
+    paper_best_scheme = "PS-DSWP + Lib";
+    paper_best_speedup = 5.8;
+    paper_annotations = 8;
+    paper_sloc = 464;
+    paper_loop_fraction = 0.97;
+    paper_features = [ "I"; "S"; "G" ];
+    paper_transforms = [ "DSWP"; "PS-DSWP" ];
+  }

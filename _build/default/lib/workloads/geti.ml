@@ -1,0 +1,157 @@
+(** GETI — greedy error-tolerant itemset mining (paper §5.2).
+
+    Each iteration builds a per-transaction itemset Bitmap, querying and
+    inserting items through the [SetBit]/[GetBit] interfaces, then pushes
+    the itemset into an STL-like vector and prints it. Annotations:
+
+    (a) bitmap constructor/destructor blocks commute on separate
+        iterations (predicated group + SELF);
+    (b) [SetBit]/[GetBit] are members of interface commsets predicated on
+        an owner argument (the paper's "changed interface" alternative,
+        §2), asserted synchronization-free with COMMSETNOSYNC (bit
+        operations on distinct owners' bitmaps);
+    (c) the vector-push + print block is context-sensitively marked
+        self-commutative in client code (set semantics of the output).
+
+    Determinism of the printed itemsets is regained by the PS-DSWP
+    schedule, whose sequential last stage emits them in order — the
+    paper's best scheme for this benchmark. *)
+
+let n_trans = 180
+let n_items = 10
+
+let source =
+  Printf.sprintf
+    {|
+// GETI: greedy error-tolerant itemsets
+#pragma commset decl BSET group
+#pragma commset decl BSELF self
+#pragma commset decl CSET group
+#pragma commset predicate BSET (o1) (o2) (o1 != o2)
+#pragma commset predicate BSELF (p1) (p2) (p1 != p2)
+#pragma commset predicate CSET (c1) (c2) (c1 != c2)
+#pragma commset nosync BSET
+#pragma commset nosync BSELF
+
+#pragma commset member BSET(owner), BSELF(owner)
+void SetBit(int owner, int bm, int key) {
+  bm_set(bm, key);
+}
+
+#pragma commset member BSET(owner), BSELF(owner)
+bool GetBit(int owner, int bm, int key) {
+  return bm_get(bm, key);
+}
+
+void main() {
+  int ntrans = %d;
+  int nitems = %d;
+  for (int i = 0; i < ntrans; i++) {
+    int items = (nitems / 2) + ((i * 7) %% nitems);
+    int bm = 0;
+    #pragma commset member CSET(i), SELF
+    {
+      bm = bm_new(1024);
+    }
+    int support = 0;
+    for (int j = 0; j < items; j++) {
+      int item = (i * 37 + j * j * 11) %% 1024;
+      SetBit(i, bm, item);
+      if (GetBit(i, bm, (item * 3 + j) %% 1024)) {
+        support = support + 1;
+      }
+      int err = (item * 13 + j) %% 97;
+      if (err < 48) {
+        support = support + 1;
+      }
+    }
+    #pragma commset member SELF
+    {
+      vec_push("itemset " + int_to_string(i));
+      print("itemset " + int_to_string(i) + " support " + int_to_string(support));
+    }
+    #pragma commset member CSET(i), SELF
+    {
+      bm_free(bm);
+    }
+  }
+  print("total itemsets " + int_to_string(vec_size()));
+}
+|}
+    n_trans n_items
+
+(* The [dynamic] variant predicates the per-transaction bitmap work on a
+   tag computed from the *data* (a hash), not the induction variable. The
+   symbolic interpreter cannot prove such predicates, so static DOALL is
+   blocked - but every blocking dependence is covered by a predicated
+   commset, so the speculative transform (runtime-checked predicates, the
+   paper's future-work direction) recovers the parallelism. *)
+let source_dynamic =
+  Printf.sprintf
+    {|
+// GETI, dynamic-tag variant: commutativity predicated on data
+#pragma commset decl BSET group
+#pragma commset decl BSELF self
+#pragma commset decl CSET group
+#pragma commset predicate BSET (o1) (o2) (o1 != o2)
+#pragma commset predicate BSELF (p1) (p2) (p1 != p2)
+#pragma commset predicate CSET (c1) (c2) (c1 != c2)
+
+void main() {
+  int ntrans = %d;
+  int nitems = %d;
+  for (int i = 0; i < ntrans; i++) {
+    int items = (nitems / 2) + ((i * 7) %% nitems);
+    // the tag comes from transaction data, not from the induction variable
+    int tag = str_hash("txn" + int_to_string(i * 13)) %% 100000;
+    int bm = 0;
+    #pragma commset member CSET(i), SELF
+    {
+      bm = bm_new(1024);
+    }
+    int support = 0;
+    #pragma commset member BSET(tag), BSELF(tag)
+    {
+      for (int j = 0; j < items; j++) {
+        int item = (tag * 37 + j * j * 11) %% 1024;
+        bm_set(bm, item);
+        if (bm_get(bm, (item * 3 + j) %% 1024)) {
+          support = support + 1;
+        }
+        int err = (item * 13 + j) %% 97;
+        if (err < 48) {
+          support = support + 1;
+        }
+      }
+    }
+    #pragma commset member SELF
+    {
+      vec_push("itemset " + int_to_string(i));
+      print("itemset " + int_to_string(i) + " support " + int_to_string(support));
+    }
+    #pragma commset member CSET(i), SELF
+    {
+      bm_free(bm);
+    }
+  }
+  print("total itemsets " + int_to_string(vec_size()));
+}
+|}
+    n_trans n_items
+
+let workload : Workload.t =
+  {
+    Workload.wname = "geti";
+    paper_name = "geti";
+    description = "error-tolerant itemset mining over per-transaction bitmaps";
+    source;
+    variants = [ ("dynamic", source_dynamic) ];
+    setup = (fun _ -> ());
+    paper_best_scheme = "PS-DSWP + Lib";
+    paper_best_speedup = 3.6;
+    paper_annotations = 11;
+    paper_sloc = 889;
+    paper_loop_fraction = 0.98;
+    paper_features = [ "PI"; "PC"; "C"; "I"; "S"; "G" ];
+    paper_transforms = [ "DOALL"; "PS-DSWP" ];
+  }

@@ -1,0 +1,113 @@
+(** 456.hmmer — biological sequence analysis (paper §5.1).
+
+    Every iteration generates a protein sequence via an RNG, scores it
+    with a dynamic-programming matrix from a shared allocator, folds the
+    score into a histogram, and frees the matrix. COMMSET annotations,
+    following the paper:
+
+    (a) the application's own RNG (a global-seed LCG) is in a SELF commset (any permutation of a random
+        sequence preserves the distribution);
+    (b) the histogram update block is self-commuting (an abstract SUM);
+    (c) the matrix allocation and deallocation blocks commute with
+        themselves and each other on separate iterations (a predicated
+        group + predicated self set). *)
+
+let n_seqs = 220
+let seq_len = 12
+let n_states = 7
+
+let source =
+  Printf.sprintf
+    {|
+// 456.hmmer: HMM sequence scoring
+#pragma commset decl AGROUP group
+#pragma commset decl ASELF self
+#pragma commset predicate AGROUP (a1) (a2) (a1 != a2)
+#pragma commset predicate ASELF (b1) (b2) (b1 != b2)
+
+int seed = 42;
+
+#pragma commset member SELF
+int gen_base(int bound) {
+  // the application's own linear congruential generator (sre_random):
+  // it updates a global seed, so it is NOT an internally-synchronized
+  // library and the compiler must lock it
+  seed = (seed * 25173 + 13849) %% 65536;
+  seed = (seed * 65 + 17) %% 65521;
+  seed = (seed * 9301 + 49297) %% 65536;
+  return seed %% bound;
+}
+
+float score_sequence(int[] seq, float[] mat, int states, int seqlen) {
+  for (int j = 0; j < seqlen; j++) {
+    for (int k = 0; k < states; k++) {
+      int idx = j * states + k;
+      float prev = 0.0;
+      if (j > 0) {
+        prev = mat[(j - 1) * states + ((k + seq[j]) %% states)];
+      }
+      float emit = int_to_float((seq[j] * 7 + k * 3) %% 13) / 13.0;
+      if (prev > emit) {
+        mat[idx] = prev + emit * 0.5;
+      } else {
+        mat[idx] = emit + prev * 0.5;
+      }
+    }
+  }
+  float best = 0.0;
+  for (int k = 0; k < states; k++) {
+    float v = mat[(seqlen - 1) * states + k];
+    if (v > best) {
+      best = v;
+    }
+  }
+  return best / int_to_float(seqlen);
+}
+
+void main() {
+  int nseqs = %d;
+  int seqlen = %d;
+  int states = %d;
+  for (int i = 0; i < nseqs; i++) {
+    // generated protein sequences vary in length
+    int len = (seqlen / 2) + ((i * 7) %% seqlen);
+    int[] seq = iarray(len);
+    for (int j = 0; j < len; j++) {
+      seq[j] = gen_base(20);
+    }
+    float[] mat = farray(1);
+    #pragma commset member AGROUP(i), ASELF(i)
+    {
+      mat = matrix_alloc(len * states);
+    }
+    float score = score_sequence(seq, mat, states, len);
+    #pragma commset member SELF
+    {
+      hist_add(score);
+    }
+    #pragma commset member AGROUP(i), ASELF(i)
+    {
+      matrix_free(mat);
+    }
+  }
+  print(hist_summary());
+}
+|}
+    n_seqs seq_len n_states
+
+let workload : Workload.t =
+  {
+    Workload.wname = "hmmer";
+    paper_name = "456.hmmer";
+    description = "HMM biosequence scoring with RNG, shared allocator, and histogram";
+    source;
+    variants = [];
+    setup = (fun _ -> ());
+    paper_best_scheme = "DOALL + Spin";
+    paper_best_speedup = 5.8;
+    paper_annotations = 9;
+    paper_sloc = 20658;
+    paper_loop_fraction = 0.99;
+    paper_features = [ "PC"; "C"; "I"; "S"; "G" ];
+    paper_transforms = [ "DOALL"; "PS-DSWP" ];
+  }

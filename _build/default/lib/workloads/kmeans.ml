@@ -1,0 +1,86 @@
+(** kmeans — clustering (paper §5.6, from STAMP).
+
+    The main loop finds each object's nearest cluster center (reading the
+    previous generation of centers) and accumulates the object into the
+    new center — the single loop-carried dependence. One SELF annotation
+    on the update block (the paper's single annotation for this
+    benchmark) breaks it. Lock contention on the update makes DOALL
+    degrade past ~5 threads, while the PS-DSWP variant that moves the
+    contended commutative update into a sequential stage keeps scaling —
+    the paper's headline insight for this benchmark. *)
+
+let n_objects = 320
+let n_clusters = 5
+let n_dims = 24
+
+let source =
+  Printf.sprintf
+    {|
+// kmeans: one assignment pass
+float[] objects;
+float[] old_centers;
+float[] new_centers;
+int[] member_count;
+
+void main() {
+  int nobjs = %d;
+  int k = %d;
+  int dims = %d;
+  objects = farray(nobjs * dims);
+  old_centers = farray(k * dims);
+  new_centers = farray(k * dims);
+  member_count = iarray(k);
+  afill_f(objects, 37, 100);
+  afill_f(old_centers, 53, 100);
+  for (int i = 0; i < nobjs; i++) {
+    int best = 0;
+    float best_dist = 1000000.0;
+    for (int c = 0; c < k; c++) {
+      float dist = 0.0;
+      for (int d = 0; d < dims; d++) {
+        float diff = objects[i * dims + d] - old_centers[c * dims + d];
+        dist = dist + diff * diff;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    #pragma commset member SELF
+    {
+      for (int d = 0; d < dims; d++) {
+        new_centers[best * dims + d] = new_centers[best * dims + d] + objects[i * dims + d];
+      }
+      member_count[best] = member_count[best] + 1;
+    }
+  }
+  float checksum = 0.0;
+  for (int x = 0; x < k * dims; x++) {
+    checksum = checksum + new_centers[x];
+  }
+  int members = 0;
+  for (int c = 0; c < k; c++) {
+    members = members + member_count[c];
+  }
+  print("kmeans members " + int_to_string(members));
+  print("kmeans checksum " + float_to_string(checksum));
+}
+|}
+    n_objects n_clusters n_dims
+
+let workload : Workload.t =
+  {
+    Workload.wname = "kmeans";
+    paper_name = "kmeans";
+    description = "nearest-center assignment with commutative center updates";
+    source;
+    variants = [];
+    setup = (fun _ -> ());
+    paper_best_scheme = "PS-DSWP";
+    paper_best_speedup = 5.2;
+    paper_annotations = 1;
+    paper_sloc = 516;
+    paper_loop_fraction = 0.99;
+    paper_features = [ "C"; "S" ];
+    paper_transforms = [ "DOALL"; "PS-DSWP" ];
+  }

@@ -1,0 +1,17 @@
+(** All eight evaluation workloads, in the paper's Table 2 order. *)
+
+let all : Workload.t list =
+  [
+    Md5sum.workload;
+    Hmmer.workload;
+    Geti.workload;
+    Eclat.workload;
+    Em3d.workload;
+    Potrace.workload;
+    Kmeans.workload;
+    Url.workload;
+  ]
+
+let find name = List.find_opt (fun w -> w.Workload.wname = name) all
+
+let names = List.map (fun w -> w.Workload.wname) all

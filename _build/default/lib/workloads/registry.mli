@@ -1,0 +1,5 @@
+(** All eight evaluation workloads, in the paper's Table 2 order. *)
+
+val all : Workload.t list
+val find : string -> Workload.t option
+val names : string list

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Commset_analysis Commset_ir Commset_lang Commset_runtime Hashtbl List LocSet Option QCheck QCheck_alcotest

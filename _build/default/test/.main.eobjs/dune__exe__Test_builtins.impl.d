@@ -1,0 +1,1 @@
+test/test_builtins.ml: Alcotest Commset_analysis Commset_ir Commset_lang Commset_runtime List

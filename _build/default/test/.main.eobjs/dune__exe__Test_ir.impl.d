@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Commset_ir Commset_lang Commset_runtime List Option

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Commset_lang Commset_runtime Commset_support Diag List Loc Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Commset_ir Commset_lang Commset_runtime Commset_support Diag List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Commset_runtime Commset_support Diag List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Commset_support Diag Digraph Gensym Hashtbl List Listx Loc Option QCheck QCheck_alcotest

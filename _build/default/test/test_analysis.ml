@@ -1,0 +1,373 @@
+(** Tests for the analysis library: dominance, post-dominance, natural
+    loops, reaching definitions, induction variables, effects/provenance,
+    privatization, purity, and the symbolic predicate interpreter. *)
+
+module L = Commset_lang
+module Ir = Commset_ir.Ir
+module A = Commset_analysis
+module R = Commset_runtime
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let compile src =
+  let ast = L.Parser.parse_program ~file:"<test>" src in
+  let _ = L.Typecheck.check ~externs:R.Builtins.extern_sigs ast in
+  Commset_ir.Lower.lower_program ast
+
+let analyses prog name =
+  let func = Option.get (Ir.find_func prog name) in
+  let cfg = A.Cfg.of_func func in
+  let dom = A.Dominance.compute cfg in
+  let loops = A.Loops.compute cfg dom in
+  (func, cfg, dom, loops)
+
+let loop_src =
+  "void main() { for (int i = 0; i < 9; i++) { if (i > 4) { print(\"hi\"); } } }"
+
+(* ---- dominance ---- *)
+
+let test_dominance () =
+  let prog = compile loop_src in
+  let _f, cfg, dom, _ = analyses prog "main" in
+  let labels = A.Cfg.reachable_labels cfg in
+  (* entry dominates everything; every node dominates itself *)
+  List.iter
+    (fun l ->
+      check Alcotest.bool "entry dominates" true (A.Dominance.dominates dom 0 l);
+      check Alcotest.bool "reflexive" true (A.Dominance.dominates dom l l))
+    labels;
+  (* the loop header dominates the body and latch *)
+  check Alcotest.bool "header dominates body" true (A.Dominance.dominates dom 1 2);
+  check Alcotest.bool "body does not dominate header" false (A.Dominance.dominates dom 2 1);
+  (* dominators chain is consistent with idom *)
+  List.iter
+    (fun l ->
+      match A.Dominance.idom dom l with
+      | Some d -> check Alcotest.bool "idom dominates" true (A.Dominance.dominates dom d l)
+      | None -> check Alcotest.int "only the entry lacks an idom" 0 l)
+    labels
+
+let test_postdominance () =
+  let prog = compile loop_src in
+  let _f, cfg, _, _ = analyses prog "main" in
+  let post = A.Dominance.compute_post cfg in
+  (* the loop exit post-dominates the header; the 'then' block of the if
+     does not post-dominate the if's block *)
+  check Alcotest.bool "exit postdominates header" true (A.Dominance.post_dominates post 4 1);
+  check Alcotest.bool "then-block not postdominating" false
+    (A.Dominance.post_dominates post 5 2)
+
+(* ---- loops ---- *)
+
+let test_loops () =
+  let prog =
+    compile
+      "void main() { for (int i = 0; i < 3; i++) { for (int j = 0; j < 3; j++) { print(\"x\"); } } }"
+  in
+  let _f, cfg, dom, loops = analyses prog "main" in
+  ignore cfg;
+  ignore dom;
+  check Alcotest.int "two loops" 2 (List.length loops.A.Loops.loops);
+  let outer = List.find (fun l -> l.A.Loops.depth = 1) loops.A.Loops.loops in
+  let inner = List.find (fun l -> l.A.Loops.depth = 2) loops.A.Loops.loops in
+  check Alcotest.bool "inner nested in outer" true (List.mem inner.A.Loops.header outer.A.Loops.body);
+  check Alcotest.(option int) "inner parent" (Some outer.A.Loops.header) inner.A.Loops.parent;
+  check Alcotest.bool "outer has an exit" true (outer.A.Loops.exits <> [])
+
+(* ---- reaching definitions ---- *)
+
+let test_reaching () =
+  let prog =
+    compile "void main() { int acc = 0; for (int i = 0; i < 5; i++) { acc = acc + i; } print(int_to_string(acc)); }"
+  in
+  let func, cfg, dom, loops = analyses prog "main" in
+  let loop = List.hd (A.Loops.outermost loops) in
+  let reach = A.Reaching.compute cfg loop in
+  ignore dom;
+  (* find the `acc + i` binop: its use of acc must see a carried def (the
+     Move from the previous iteration) and no intra def *)
+  let acc_reg = ref (-1) in
+  Hashtbl.iter (fun r n -> if n = "acc" then acc_reg := r) func.Ir.reg_names;
+  let checked = ref false in
+  Ir.iter_instrs func (fun _ i ->
+      match i.Ir.desc with
+      | Ir.Binop (L.Ast.Add, L.Ast.Tint, _, Ir.Reg a, Ir.Reg _) when a = !acc_reg ->
+          checked := true;
+          check Alcotest.bool "no intra def of acc" true
+            (A.Reaching.intra_defs reach ~use_iid:i.Ir.iid ~reg:a = []);
+          check Alcotest.bool "carried def of acc" true
+            (A.Reaching.carried_defs reach ~use_iid:i.Ir.iid ~reg:a <> [])
+      | _ -> ());
+  check Alcotest.bool "found the accumulation" true !checked
+
+let test_reaching_killed () =
+  (* a variable reassigned at the top of every iteration never carries *)
+  let prog =
+    compile "void main() { for (int i = 0; i < 5; i++) { int t = i * 2; print(int_to_string(t)); } }"
+  in
+  let func, cfg, _, loops = analyses prog "main" in
+  let loop = List.hd (A.Loops.outermost loops) in
+  let reach = A.Reaching.compute cfg loop in
+  let t_reg = ref (-1) in
+  Hashtbl.iter (fun r n -> if n = "t" then t_reg := r) func.Ir.reg_names;
+  Ir.iter_instrs func (fun _ i ->
+      if List.mem !t_reg (Ir.instr_uses i) then
+        check Alcotest.bool "t never carried" true
+          (A.Reaching.carried_defs reach ~use_iid:i.Ir.iid ~reg:!t_reg = []))
+
+(* ---- induction variables ---- *)
+
+let test_induction () =
+  let prog =
+    compile
+      "void main() { for (int i = 0; i < 10; i++) { int k = i * 4 + 1; print(int_to_string(k)); } }"
+  in
+  let func, cfg, dom, loops = analyses prog "main" in
+  let loop = List.hd (A.Loops.outermost loops) in
+  let ind = A.Induction.compute func cfg dom loop in
+  (match A.Induction.basic_ivs ind with
+  | [ iv ] -> check Alcotest.int "step" 1 iv.A.Induction.step
+  | _ -> Alcotest.fail "expected exactly one basic IV");
+  let k_reg = ref (-1) and i_reg = ref (-1) in
+  Hashtbl.iter
+    (fun r n -> if n = "k" then k_reg := r else if n = "i" then i_reg := r)
+    func.Ir.reg_names;
+  (match A.Induction.classify ind (Ir.Reg !k_reg) with
+  | A.Induction.Affine { mul = 4; add = 1; _ } -> ()
+  | _ -> Alcotest.fail "k should be affine 4*i+1");
+  (match A.Induction.classify ind (Ir.Reg !i_reg) with
+  | A.Induction.Affine { mul = 1; add = 0; _ } -> ()
+  | _ -> Alcotest.fail "i is the IV itself");
+  match A.Induction.classify ind (Ir.Const (Ir.Cint 3)) with
+  | A.Induction.Invariant -> ()
+  | _ -> Alcotest.fail "constants are invariant"
+
+let test_no_induction_in_pointer_chase () =
+  let prog =
+    compile
+      "void main() { graph_build_nodes(8); int n = graph_first(); while (n >= 0) { n = graph_next(n); } }"
+  in
+  let func, cfg, dom, loops = analyses prog "main" in
+  let loop = List.hd (A.Loops.outermost loops) in
+  let ind = A.Induction.compute func cfg dom loop in
+  check Alcotest.int "no basic IV in a linked-list walk" 0
+    (List.length (A.Induction.basic_ivs ind))
+
+(* ---- symbolic predicate interpreter ---- *)
+
+let sym_env affine1 affine2 =
+  [ ("a", affine1); ("b", affine2) ]
+
+let parse_expr = L.Parser.parse_expr_string
+
+let test_symexec () =
+  let open A.Symexec in
+  let iv1 side = Sint { iv_id = 7; side; mul = 1; add = 0 } in
+  (* a != b with both sides the IV, distinct iterations: provable *)
+  check Alcotest.bool "iv inequality across iterations" true
+    (prove Distinct_iterations (sym_env (iv1 Side1) (iv1 Side2)) (parse_expr "a != b"));
+  (* same iteration: the predicate is false, not provable *)
+  check Alcotest.bool "same iteration not provable" false
+    (prove Same_iteration (sym_env (iv1 Side1) (iv1 Side2)) (parse_expr "a != b"));
+  (* affine with equal coefficients: still distinct *)
+  let aff side = Sint { iv_id = 7; side; mul = 3; add = 5 } in
+  check Alcotest.bool "affine inequality" true
+    (prove Distinct_iterations (sym_env (aff Side1) (aff Side2)) (parse_expr "a != b"));
+  (* different multipliers: unknown, hence not provable *)
+  let aff2 side = Sint { iv_id = 7; side; mul = 2; add = 0 } in
+  check Alcotest.bool "mixed multipliers unprovable" false
+    (prove Distinct_iterations (sym_env (aff Side1) (aff2 Side2)) (parse_expr "a != b"));
+  (* invariant operands are equal on both sides *)
+  let inv = Ssym (3, Side1) in
+  check Alcotest.bool "invariant equality disproves" false
+    (prove Distinct_iterations (sym_env inv inv) (parse_expr "a != b"));
+  (* arithmetic on the predicate side: (a + 1) != (b + 1) *)
+  check Alcotest.bool "arith both sides" true
+    (prove Distinct_iterations (sym_env (iv1 Side1) (iv1 Side2))
+       (parse_expr "(a + 1) != (b + 1)"));
+  (* constants fold *)
+  check Alcotest.bool "constant true" true
+    (prove Same_iteration [] (parse_expr "1 != 2"));
+  check Alcotest.bool "disjunction" true
+    (prove Distinct_iterations (sym_env (iv1 Side1) (iv1 Side2))
+       (parse_expr "false || a != b"))
+
+(* property: the symbolic verdict 'provable' implies every concrete
+   instantiation with distinct IV values satisfies the predicate *)
+let prop_symexec_sound =
+  QCheck.Test.make ~name:"symexec proofs are sound on concrete values" ~count:300
+    QCheck.(triple (int_bound 6) (pair small_int small_int) (pair small_int small_int))
+    (fun (shape, (x1, x2), (mul_raw, add)) ->
+      let mul = 1 + (abs mul_raw mod 5) in
+      let exprs =
+        [| "a != b"; "a + 1 != b + 1"; "a * 2 != b * 2"; "b != a"; "a != b || a == b";
+           "a - b != 0"; "a != b && true" |]
+      in
+      let src = exprs.(shape) in
+      let e = parse_expr src in
+      let open A.Symexec in
+      let aff side = Sint { iv_id = 1; side; mul; add } in
+      let provable = prove Distinct_iterations (sym_env (aff Side1) (aff Side2)) e in
+      if not provable then true (* nothing claimed *)
+      else if x1 = x2 then true (* fact requires distinct iterations *)
+      else begin
+        (* concrete evaluation of the predicate *)
+        let v1 = (mul * x1) + add and v2 = (mul * x2) + add in
+        let rec eval (e : L.Ast.expr) =
+          match e.L.Ast.edesc with
+          | L.Ast.Int_lit n -> `I n
+          | L.Ast.Bool_lit b -> `B b
+          | L.Ast.Var "a" -> `I v1
+          | L.Ast.Var "b" -> `I v2
+          | L.Ast.Binop (op, l, r) -> (
+              match (op, eval l, eval r) with
+              | L.Ast.Add, `I a, `I b -> `I (a + b)
+              | L.Ast.Sub, `I a, `I b -> `I (a - b)
+              | L.Ast.Mul, `I a, `I b -> `I (a * b)
+              | L.Ast.Eq, `I a, `I b -> `B (a = b)
+              | L.Ast.Neq, `I a, `I b -> `B (a <> b)
+              | L.Ast.And, `B a, `B b -> `B (a && b)
+              | L.Ast.Or, `B a, `B b -> `B (a || b)
+              | _ -> `B false)
+          | _ -> `B false
+        in
+        eval e = `B true
+      end)
+
+(* ---- effects and privatization ---- *)
+
+let effects_of src =
+  let prog = compile src in
+  (prog, A.Effects.analyze R.Builtins.lookup_spec prog)
+
+let test_effects_builtin () =
+  let prog, eff = effects_of "void main() { print(\"x\"); int f = fopen(\"p\"); }" in
+  let func = Option.get (Ir.find_func prog "main") in
+  let saw_print = ref false and saw_open = ref false in
+  Ir.iter_instrs func (fun _ i ->
+      let rw = A.Effects.instr_rw eff ~fname:"main" i in
+      match Ir.callee_of i with
+      | Some "print" ->
+          saw_print := true;
+          check Alcotest.bool "print writes stdout" true
+            (A.Effects.LocSet.mem (A.Effects.Lext "io.stdout") rw.A.Effects.writes)
+      | Some "fopen" ->
+          saw_open := true;
+          check Alcotest.bool "fopen writes fdtable" true
+            (A.Effects.LocSet.mem (A.Effects.Lext "io.fdtable") rw.A.Effects.writes)
+      | _ -> ());
+  check Alcotest.bool "saw both" true (!saw_print && !saw_open)
+
+let test_effects_interprocedural () =
+  let prog, eff =
+    effects_of
+      "int g = 0; void helper() { g = g + 1; } void main() { helper(); }"
+  in
+  let func = Option.get (Ir.find_func prog "main") in
+  Ir.iter_instrs func (fun _ i ->
+      match Ir.callee_of i with
+      | Some "helper" ->
+          let rw = A.Effects.instr_rw eff ~fname:"main" i in
+          check Alcotest.bool "callee summary propagates" true
+            (A.Effects.LocSet.mem (A.Effects.Lglobal "g") rw.A.Effects.writes)
+      | _ -> ());
+  ignore prog
+
+let test_effects_param_arrays () =
+  let prog, eff =
+    effects_of
+      "void fill(float[] m) { m[0] = 1.0; } void main() { float[] a = farray(3); fill(a); }"
+  in
+  ignore prog;
+  match A.Effects.summary eff "fill" with
+  | Some sm ->
+      check Alcotest.bool "writes heap of param 0" true
+        (A.Effects.LocSet.mem
+           (A.Effects.Lheap (A.Effects.Sparam 0))
+           sm.A.Effects.sm_rw.A.Effects.writes)
+  | None -> Alcotest.fail "no summary for fill"
+
+let test_conflicts () =
+  let open A.Effects in
+  let w loc = { reads = LocSet.empty; writes = LocSet.singleton loc } in
+  let r loc = { reads = LocSet.singleton loc; writes = LocSet.empty } in
+  check Alcotest.bool "w/w conflict" true (conflict (w (Lext "rng")) (w (Lext "rng")));
+  check Alcotest.bool "r/w conflict" true (conflict (r (Lglobal "g")) (w (Lglobal "g")));
+  check Alcotest.bool "r/r no conflict" false (conflict (r (Lext "a")) (r (Lext "a")));
+  check Alcotest.bool "distinct no conflict" false (conflict (w (Lext "a")) (w (Lext "b")));
+  check Alcotest.bool "unknown conflicts" true (conflict (w Lunknown) (r (Lext "a")))
+
+let test_privatization () =
+  let prog, eff =
+    effects_of
+      "void main() { for (int i = 0; i < 4; i++) { int[] a = iarray(8); a[0] = i; print(int_to_string(a[0])); } }"
+  in
+  let func, cfg, dom, loops = analyses prog "main" in
+  ignore cfg;
+  ignore dom;
+  let loop = List.hd (A.Loops.outermost loops) in
+  let priv = A.Privatization.compute eff R.Builtins.lookup_spec func loop in
+  let a_reg = ref (-1) in
+  Hashtbl.iter (fun r n -> if n = "a" then a_reg := r) func.Ir.reg_names;
+  check Alcotest.bool "fresh per-iteration array is private" true
+    (A.Privatization.is_private priv !a_reg)
+
+let test_privatization_escape () =
+  let prog, eff =
+    effects_of
+      "int[] keep; void main() { for (int i = 0; i < 4; i++) { int[] a = iarray(8); a[0] = i; keep = a; } }"
+  in
+  let func, cfg, dom, loops = analyses prog "main" in
+  ignore cfg;
+  ignore dom;
+  let loop = List.hd (A.Loops.outermost loops) in
+  let priv = A.Privatization.compute eff R.Builtins.lookup_spec func loop in
+  let a_reg = ref (-1) in
+  Hashtbl.iter (fun r n -> if n = "a" then a_reg := r) func.Ir.reg_names;
+  check Alcotest.bool "escaping array is not private" false
+    (A.Privatization.is_private priv !a_reg)
+
+(* ---- purity ---- *)
+
+let test_purity () =
+  let lookup = R.Builtins.lookup_spec in
+  let pure e = A.Purity.expr_verdict lookup None (parse_expr e) = A.Purity.Pure in
+  check Alcotest.bool "arith pure" true (pure "a + b * 2 != 0");
+  check Alcotest.bool "pure builtin ok" true (pure "imin(a, b) > 0");
+  check Alcotest.bool "rng impure" false (pure "rng_int(4) != a");
+  check Alcotest.bool "array read impure" false (pure "a[0] != 1")
+
+(* ---- call graph ---- *)
+
+let test_callgraph () =
+  let prog =
+    compile "void c() { } void b() { c(); } void a() { b(); } void main() { a(); }"
+  in
+  let cg = A.Callgraph.build prog in
+  check Alcotest.bool "direct" true (A.Callgraph.calls cg "a" "b");
+  check Alcotest.bool "transitive" true (A.Callgraph.transitively_calls cg "a" "c");
+  check Alcotest.bool "not backwards" false (A.Callgraph.transitively_calls cg "c" "a");
+  check Alcotest.bool "main not recursive" false (A.Callgraph.is_recursive cg "main")
+
+let suite =
+  ( "analysis",
+    [
+      Alcotest.test_case "dominance" `Quick test_dominance;
+      Alcotest.test_case "post-dominance" `Quick test_postdominance;
+      Alcotest.test_case "natural loops" `Quick test_loops;
+      Alcotest.test_case "reaching: carried accumulator" `Quick test_reaching;
+      Alcotest.test_case "reaching: killed per iteration" `Quick test_reaching_killed;
+      Alcotest.test_case "induction variables" `Quick test_induction;
+      Alcotest.test_case "pointer chase has no IV" `Quick test_no_induction_in_pointer_chase;
+      Alcotest.test_case "symexec verdicts" `Quick test_symexec;
+      Alcotest.test_case "builtin effects" `Quick test_effects_builtin;
+      Alcotest.test_case "interprocedural effects" `Quick test_effects_interprocedural;
+      Alcotest.test_case "param array effects" `Quick test_effects_param_arrays;
+      Alcotest.test_case "conflicts" `Quick test_conflicts;
+      Alcotest.test_case "privatization" `Quick test_privatization;
+      Alcotest.test_case "privatization escape" `Quick test_privatization_escape;
+      Alcotest.test_case "purity" `Quick test_purity;
+      Alcotest.test_case "call graph" `Quick test_callgraph;
+      qcheck prop_symexec_sound;
+    ] )

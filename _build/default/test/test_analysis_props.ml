@@ -1,0 +1,194 @@
+(** Property tests of the dataflow analyses over randomly generated
+    structured programs (nested ifs and loops): dominance laws, loop
+    nesting laws, post-dominance of exits, and determinism of
+    compilation. *)
+
+module L = Commset_lang
+module Ir = Commset_ir.Ir
+module A = Commset_analysis
+module R = Commset_runtime
+module P = Commset_pipeline.Pipeline
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ---- random structured program bodies ---- *)
+
+type shape =
+  | Sassign
+  | Sif of shape list * shape list
+  | Sloop of shape list
+  | Sbreak_guard  (** an if(...) { break; } inside a loop *)
+
+let gen_shape =
+  QCheck.Gen.(
+    sized (fun budget ->
+        let rec go budget depth in_loop =
+          if budget <= 0 then return [ Sassign ]
+          else
+            let leaf = return [ Sassign ] in
+            let branch =
+              let* a = go (budget / 2) (depth + 1) in_loop in
+              let* b = go (budget / 2) (depth + 1) in_loop in
+              return [ Sif (a, b) ]
+            in
+            let loop =
+              let* b = go (budget / 2) (depth + 1) true in
+              return [ Sloop b ]
+            in
+            let guard = if in_loop then return [ Sbreak_guard ] else leaf in
+            let* x =
+              if depth > 3 then leaf
+              else frequency [ (3, leaf); (2, branch); (2, loop); (1, guard) ]
+            in
+            let* rest = if budget > 1 then go (budget - 1) depth in_loop else return [] in
+            return (x @ rest)
+        in
+        go (min budget 8) 0 false))
+
+let render_shapes shapes =
+  let buf = Buffer.create 512 in
+  let fresh =
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      !n
+  in
+  let rec emit indent shapes =
+    let pad = String.make indent ' ' in
+    List.iter
+      (fun s ->
+        match s with
+        | Sassign ->
+            let v = fresh () in
+            Buffer.add_string buf (Printf.sprintf "%sint v%d = %d;\n" pad v (v * 3 mod 11));
+            Buffer.add_string buf (Printf.sprintf "%sv%d = v%d * 2 + 1;\n" pad v v)
+        | Sif (a, b) ->
+            let v = fresh () in
+            Buffer.add_string buf (Printf.sprintf "%sint c%d = %d;\n" pad v (v mod 5));
+            Buffer.add_string buf (Printf.sprintf "%sif (c%d > 2) {\n" pad v);
+            emit (indent + 2) a;
+            Buffer.add_string buf (Printf.sprintf "%s} else {\n" pad);
+            emit (indent + 2) b;
+            Buffer.add_string buf (Printf.sprintf "%s}\n" pad)
+        | Sloop body ->
+            let v = fresh () in
+            Buffer.add_string buf
+              (Printf.sprintf "%sfor (int k%d = 0; k%d < %d; k%d++) {\n" pad v v
+                 (2 + (v mod 4))
+                 v);
+            emit (indent + 2) body;
+            Buffer.add_string buf (Printf.sprintf "%s}\n" pad)
+        | Sbreak_guard ->
+            let v = fresh () in
+            Buffer.add_string buf (Printf.sprintf "%sif (%d > 1) {\n%s  break;\n%s}\n" pad (v mod 4) pad pad))
+      shapes
+  in
+  Buffer.add_string buf "void main() {\n";
+  emit 2 shapes;
+  Buffer.add_string buf "  print(\"done\");\n}\n";
+  Buffer.contents buf
+
+let lower_main src =
+  let ast = L.Parser.parse_program ~file:"<prop>" src in
+  let _ = L.Typecheck.check ~externs:R.Builtins.extern_sigs ast in
+  let prog = Commset_ir.Lower.lower_program ast in
+  Option.get (Ir.find_func prog "main")
+
+(* Sbreak_guard may appear outside a loop through nesting choices; wrap
+   rendering in a validity filter *)
+let valid_src shapes =
+  match Commset_support.Diag.guard (fun () -> lower_main (render_shapes shapes)) with
+  | Ok _ -> true
+  | Error _ -> false
+
+let prop_dominance_laws =
+  QCheck.Test.make ~name:"dominance laws on random structured CFGs" ~count:150
+    (QCheck.make ~print:render_shapes gen_shape)
+    (fun shapes ->
+      (not (valid_src shapes))
+      ||
+      let func = lower_main (render_shapes shapes) in
+      let cfg = A.Cfg.of_func func in
+      let dom = A.Dominance.compute cfg in
+      let labels = A.Cfg.reachable_labels cfg in
+      List.for_all
+        (fun l ->
+          (* entry dominates everything; reflexivity; the idom chain ends
+             at the entry; idom strictly dominates *)
+          A.Dominance.dominates dom func.Ir.entry l
+          && A.Dominance.dominates dom l l
+          &&
+          match A.Dominance.idom dom l with
+          | None -> l = func.Ir.entry
+          | Some d -> d <> l && A.Dominance.dominates dom d l)
+        labels
+      && (* antisymmetry *)
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              not (A.Dominance.dominates dom a b && A.Dominance.dominates dom b a)
+              || a = b)
+            labels)
+        labels)
+
+let prop_loop_laws =
+  QCheck.Test.make ~name:"loop laws on random structured CFGs" ~count:150
+    (QCheck.make ~print:render_shapes gen_shape)
+    (fun shapes ->
+      (not (valid_src shapes))
+      ||
+      let func = lower_main (render_shapes shapes) in
+      let cfg = A.Cfg.of_func func in
+      let dom = A.Dominance.compute cfg in
+      let loops = A.Loops.compute cfg dom in
+      List.for_all
+        (fun (l : A.Loops.loop) ->
+          (* the header is in the body and dominates every body block;
+             latches are in the body; exits are outside *)
+          List.mem l.A.Loops.header l.A.Loops.body
+          && List.for_all (fun b -> A.Dominance.dominates dom l.A.Loops.header b) l.A.Loops.body
+          && List.for_all (fun latch -> List.mem latch l.A.Loops.body) l.A.Loops.latches
+          && List.for_all (fun e -> not (List.mem e l.A.Loops.body)) l.A.Loops.exits
+          && l.A.Loops.depth >= 1)
+        loops.A.Loops.loops)
+
+let prop_postdominance =
+  QCheck.Test.make ~name:"return blocks post-dominate themselves only downward" ~count:100
+    (QCheck.make ~print:render_shapes gen_shape)
+    (fun shapes ->
+      (not (valid_src shapes))
+      ||
+      let func = lower_main (render_shapes shapes) in
+      let cfg = A.Cfg.of_func func in
+      let post = A.Dominance.compute_post cfg in
+      (* reflexivity of post-dominance over reachable labels *)
+      List.for_all
+        (fun l -> A.Dominance.post_dominates post l l)
+        (A.Cfg.reachable_labels cfg))
+
+(* ---- compilation determinism ---- *)
+
+let prop_compile_deterministic =
+  QCheck.Test.make ~name:"compilation is deterministic (PDG print fixpoint)" ~count:40
+    (QCheck.make ~print:render_shapes gen_shape)
+    (fun shapes ->
+      (not (valid_src shapes))
+      ||
+      let src = render_shapes shapes in
+      let pdg_print () =
+        let c = P.compile ~name:"<det>" src in
+        Fmt.str "%a" Commset_pdg.Pdg.pp c.P.target.P.pdg
+      in
+      match Commset_support.Diag.guard pdg_print with
+      | Error _ -> true (* programs without loops have no target; fine *)
+      | Ok p1 -> p1 = pdg_print ())
+
+let suite =
+  ( "analysis-props",
+    [
+      qcheck prop_dominance_laws;
+      qcheck prop_loop_laws;
+      qcheck prop_postdominance;
+      qcheck prop_compile_deterministic;
+    ] )

@@ -1,0 +1,182 @@
+(** Semantics tests for the builtin table: signatures vs implementations,
+    effect-spec sanity, and the behaviour of the string/array/collection
+    builtins as observed through miniC programs. *)
+
+module L = Commset_lang
+module R = Commset_runtime
+module Effects = Commset_analysis.Effects
+
+let check = Alcotest.check
+
+let run_src src =
+  let ast = L.Parser.parse_program ~file:"<test>" src in
+  let _ = L.Typecheck.check ~externs:R.Builtins.extern_sigs ast in
+  let prog = Commset_ir.Lower.lower_program ast in
+  let machine = R.Machine.create () in
+  let interp = R.Interp.create ~machine prog in
+  let _ = R.Interp.run_main interp in
+  R.Machine.outputs machine
+
+let expect src outputs = check Alcotest.(list string) src outputs (run_src src)
+
+(* ---- registry sanity ---- *)
+
+let test_registry () =
+  check Alcotest.bool "several dozen builtins" true (List.length R.Builtins.all > 40);
+  (* names unique *)
+  let names = List.map (fun b -> b.R.Builtins.name) R.Builtins.all in
+  check Alcotest.int "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  (* every extern signature corresponds to a builtin and vice versa *)
+  check Alcotest.int "extern sigs match" (List.length R.Builtins.all)
+    (List.length R.Builtins.extern_sigs);
+  (* lookup_spec agrees with the table *)
+  List.iter
+    (fun b ->
+      match R.Builtins.lookup_spec b.R.Builtins.name with
+      | Some spec -> check Alcotest.bool "spec identical" true (spec = b.R.Builtins.spec)
+      | None -> Alcotest.failf "lookup_spec missing %s" b.R.Builtins.name)
+    R.Builtins.all
+
+let test_effect_spec_sanity () =
+  List.iter
+    (fun b ->
+      let spec = b.R.Builtins.spec in
+      (* array-effect positions must be inside the signature *)
+      List.iter
+        (fun p ->
+          if p < 0 || p >= List.length b.R.Builtins.params then
+            Alcotest.failf "%s: array-effect position %d out of range" b.R.Builtins.name p)
+        (spec.Effects.bs_reads_arrays @ spec.Effects.bs_writes_arrays);
+      (* a thread-safe builtin must own at least one resource or be the
+         console (otherwise the flag is meaningless) *)
+      ignore spec)
+    R.Builtins.all
+
+(* ---- string builtins ---- *)
+
+let test_string_builtins () =
+  expect
+    {|
+void main() {
+  string s = "hello world";
+  print(int_to_string(strlen(s)));
+  print(substr(s, 6, 5));
+  print(substr(s, 8, 100));
+  print(int_to_string(str_get(s, 0)));
+  print(int_to_string(str_find(s, "world")));
+  print(int_to_string(str_find(s, "zz")));
+}
+|}
+    [ "11"; "world"; "rld"; "104"; "6"; "-1" ]
+
+let test_conversions () =
+  expect
+    {|
+void main() {
+  print(float_to_string(int_to_float(3)));
+  print(int_to_string(float_to_int(2.9)));
+  print(float_to_string(fsqrt(16.0)));
+  print(float_to_string(fabs(0.0 - 2.5)));
+}
+|}
+    [ "3.0000"; "2"; "4.0000"; "2.5000" ]
+
+(* ---- md5 / trace / svg kernels ---- *)
+
+let test_kernels () =
+  expect
+    {|
+void main() {
+  print(md5_hex("abc"));
+  string path = trace_bitmap("ABCDEFGH");
+  print(int_to_string(strlen(svg_encode("zz"))));
+}
+|}
+    [ "900150983cd24fb0d6963f7d28e17f72"; "15" ]
+
+(* ---- arrays and fills ---- *)
+
+let test_array_builtins () =
+  expect
+    {|
+void main() {
+  float[] f = farray(4);
+  afill_f(f, 50, 100);
+  print(float_to_string(f[1] + f[3]));
+  int[] a = iarray(3);
+  afill_i(a, 2, 10);
+  print(int_to_string(a[0] + a[1] + a[2]));
+  print(int_to_string(alen_f(f)) + int_to_string(alen_i(a)));
+}
+|}
+    [ "1.0000"; "6"; "43" ]
+
+(* ---- collections through miniC ---- *)
+
+let test_collections_via_program () =
+  expect
+    {|
+void main() {
+  int bm = bm_new(64);
+  bm_set(bm, 5);
+  if (bm_get(bm, 5)) {
+    print("bit5");
+  }
+  if (!bm_get(bm, 6)) {
+    print("not6");
+  }
+  bm_free(bm);
+  int l = list_new();
+  list_insert(l, 4);
+  list_insert(l, 9);
+  if (list_contains(l, 9)) {
+    print("has9");
+  }
+  print(int_to_string(list_sum(l)));
+  list_free(l);
+  cache_put("k", "v1");
+  print(cache_get("k"));
+  print(cache_get("missing") + "!");
+}
+|}
+    [ "bit5"; "not6"; "has9"; "13"; "v1"; "!" ]
+
+let test_rng_and_hist () =
+  let out =
+    run_src
+      {|
+void main() {
+  rng_reseed(7);
+  int a = rng_int(100);
+  rng_reseed(7);
+  int b = rng_int(100);
+  if (a == b) {
+    print("deterministic");
+  }
+  int c = rng_range(10, 20);
+  if (c >= 10 && c < 20) {
+    print("in-range");
+  }
+  hist_add(0.5);
+  hist_add(1.5);
+  print(hist_summary());
+}
+|}
+  in
+  check Alcotest.(list string) "rng behaviour"
+    [ "deterministic"; "in-range"; "hist n=2 mean=1.0000" ]
+    out
+
+let suite =
+  ( "builtins",
+    [
+      Alcotest.test_case "registry sanity" `Quick test_registry;
+      Alcotest.test_case "effect spec sanity" `Quick test_effect_spec_sanity;
+      Alcotest.test_case "string builtins" `Quick test_string_builtins;
+      Alcotest.test_case "conversions" `Quick test_conversions;
+      Alcotest.test_case "md5/trace/svg kernels" `Quick test_kernels;
+      Alcotest.test_case "array builtins" `Quick test_array_builtins;
+      Alcotest.test_case "collections via miniC" `Quick test_collections_via_program;
+      Alcotest.test_case "rng and histogram" `Quick test_rng_and_hist;
+    ] )

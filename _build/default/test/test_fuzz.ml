@@ -1,0 +1,153 @@
+(** End-to-end fuzzing: generate random miniC programs (a main loop over
+    arithmetic, private arrays, shared-resource calls, and optionally
+    annotated commutative blocks), push each through the whole pipeline,
+    and check the global soundness properties:
+
+    - compilation never crashes (other than clean diagnostics);
+    - every plan's simulated output is at worst a permutation of the
+      sequential output (never corrupted);
+    - the pretty-printed program re-compiles to the same sequential
+      output (frontend round trip);
+    - speedups stay within the physical bound (#threads). *)
+
+module P = Commset_pipeline.Pipeline
+module T = Commset_transforms
+module L = Commset_lang
+module R = Commset_runtime
+
+
+(* ---- random program generation ---- *)
+
+type stmt_kind =
+  | Arith  (** local integer chain *)
+  | Array_work  (** private array fill/sum *)
+  | Shared_push of bool  (** vec_push, annotated with SELF? *)
+  | Shared_stat of bool  (** stat_add, annotated? *)
+  | Print_line of bool  (** console output, annotated? *)
+  | Grouped_io of bool  (** fopen/fclose pair in a predicated group *)
+
+let gen_kind =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return Arith);
+        (2, return Array_work);
+        (2, map (fun b -> Shared_push b) bool);
+        (2, map (fun b -> Shared_stat b) bool);
+        (2, map (fun b -> Print_line b) bool);
+        (1, map (fun b -> Grouped_io b) bool);
+      ])
+
+let gen_program =
+  QCheck.Gen.(
+    let* n_stmts = int_range 1 5 in
+    let* kinds = list_size (return n_stmts) gen_kind in
+    let* iters = int_range 4 20 in
+    return (kinds, iters))
+
+let needs_group kinds = List.exists (function Grouped_io true -> true | _ -> false) kinds
+
+let render_program (kinds, iters) =
+  let buf = Buffer.create 1024 in
+  if needs_group kinds then begin
+    Buffer.add_string buf "#pragma commset decl G group\n";
+    Buffer.add_string buf "#pragma commset predicate G (a) (b) (a != b)\n"
+  end;
+  Buffer.add_string buf "void main() {\n";
+  Buffer.add_string buf (Printf.sprintf "  for (int i = 0; i < %d; i++) {\n" iters);
+  List.iteri
+    (fun idx kind ->
+      let annot a = if a then "    #pragma commset member SELF\n" else "" in
+      match kind with
+      | Arith ->
+          Buffer.add_string buf
+            (Printf.sprintf "    int x%d = (i * %d + %d) %% 97;\n" idx ((idx * 7) + 3) idx);
+          Buffer.add_string buf
+            (Printf.sprintf "    x%d = x%d * x%d %% 13;\n" idx idx idx)
+      | Array_work ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    int[] a%d = iarray(8);\n    for (int j%d = 0; j%d < 8; j%d++) {\n      a%d[j%d] = i + j%d;\n    }\n"
+               idx idx idx idx idx idx idx)
+      | Shared_push a ->
+          Buffer.add_string buf (annot a);
+          Buffer.add_string buf
+            (Printf.sprintf "    {\n      vec_push(\"s%d-\" + int_to_string(i));\n    }\n" idx)
+      | Shared_stat a ->
+          Buffer.add_string buf (annot a);
+          Buffer.add_string buf
+            (Printf.sprintf "    {\n      stat_add(int_to_float(i + %d));\n    }\n" idx)
+      | Print_line a ->
+          Buffer.add_string buf (annot a);
+          Buffer.add_string buf
+            (Printf.sprintf "    {\n      print(\"p%d \" + int_to_string(i));\n    }\n" idx)
+      | Grouped_io annotated ->
+          let pragma =
+            if annotated then "    #pragma commset member G(i), SELF\n" else ""
+          in
+          Buffer.add_string buf pragma;
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    {\n      int fd%d = fopen(\"f\" + int_to_string(i));\n      fclose(fd%d);\n    }\n"
+               idx idx))
+    kinds;
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "  print(stat_summary());\n";
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* ---- the properties ---- *)
+
+let run_sequential src =
+  let ast = L.Parser.parse_program ~file:"<fuzz>" src in
+  let _ = L.Typecheck.check ~externs:R.Builtins.extern_sigs ast in
+  let prog = Commset_ir.Lower.lower_program ast in
+  let machine = R.Machine.create () in
+  let interp = R.Interp.create ~machine prog in
+  let _ = R.Interp.run_main interp in
+  R.Machine.outputs machine
+
+let prop_pipeline_sound =
+  QCheck.Test.make ~name:"random programs: all plans keep output a permutation" ~count:60
+    (QCheck.make ~print:render_program gen_program)
+    (fun spec ->
+      let src = render_program spec in
+      let c = P.compile ~name:"<fuzz>" src in
+      List.for_all
+        (fun threads ->
+          List.for_all
+            (fun (r : P.run) ->
+              r.P.fidelity <> P.Mismatch
+              && r.P.speedup <= float_of_int threads +. 0.2
+              && r.P.speedup > 0.)
+            (P.evaluate c ~threads))
+        [ 2; 5; 8 ])
+
+let prop_pretty_roundtrip_behaviour =
+  QCheck.Test.make ~name:"random programs: pretty-printing preserves behaviour" ~count:60
+    (QCheck.make ~print:render_program gen_program)
+    (fun spec ->
+      let src = render_program spec in
+      let out1 = run_sequential src in
+      let ast = L.Parser.parse_program ~file:"<fuzz>" src in
+      let printed = L.Pretty.program_to_string ast in
+      let out2 = run_sequential printed in
+      out1 = out2)
+
+let prop_elision =
+  QCheck.Test.make ~name:"random programs: pragma elision preserves sequential output"
+    ~count:60
+    (QCheck.make ~print:render_program gen_program)
+    (fun spec ->
+      let src = render_program spec in
+      let stripped = Commset_workloads.Workload.strip_pragmas src in
+      run_sequential src = run_sequential stripped)
+
+
+let suite =
+  ( "fuzz",
+    [
+      QCheck_alcotest.to_alcotest ~long:false prop_pipeline_sound;
+      QCheck_alcotest.to_alcotest ~long:false prop_pretty_roundtrip_behaviour;
+      QCheck_alcotest.to_alcotest ~long:false prop_elision;
+    ] )

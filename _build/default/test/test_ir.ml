@@ -1,0 +1,177 @@
+(** Tests for AST → IR lowering: CFG shapes, region formation, enable
+    recording, break/continue targets, and the IR helper functions. *)
+
+module L = Commset_lang
+module Ir = Commset_ir.Ir
+module R = Commset_runtime
+
+let check = Alcotest.check
+
+let lower src =
+  let ast = L.Parser.parse_program ~file:"<test>" src in
+  let _ = L.Typecheck.check ~externs:R.Builtins.extern_sigs ast in
+  Commset_ir.Lower.lower_program ast
+
+let func prog name = Option.get (Ir.find_func prog name)
+
+let count_instrs f p =
+  let n = ref 0 in
+  Ir.iter_instrs f (fun _ i -> if p i then incr n);
+  !n
+
+let test_straightline () =
+  let prog = lower "void main() { int x = 1; int y = x + 2; print(int_to_string(y)); }" in
+  let m = func prog "main" in
+  check Alcotest.int "one block" 1 (List.length m.Ir.block_order);
+  check Alcotest.int "two calls" 2 (count_instrs m (fun i -> Ir.callee_of i <> None))
+
+let test_for_loop_shape () =
+  let prog = lower "void main() { for (int i = 0; i < 3; i++) { print(\"x\"); } }" in
+  let m = func prog "main" in
+  (* entry, header, body, step, exit *)
+  check Alcotest.int "five blocks" 5 (List.length m.Ir.block_order);
+  let header = Ir.block m 1 in
+  (match header.Ir.term with
+  | Ir.Branch (_, _, _) -> ()
+  | _ -> Alcotest.fail "header must branch");
+  (* the latch jumps back to the header *)
+  let step = Ir.block m 3 in
+  check Alcotest.(list int) "backedge" [ 1 ] (Ir.successors step)
+
+let test_if_else () =
+  let prog =
+    lower "void main() { int x = 1; if (x > 0) { x = 2; } else { x = 3; } print(int_to_string(x)); }"
+  in
+  let m = func prog "main" in
+  check Alcotest.int "four blocks" 4 (List.length m.Ir.block_order)
+
+let test_break_continue () =
+  let prog =
+    lower
+      "void main() { for (int i = 0; i < 9; i++) { if (i == 2) { continue; } if (i == 5) { break; } print(\"x\"); } }"
+  in
+  let m = func prog "main" in
+  (* break jumps to the loop exit, continue to the step block *)
+  let jumps_to target =
+    List.exists
+      (fun b -> match b.Ir.term with Ir.Jump l -> l = target | _ -> false)
+      (Ir.blocks_in_order m)
+  in
+  check Alcotest.bool "has jump to step" true (jumps_to 3);
+  check Alcotest.bool "has jump to exit" true (jumps_to 4)
+
+let test_regions () =
+  let prog =
+    lower
+      {|
+#pragma commset decl S self
+#pragma commset predicate S (a) (b) (a != b)
+void main() {
+  for (int i = 0; i < 3; i++) {
+    #pragma commset member S(i), SELF
+    {
+      print(int_to_string(i));
+    }
+  }
+}
+|}
+  in
+  let m = func prog "main" in
+  match m.Ir.fregions with
+  | [ r ] ->
+      check Alcotest.int "two sets on the region" 2 (List.length r.Ir.rrefs);
+      check Alcotest.(list string) "set names" [ "S"; "__self_r0" ] (List.map fst r.Ir.rrefs);
+      (* all instructions of the region entry block carry the region id *)
+      let entry = Ir.block m r.Ir.rentry in
+      check Alcotest.bool "entry tagged" true (List.mem r.Ir.rid entry.Ir.bregions);
+      List.iter
+        (fun i ->
+          check Alcotest.bool "instr tagged" true (List.mem r.Ir.rid i.Ir.iregions))
+        entry.Ir.instrs
+  | _ -> Alcotest.fail "expected exactly one region"
+
+let test_named_block_and_enable () =
+  let prog =
+    lower
+      {|
+#pragma commset decl S self
+#pragma commset namedarg B
+void f() {
+  #pragma commset namedblock B
+  {
+    print("inner");
+  }
+}
+void main() {
+  #pragma commset enable f.B in S
+  f();
+  f();
+}
+|}
+  in
+  let f = func prog "f" in
+  (match f.Ir.fregions with
+  | [ r ] -> check Alcotest.(option string) "region name" (Some "B") r.Ir.rname
+  | _ -> Alcotest.fail "expected the named region");
+  let m = func prog "main" in
+  let enabled_calls =
+    count_instrs m (fun i ->
+        match i.Ir.desc with
+        | Ir.Call { callee = "f"; enabled = [ e ]; _ } ->
+            e.Ir.en_block = "B" && List.map fst e.Ir.en_sets = [ "S" ]
+        | _ -> false)
+  in
+  check Alcotest.int "both calls armed" 2 enabled_calls
+
+let test_globals () =
+  let prog = lower "int g = 7; void main() { g = g + 1; }" in
+  (match prog.Ir.prog_globals with
+  | [ ("g", L.Ast.Tint, Ir.Cint 7) ] -> ()
+  | _ -> Alcotest.fail "global init");
+  let m = func prog "main" in
+  check Alcotest.int "load_global" 1
+    (count_instrs m (fun i -> match i.Ir.desc with Ir.Load_global _ -> true | _ -> false));
+  check Alcotest.int "store_global" 1
+    (count_instrs m (fun i -> match i.Ir.desc with Ir.Store_global _ -> true | _ -> false))
+
+let test_loop_locals () =
+  let prog =
+    lower "void main() { for (int i = 0; i < 2; i++) { int[] a = iarray(4); a[0] = i; } }"
+  in
+  let m = func prog "main" in
+  check Alcotest.int "loop-local array recorded" 1 (List.length m.Ir.loop_locals)
+
+let test_defs_uses () =
+  let prog = lower "void main() { int x = 1; int y = x + 2; print(int_to_string(y)); }" in
+  let m = func prog "main" in
+  Ir.iter_instrs m (fun _ i ->
+      match i.Ir.desc with
+      | Ir.Binop (_, _, d, a, b) ->
+          check Alcotest.(list int) "defs" [ d ] (Ir.instr_defs i);
+          check Alcotest.int "uses"
+            (List.length (Ir.operand_uses a) + List.length (Ir.operand_uses b))
+            (List.length (Ir.instr_uses i))
+      | _ -> ())
+
+let test_fallthrough_return () =
+  let prog = lower "int f() { print(\"x\"); } void main() { int y = f(); }" in
+  let f = func prog "f" in
+  let last = Ir.block f (List.nth f.Ir.block_order (List.length f.Ir.block_order - 1)) in
+  match last.Ir.term with
+  | Ir.Ret (Some (Ir.Const (Ir.Cint 0))) -> ()
+  | _ -> Alcotest.fail "non-void fallthrough returns the default value"
+
+let suite =
+  ( "ir",
+    [
+      Alcotest.test_case "straight line" `Quick test_straightline;
+      Alcotest.test_case "for loop shape" `Quick test_for_loop_shape;
+      Alcotest.test_case "if/else" `Quick test_if_else;
+      Alcotest.test_case "break/continue" `Quick test_break_continue;
+      Alcotest.test_case "regions" `Quick test_regions;
+      Alcotest.test_case "named block + enable" `Quick test_named_block_and_enable;
+      Alcotest.test_case "globals" `Quick test_globals;
+      Alcotest.test_case "loop locals" `Quick test_loop_locals;
+      Alcotest.test_case "defs and uses" `Quick test_defs_uses;
+      Alcotest.test_case "fallthrough return" `Quick test_fallthrough_return;
+    ] )

@@ -1,0 +1,285 @@
+(** Tests for the miniC frontend: lexer, parser (including the COMMSET
+    pragma sub-grammar), pretty-printer round trips, and the type
+    checker's acceptance and rejection behaviour. *)
+
+module L = Commset_lang
+module R = Commset_runtime
+open Commset_support
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let tokens src =
+  List.map (fun t -> t.L.Token.tok) (L.Lexer.tokenize src)
+  |> List.filter (fun t -> t <> L.Token.EOF)
+
+let token_strings src = List.map L.Token.to_string (tokens src)
+
+(* ---- lexer ---- *)
+
+let test_lexer_basics () =
+  check
+    Alcotest.(list string)
+    "operators" [ "x"; "="; "x"; "+"; "1"; ";" ] (token_strings "x = x + 1;");
+  check Alcotest.(list string) "two-char ops"
+    [ "<="; ">="; "=="; "!="; "&&"; "||"; "++"; "--"; "+="; "-=" ]
+    (token_strings "<= >= == != && || ++ -- += -=");
+  check Alcotest.(list string) "comments skipped" [ "a"; "b" ]
+    (token_strings "a // line\n /* block \n comment */ b");
+  check Alcotest.(list string) "string escapes" [ "\"a\\nb\"" ] (token_strings {|"a\nb"|});
+  check Alcotest.(list string) "float vs int" [ "1.5"; "2" ] (token_strings "1.5 2");
+  check Alcotest.(list string) "keywords" [ "if"; "else"; "while"; "for"; "return" ]
+    (token_strings "if else while for return")
+
+let test_lexer_pragma () =
+  match tokens "#pragma commset decl S self\nint x" with
+  | [ L.Token.PRAGMA text; L.Token.KW_INT; L.Token.IDENT "x" ] ->
+      check Alcotest.string "pragma payload" "commset decl S self" text
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lexer_errors () =
+  let fails s =
+    match Diag.guard (fun () -> L.Lexer.tokenize s) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected lexer error on %S" s
+  in
+  fails "\"unterminated";
+  fails "/* unterminated";
+  fails "a $ b";
+  fails "a & b"
+
+let test_lexer_positions () =
+  let toks = L.Lexer.tokenize "ab\n  cd" in
+  match toks with
+  | [ a; c; _eof ] ->
+      check Alcotest.int "first line" 1 (Loc.line a.L.Token.loc);
+      check Alcotest.int "second line" 2 (Loc.line c.L.Token.loc);
+      check Alcotest.int "second col" 3 (Loc.column c.L.Token.loc)
+  | _ -> Alcotest.fail "expected two tokens"
+
+(* ---- parser ---- *)
+
+let parse src = L.Parser.parse_program ~file:"<test>" src
+
+let parse_fails src =
+  match Diag.guard (fun () -> parse src) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "expected parse error on %S" src
+
+let test_parser_shapes () =
+  let p = parse "int add(int a, int b) { return a + b * 2; }" in
+  match L.Ast.functions p with
+  | [ f ] -> (
+      check Alcotest.string "name" "add" f.L.Ast.fname;
+      check Alcotest.int "params" 2 (List.length f.L.Ast.params);
+      match f.L.Ast.body.L.Ast.stmts with
+      | [ { L.Ast.sdesc = L.Ast.Return (Some e); _ } ] -> (
+          (* precedence: a + (b * 2) *)
+          match e.L.Ast.edesc with
+          | L.Ast.Binop (L.Ast.Add, _, { L.Ast.edesc = L.Ast.Binop (L.Ast.Mul, _, _); _ }) -> ()
+          | _ -> Alcotest.fail "wrong precedence")
+      | _ -> Alcotest.fail "expected a single return")
+  | _ -> Alcotest.fail "expected one function"
+
+let test_parser_sugar () =
+  (* i++ / i += k desugar to assignments *)
+  let p = parse "void main() { int i = 0; i++; i += 2; i--; }" in
+  let f = List.hd (L.Ast.functions p) in
+  let assigns = ref 0 in
+  L.Ast.iter_stmts
+    (fun s -> match s.L.Ast.sdesc with L.Ast.Assign _ -> incr assigns | _ -> ())
+    f.L.Ast.body;
+  check Alcotest.int "three desugared assignments" 3 !assigns
+
+let test_parser_pragmas () =
+  let src =
+    {|
+#pragma commset decl FSET group
+#pragma commset predicate FSET (a, b) (c, d) (a != c || b != d)
+#pragma commset nosync FSET
+void main() {
+  for (int i = 0; i < 3; i++) {
+    #pragma commset member FSET(i, 0), SELF
+    {
+      print("x");
+    }
+    #pragma commset enable f.BLOCK in FSET(i, 1)
+  }
+}
+#pragma commset namedarg BLOCK
+void f() {
+  #pragma commset namedblock BLOCK
+  {
+    print("y");
+  }
+}
+|}
+  in
+  let p = parse src in
+  check Alcotest.int "global pragmas" 3 (List.length p.L.Ast.global_pragmas);
+  (match p.L.Ast.global_pragmas with
+  | [ { L.Ast.pdesc = L.Ast.P_decl { set_name = "FSET"; kind = L.Ast.Group_set }; _ };
+      { L.Ast.pdesc = L.Ast.P_predicate { params1 = [ "a"; "b" ]; params2 = [ "c"; "d" ]; _ }; _ };
+      { L.Ast.pdesc = L.Ast.P_nosync "FSET"; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "wrong global pragma shapes");
+  let main = Option.get (L.Ast.find_function p "main") in
+  let members = ref 0 and enables = ref 0 in
+  L.Ast.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (pr : L.Ast.pragma) ->
+          match pr.L.Ast.pdesc with L.Ast.P_member _ -> incr members | _ -> ())
+        b.L.Ast.annots)
+    main.L.Ast.body;
+  L.Ast.iter_stmts
+    (fun s ->
+      match s.L.Ast.sdesc with
+      | L.Ast.Pragma_stmt { L.Ast.pdesc = L.Ast.P_enable _; _ } -> incr enables
+      | _ -> ())
+    main.L.Ast.body;
+  check Alcotest.int "member annots" 1 !members;
+  check Alcotest.int "enable pragmas" 1 !enables;
+  let f = Option.get (L.Ast.find_function p "f") in
+  check Alcotest.int "namedarg on f" 1 (List.length f.L.Ast.fannots)
+
+let test_parser_errors () =
+  parse_fails "int f( { }";
+  parse_fails "void f() { x = ; }";
+  parse_fails "void f() { if x { } }";
+  parse_fails "void f() { 1 + 2; }" (* expression statement must be a call *);
+  parse_fails "#pragma commset member S\nint g;" (* member pragma needs a block *);
+  parse_fails "#pragma commset decl S neither\nvoid f() { }";
+  parse_fails "#pragma bogus\nvoid f() { }"
+
+(* round trip: pretty-print then re-parse; compare printed forms *)
+let test_roundtrip () =
+  let srcs =
+    [
+      "void main() { for (int i = 0; i < 4; i++) { print(int_to_string(i)); } }";
+      "int f(int x) { if (x > 0) { return x; } else { return 0 - x; } }";
+      {|
+#pragma commset decl S self
+#pragma commset predicate S (a) (b) (a != b)
+void main() {
+  int i = 0;
+  while (i < 3) {
+    #pragma commset member S(i)
+    {
+      print("hello" + int_to_string(i));
+    }
+    i = i + 1;
+  }
+}
+|};
+    ]
+  in
+  List.iter
+    (fun src ->
+      let once = L.Pretty.program_to_string (parse src) in
+      let twice = L.Pretty.program_to_string (parse once) in
+      check Alcotest.string "pretty fixpoint" once twice)
+    srcs
+
+(* property: pretty ∘ parse is a fixpoint on generated expressions *)
+let expr_gen =
+  let open QCheck.Gen in
+  let rec gen depth =
+    if depth = 0 then
+      oneof [ map string_of_int (int_bound 99); return "x"; return "y" ]
+    else
+      let sub = gen (depth - 1) in
+      oneof
+        [
+          sub;
+          (let* a = sub and* b = sub in
+           let* op = oneofl [ "+"; "-"; "*" ] in
+           return (Printf.sprintf "(%s %s %s)" a op b));
+          (let* a = sub in
+           return (Printf.sprintf "(-%s)" a));
+        ]
+  in
+  gen 3
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~name:"expression pretty/parse fixpoint" ~count:300 (QCheck.make expr_gen)
+    (fun src ->
+      let e1 = L.Parser.parse_expr_string src in
+      let p1 = L.Pretty.expr_to_string e1 in
+      let p2 = L.Pretty.expr_to_string (L.Parser.parse_expr_string p1) in
+      p1 = p2)
+
+(* ---- type checker ---- *)
+
+let typecheck src = L.Typecheck.check ~externs:R.Builtins.extern_sigs (parse src)
+
+let accepts src =
+  match Diag.guard (fun () -> typecheck src) with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "expected to typecheck, got: %s" d.Diag.message
+
+let contains ~substr s =
+  let n = String.length substr and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = substr || go (i + 1)) in
+  n = 0 || go 0
+
+let rejects ~substr src =
+  match Diag.guard (fun () -> typecheck src) with
+  | Error d ->
+      let msg = d.Diag.message in
+      if not (contains ~substr msg) then
+        Alcotest.failf "error %S does not mention %S" msg substr
+  | Ok _ -> Alcotest.failf "expected a type error mentioning %S" substr
+
+let test_typecheck_accepts () =
+  accepts "void main() { int x = 1; float y = 2.0; string s = \"a\"; bool b = true; }";
+  accepts "void main() { int[] a = iarray(4); a[0] = 3; int x = a[0]; }";
+  accepts "int g = 5; void main() { g = g + 1; print(int_to_string(g)); }";
+  accepts "float f(float x) { return x * 2.0; } void main() { float y = f(1.5); }";
+  accepts "void main() { for (int i = 0; i < 3; i++) { if (i % 2 == 0) { continue; } break; } }"
+
+let test_typecheck_rejects () =
+  rejects ~substr:"undefined variable" "void main() { x = 1; }";
+  rejects ~substr:"cannot be applied" "void main() { int x = 1 + 2.0; }";
+  rejects ~substr:"must be bool" "void main() { if (1) { } }";
+  rejects ~substr:"expects 1 argument" "void main() { print(); }";
+  rejects ~substr:"but string was expected" "void main() { print(3); }";
+  rejects ~substr:"return" "int f() { return; }";
+  rejects ~substr:"void function" "void f() { return 1; }";
+  rejects ~substr:"break/continue" "void main() { break; }";
+  rejects ~substr:"already declared" "void main() { int x = 1; int x = 2; }";
+  rejects ~substr:"defined twice" "void f() { } void f() { }";
+  rejects ~substr:"shadows a builtin" "int print(int x) { return x; }";
+  rejects ~substr:"non-array" "void main() { int x = 3; int y = x[0]; }"
+
+let test_typecheck_commset () =
+  rejects ~substr:"undeclared commset"
+    "void main() {\n#pragma commset member NOPE\n{ print(\"x\"); }\n}";
+  rejects ~substr:"no predicate"
+    "#pragma commset decl S group\nvoid main() {\n#pragma commset member S(1)\n{ print(\"x\"); }\n}";
+  rejects ~substr:"must have type bool"
+    "#pragma commset decl S group\n#pragma commset predicate S (a) (b) (a + b)\nvoid main() {\n#pragma commset member S(1)\n{ print(\"x\"); }\n}";
+  rejects ~substr:"different types"
+    "#pragma commset decl S group\n#pragma commset predicate S (a) (b) (a != b)\nvoid main() {\n#pragma commset member S(1)\n{ print(\"a\"); }\n#pragma commset member S(\"s\")\n{ print(\"b\"); }\n}";
+  rejects ~substr:"does not export"
+    "#pragma commset decl S self\nvoid g() { }\nvoid main() {\n#pragma commset enable g.B in S\nprint(\"x\");\n}";
+  accepts
+    "#pragma commset decl S self\n#pragma commset predicate S (a) (b) (a != b)\nvoid main() { for (int i = 0; i < 2; i++) {\n#pragma commset member S(i)\n{ print(int_to_string(i)); }\n} }"
+
+let suite =
+  ( "lang",
+    [
+      Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+      Alcotest.test_case "lexer pragma" `Quick test_lexer_pragma;
+      Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+      Alcotest.test_case "lexer positions" `Quick test_lexer_positions;
+      Alcotest.test_case "parser shapes" `Quick test_parser_shapes;
+      Alcotest.test_case "parser sugar" `Quick test_parser_sugar;
+      Alcotest.test_case "parser pragmas" `Quick test_parser_pragmas;
+      Alcotest.test_case "parser errors" `Quick test_parser_errors;
+      Alcotest.test_case "pretty round trip" `Quick test_roundtrip;
+      Alcotest.test_case "typecheck accepts" `Quick test_typecheck_accepts;
+      Alcotest.test_case "typecheck rejects" `Quick test_typecheck_rejects;
+      Alcotest.test_case "typecheck commset" `Quick test_typecheck_commset;
+      qcheck prop_expr_roundtrip;
+    ] )

@@ -1,0 +1,351 @@
+(** Tests for PDG construction, the COMMSET metadata manager, the
+    well-formedness checks, and Algorithm 1 (the dependence analyzer). *)
+
+module L = Commset_lang
+module Ir = Commset_ir.Ir
+module A = Commset_analysis
+module Pdg = Commset_pdg.Pdg
+module Scc = Commset_pdg.Scc
+module Core = Commset_core
+module R = Commset_runtime
+open Commset_support
+
+let check = Alcotest.check
+
+(* full static pipeline up to the annotated PDG, without running programs:
+   use the pipeline's own target builder via Pipeline.compile on an empty
+   machine. *)
+module P = Commset_pipeline.Pipeline
+
+let compile ?(setup = fun _ -> ()) src = P.compile ~name:"<test>" ~setup src
+
+let compile_fails ~substr src =
+  match Diag.guard (fun () -> compile src) with
+  | Error d ->
+      let msg = d.Diag.message in
+      let n = String.length substr and m = String.length msg in
+      let rec go i = i + n <= m && (String.sub msg i n = substr || go (i + 1)) in
+      if not (n = 0 || go 0) then
+        Alcotest.failf "error %S does not mention %S" msg substr
+  | Ok _ -> Alcotest.failf "expected compilation to fail mentioning %S" substr
+
+(* a two-member group set over a shared resource, predicated on the IV *)
+let pair_src =
+  {|
+#pragma commset decl G group
+#pragma commset predicate G (a) (b) (a != b)
+void main() {
+  for (int i = 0; i < 6; i++) {
+    #pragma commset member G(i), SELF
+    {
+      vec_push("x" + int_to_string(i));
+    }
+    #pragma commset member G(i), SELF
+    {
+      vec_push("y" + int_to_string(i));
+    }
+  }
+}
+|}
+
+let find_edges pdg p = List.filter p (Pdg.edges pdg)
+
+let test_pdg_nodes () =
+  let c = compile pair_src in
+  let pdg = c.P.target.P.pdg in
+  let regions =
+    List.filter (fun n -> Pdg.node_region n <> None) (Pdg.nodes pdg)
+  in
+  check Alcotest.int "two region super-nodes" 2 (List.length regions);
+  let controls = List.filter (fun n -> n.Pdg.loop_control) (Pdg.nodes pdg) in
+  check Alcotest.bool "loop control marked" true (List.length controls >= 3)
+
+let test_pdg_memory_edges () =
+  let c = compile pair_src in
+  let pdg = c.P.target.P.pdg in
+  (* both regions write "vec": intra edge x->y plus carried edges both ways
+     plus carried self edges *)
+  let mem_edges =
+    find_edges pdg (fun e -> match e.Pdg.ekind with Pdg.Kmem _ -> true | _ -> false)
+  in
+  check Alcotest.bool "has memory edges" true (List.length mem_edges >= 4);
+  let carried_self = find_edges pdg (fun e -> e.Pdg.carried && e.Pdg.esrc = e.Pdg.edst) in
+  check Alcotest.bool "self-dependences present" true (List.length carried_self >= 2)
+
+let test_algorithm1_verdicts () =
+  let c = compile pair_src in
+  let pdg = c.P.target.P.pdg in
+  (* every memory edge must be relaxed: carried cross edges via the
+     predicated group, self edges via SELF, and the intra x->y edge stays
+     (predicate is false within one iteration) *)
+  List.iter
+    (fun e ->
+      match e.Pdg.ekind with
+      | Pdg.Kmem _ ->
+          if e.Pdg.carried then
+            check Alcotest.bool "carried memory edges relaxed" true
+              (e.Pdg.commut <> Pdg.Cnone)
+          else
+            check Alcotest.bool "intra edge unrelaxed" true (e.Pdg.commut = Pdg.Cnone)
+      | _ -> ())
+    (Pdg.edges pdg);
+  check Alcotest.bool "doall applicable after relaxing" true
+    (Commset_transforms.Doall.applicable pdg)
+
+let test_algorithm1_unannotated () =
+  let src =
+    {|
+void main() {
+  for (int i = 0; i < 6; i++) {
+    vec_push("x" + int_to_string(i));
+  }
+}
+|}
+  in
+  let c = compile src in
+  check Alcotest.int "nothing relaxed" 0 (c.P.target.P.n_uco + c.P.target.P.n_ico);
+  check Alcotest.bool "doall blocked" false
+    (Commset_transforms.Doall.applicable c.P.target.P.pdg)
+
+let test_algorithm1_unprovable_predicate () =
+  (* predicate on a value that is not affine in the IV: not provable *)
+  let src =
+    {|
+#pragma commset decl G group
+#pragma commset predicate G (a) (b) (a != b)
+void main() {
+  for (int i = 0; i < 6; i++) {
+    int k = rng_int(10);
+    #pragma commset member G(k)
+    {
+      vec_push(int_to_string(k));
+    }
+    #pragma commset member G(k)
+    {
+      vec_push(int_to_string(k + 1));
+    }
+  }
+}
+|}
+  in
+  let c = compile src in
+  let pdg = c.P.target.P.pdg in
+  let vec_carried_unrelaxed =
+    List.filter
+      (fun (e : Pdg.edge) ->
+        e.Pdg.carried && e.Pdg.commut = Pdg.Cnone
+        &&
+        match e.Pdg.ekind with
+        | Pdg.Kmem locs -> List.mem (A.Effects.Lext "vec") locs
+        | _ -> false)
+      (Pdg.edges pdg)
+  in
+  check Alcotest.bool "unprovable predicates leave edges" true
+    (vec_carried_unrelaxed <> [])
+
+let test_ico_vs_uco_dominance () =
+  (* md5sum's fopen/fclose pair: the carried edge whose destination
+     dominates its source becomes uco, the other direction ico *)
+  let w = Option.get (Commset_workloads.Registry.find "md5sum") in
+  let c = compile ~setup:w.Commset_workloads.Workload.setup w.Commset_workloads.Workload.source in
+  check Alcotest.bool "some uco" true (c.P.target.P.n_uco > 0);
+  check Alcotest.bool "exactly one ico (fopen->fclose)" true (c.P.target.P.n_ico = 1)
+
+(* ---- metadata ---- *)
+
+let test_metadata_sets () =
+  let c = compile pair_src in
+  let md = c.P.md in
+  let g = Option.get (Core.Metadata.set_info md "G") in
+  check Alcotest.bool "G is group" true (g.Core.Metadata.kind = L.Ast.Group_set);
+  check Alcotest.bool "G predicated" true (g.Core.Metadata.predicate <> None);
+  check Alcotest.int "two members of G" 2 (List.length (Core.Metadata.members_of md "G"));
+  (* materialized self sets exist with singleton membership *)
+  let selfs =
+    List.filter
+      (fun (s : Core.Metadata.set_info) -> Core.Metadata.is_materialized_self s.Core.Metadata.sname)
+      (Core.Metadata.sets_in_rank_order md)
+  in
+  check Alcotest.int "two materialized self sets" 2 (List.length selfs);
+  List.iter
+    (fun (s : Core.Metadata.set_info) ->
+      check Alcotest.int "singleton" 1
+        (List.length (Core.Metadata.members_of md s.Core.Metadata.sname));
+      check Alcotest.bool "self kind" true (s.Core.Metadata.kind = L.Ast.Self_set))
+    selfs;
+  (* ranks are unique and ordered *)
+  let ranks = List.map (fun s -> s.Core.Metadata.rank) (Core.Metadata.sets_in_rank_order md) in
+  check Alcotest.(list int) "ranks 0..n-1" (List.init (List.length ranks) (fun i -> i)) ranks
+
+let test_facets_interface () =
+  (* like geti's SetBit/GetBit: interface commutativity predicated on an
+     argument, with a predicated self set for same-member pairs *)
+  let src =
+    {|
+#pragma commset decl K group
+#pragma commset decl KS self
+#pragma commset predicate K (a) (b) (a != b)
+#pragma commset predicate KS (a) (b) (a != b)
+#pragma commset member K(key), KS(key)
+void put(int key) {
+  bm_set(1, key);
+}
+#pragma commset member K(key), KS(key)
+bool get(int key) {
+  return bm_get(1, key);
+}
+void main() {
+  for (int i = 0; i < 4; i++) {
+    put(i);
+    if (get(i)) {
+      put(i + 100);
+    }
+  }
+}
+|}
+  in
+  let c = compile ~setup:(fun m -> ignore (R.Machine.bm_new m 4096)) src in
+  let pdg = c.P.target.P.pdg in
+  (* the call sites' facets bind the sets' actuals to the call argument *)
+  let call_nodes =
+    List.filter
+      (fun n -> match Core.Metadata.call_of_node n with Some (_, "put") -> true | _ -> false)
+      (Pdg.nodes pdg)
+  in
+  check Alcotest.int "two call nodes" 2 (List.length call_nodes);
+  List.iter
+    (fun n ->
+      match Core.Metadata.facets c.P.md ~caller:"main" n with
+      | { Core.Metadata.fmember = Core.Metadata.Mfun "put";
+          fsets = [ ("K", [ _ ]); ("KS", [ _ ]) ];
+          _
+        }
+        :: _ ->
+          ()
+      | _ -> Alcotest.fail "expected an interface facet bound to the argument")
+    call_nodes;
+  (* cross-member and same-member edges relax: actuals are affine in the
+     IV with equal multipliers, so provably distinct across iterations *)
+  check Alcotest.bool "relaxations happened" true (c.P.target.P.n_uco + c.P.target.P.n_ico > 0)
+
+(* ---- well-formedness ---- *)
+
+let test_wellformed_return_escape () =
+  compile_fails ~substr:"return"
+    {|
+#pragma commset decl S self
+int f() {
+  for (int i = 0; i < 3; i++) {
+    #pragma commset member S
+    {
+      vec_push("x");
+      return 1;
+    }
+  }
+  return 0;
+}
+void main() {
+  int x = f();
+}
+|}
+
+let test_wellformed_intra_set_call () =
+  compile_fails ~substr:"transitively calls"
+    {|
+#pragma commset decl S group
+#pragma commset member S
+void g() {
+  vec_push("g");
+}
+#pragma commset member S
+void f() {
+  g();
+}
+void main() {
+  for (int i = 0; i < 3; i++) {
+    f();
+    g();
+  }
+}
+|}
+
+let test_wellformed_impure_predicate () =
+  compile_fails ~substr:"not pure"
+    {|
+#pragma commset decl S group
+#pragma commset predicate S (a) (b) (rng_int(2) != a)
+void main() {
+  for (int i = 0; i < 3; i++) {
+    #pragma commset member S(i)
+    {
+      vec_push("x");
+    }
+  }
+}
+|}
+
+let test_commset_graph () =
+  (* a member of S1 calling into a function holding a member of S2 creates
+     an S1 -> S2 edge; acyclic here, so compilation succeeds *)
+  let src =
+    {|
+#pragma commset decl S1 self
+#pragma commset decl S2 self
+void inner() {
+  #pragma commset member S2
+  {
+    vec_push("inner");
+  }
+}
+#pragma commset member S1
+void outer() {
+  inner();
+}
+void main() {
+  for (int i = 0; i < 3; i++) {
+    outer();
+  }
+}
+|}
+  in
+  let c = compile src in
+  check Alcotest.bool "S1 -> S2 in the commset graph" true
+    (Digraph.has_edge c.P.commset_graph "S1" "S2");
+  check Alcotest.bool "acyclic" false (Digraph.has_cycle c.P.commset_graph)
+
+(* ---- SCC over the annotated PDG ---- *)
+
+let test_scc_effective () =
+  let c = compile pair_src in
+  let pdg = c.P.target.P.pdg in
+  let scc = Scc.compute pdg ~edges:(Pdg.effective_edges pdg) in
+  (* after relaxation the two regions are separate, replication-safe SCCs *)
+  let region_nids =
+    List.filter_map
+      (fun n -> if Pdg.node_region n <> None then Some n.Pdg.nid else None)
+      (Pdg.nodes pdg)
+  in
+  List.iter
+    (fun nid ->
+      let cid = Scc.component_of scc nid in
+      check Alcotest.int "region alone in its SCC" 1 (List.length (Scc.members scc cid));
+      check Alcotest.bool "no internal carried dep" false (Scc.has_carried_dep scc cid))
+    region_nids
+
+let suite =
+  ( "pdg-core",
+    [
+      Alcotest.test_case "pdg nodes" `Quick test_pdg_nodes;
+      Alcotest.test_case "pdg memory edges" `Quick test_pdg_memory_edges;
+      Alcotest.test_case "algorithm 1 verdicts" `Quick test_algorithm1_verdicts;
+      Alcotest.test_case "algorithm 1 unannotated" `Quick test_algorithm1_unannotated;
+      Alcotest.test_case "algorithm 1 unprovable" `Quick test_algorithm1_unprovable_predicate;
+      Alcotest.test_case "ico/uco dominance rule" `Quick test_ico_vs_uco_dominance;
+      Alcotest.test_case "metadata sets" `Quick test_metadata_sets;
+      Alcotest.test_case "interface facets" `Quick test_facets_interface;
+      Alcotest.test_case "wf: return escape" `Quick test_wellformed_return_escape;
+      Alcotest.test_case "wf: intra-set call" `Quick test_wellformed_intra_set_call;
+      Alcotest.test_case "wf: impure predicate" `Quick test_wellformed_impure_predicate;
+      Alcotest.test_case "commset graph" `Quick test_commset_graph;
+      Alcotest.test_case "scc over effective edges" `Quick test_scc_effective;
+    ] )

@@ -1,0 +1,63 @@
+(** Tests for the reporting layer: ASCII tables and charts, the Table 1
+    feature matrix, and the evaluation helpers. *)
+
+module Report = Commset_report
+
+let check = Alcotest.check
+
+let test_ascii_table () =
+  let t =
+    Report.Ascii.table ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let lines = String.split_on_char '\n' t in
+  check Alcotest.int "header + separator + 2 rows" 4 (List.length lines);
+  (* columns are aligned: every '2'/'4' cell starts at the same column *)
+  (match lines with
+  | [ h; _; r1; r2 ] ->
+      check Alcotest.bool "header first" true (String.length h >= 4);
+      check Alcotest.int "aligned column" (String.index r1 '2' ) (String.index r2 '4')
+  | _ -> Alcotest.fail "table shape")
+
+let test_ascii_chart () =
+  let chart =
+    Report.Ascii.chart ~max_threads:8
+      [ ("linear", List.init 8 (fun i -> (i + 1, float_of_int (i + 1)))) ]
+  in
+  check Alcotest.bool "has the legend" true
+    (String.length chart > 0
+    &&
+    let has_sub sub s =
+      let n = String.length sub and m = String.length s in
+      let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    has_sub "* = linear" chart && has_sub "threads" chart)
+
+let test_table1 () =
+  let t = Report.Table1.render () in
+  let lines = String.split_on_char '\n' t in
+  (* 12 feature rows + header + separator *)
+  check Alcotest.int "rows" 14 (List.length lines);
+  check Alcotest.int "six systems" 6 (List.length Report.Table1.systems);
+  (* the COMMSET column dominates: commuting blocks + group + predication *)
+  let c = Report.Table1.commset in
+  check Alcotest.bool "commset predication" true c.Report.Table1.predication;
+  check Alcotest.bool "commset blocks" true c.Report.Table1.commuting_blocks;
+  check Alcotest.bool "commset groups" true c.Report.Table1.group_commutativity;
+  check Alcotest.bool "no extra constructs" false c.Report.Table1.needs_extra_extensions
+
+let test_geomean () =
+  check (Alcotest.float 0.0001) "geomean of equal" 4.0
+    (Report.Evaluation.geomean [ 4.0; 4.0; 4.0 ]);
+  check (Alcotest.float 0.0001) "geomean 1x8" 2.8284271
+    (Report.Evaluation.geomean [ 1.0; 8.0 ]);
+  check (Alcotest.float 0.0001) "empty" 0.0 (Report.Evaluation.geomean [])
+
+let suite =
+  ( "report",
+    [
+      Alcotest.test_case "ascii table" `Quick test_ascii_table;
+      Alcotest.test_case "ascii chart" `Quick test_ascii_chart;
+      Alcotest.test_case "table 1" `Quick test_table1;
+      Alcotest.test_case "geomean" `Quick test_geomean;
+    ] )

@@ -1,0 +1,185 @@
+(** Tests for the discrete-event multicore simulator: compute timing,
+    mutual exclusion, FIFO handoff, queue backpressure, deadlock
+    detection, transaction conflicts, and emission ordering. *)
+
+module Sim = Commset_runtime.Sim
+module Costmodel = Commset_runtime.Costmodel
+open Commset_support
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+let mutex_lock = { Sim.lflavor = Costmodel.Mutex; lname = "m" }
+let spin_lock = { Sim.lflavor = Costmodel.Spin; lname = "s" }
+
+let compute c = Sim.Compute { cost = c; tag = "w" }
+
+let run ?(locks = [||]) ?(n_queues = 0) segs =
+  Sim.run (Sim.create ~locks ~n_queues segs)
+
+let test_compute_only () =
+  let r = run [| [ compute 100.; compute 50. ]; [ compute 30. ] |] in
+  check (Alcotest.float 0.001) "makespan is the longest thread" 150. r.Sim.makespan;
+  check (Alcotest.float 0.001) "busy tracked" 150. r.Sim.thread_busy.(0);
+  check (Alcotest.float 0.001) "busy tracked 2" 30. r.Sim.thread_busy.(1)
+
+let test_mutual_exclusion () =
+  (* two threads, one lock, critical sections of 100 each: they serialize *)
+  let thread = [ Sim.Acquire 0; compute 100.; Sim.Release 0 ] in
+  let r = run ~locks:[| mutex_lock |] [| thread; thread |] in
+  check Alcotest.bool "serialized" true (r.Sim.makespan > 200.);
+  check Alcotest.int "one contended acquire" 1 r.Sim.lock_contended
+
+let test_lock_fifo_handoff () =
+  (* three waiters resume in request order; emissions record the order *)
+  let worker name =
+    [ compute 1.; Sim.Acquire 0; Sim.Emit name; compute 50.; Sim.Release 0 ]
+  in
+  let r =
+    run ~locks:[| spin_lock |]
+      [| worker "a"; worker "b"; worker "c" |]
+  in
+  check
+    Alcotest.(list string)
+    "commit order follows arrival order" [ "a"; "b"; "c" ]
+    (List.map snd r.Sim.outputs)
+
+let test_release_unowned () =
+  match Diag.guard (fun () -> run ~locks:[| mutex_lock |] [| [ Sim.Release 0 ] |]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "releasing an unowned lock must be detected"
+
+let test_queue_fifo () =
+  (* producer pushes three tokens; consumer pops three; finishes *)
+  let producer = [ compute 10.; Sim.Push 0; Sim.Push 0; compute 5.; Sim.Push 0 ] in
+  let consumer = [ Sim.Pop 0; Sim.Pop 0; Sim.Pop 0; Sim.Emit "done" ] in
+  let r = run ~n_queues:1 [| producer; consumer |] in
+  check Alcotest.int "consumer finished" 1 (List.length r.Sim.outputs)
+
+let test_queue_blocking_consumer () =
+  (* the consumer must wait for the producer's long compute *)
+  let producer = [ compute 500.; Sim.Push 0 ] in
+  let consumer = [ Sim.Pop 0; Sim.Emit "got" ] in
+  let r = run ~n_queues:1 [| producer; consumer |] in
+  match r.Sim.outputs with
+  | [ (t, "got") ] -> check Alcotest.bool "popped after the push" true (t >= 500.)
+  | _ -> Alcotest.fail "expected one output"
+
+let test_queue_backpressure () =
+  (* capacity is bounded: a producer pushing far ahead must block until
+     the consumer drains *)
+  let n = !Costmodel.queue_capacity + 5 in
+  let producer = List.init n (fun _ -> Sim.Push 0) in
+  let consumer = List.concat (List.init n (fun _ -> [ compute 100.; Sim.Pop 0 ])) in
+  let r = run ~n_queues:1 [| producer; consumer |] in
+  (* the producer cannot finish before the consumer frees capacity *)
+  check Alcotest.bool "producer throttled" true
+    (r.Sim.makespan >= 100. *. float_of_int (n - !Costmodel.queue_capacity))
+
+let test_deadlock_detection () =
+  (* consumer pops from an empty queue nobody fills *)
+  match Diag.guard (fun () -> run ~n_queues:1 [| [ Sim.Pop 0 ] |]) with
+  | Error d ->
+      check Alcotest.bool "mentions deadlock" true
+        (String.length d.Diag.message > 0)
+  | Ok _ -> Alcotest.fail "expected deadlock detection"
+
+let test_tm_conflict () =
+  (* two transactions writing the same location: one aborts and retries *)
+  let tx tag =
+    Sim.Tx { cost = 100.; reads = [ "x" ]; writes = [ "x" ]; outputs = [ tag ]; tag; spec = None }
+  in
+  let r = run [| [ tx "a" ]; [ compute 1.; tx "b" ] |] in
+  check Alcotest.bool "at least one abort" true (r.Sim.tx_aborts >= 1);
+  check Alcotest.int "both committed" 2 (List.length r.Sim.outputs)
+
+let test_tm_no_false_conflict () =
+  (* disjoint read/write sets never conflict *)
+  let tx loc = Sim.Tx { cost = 100.; reads = [ loc ]; writes = [ loc ]; outputs = []; tag = loc; spec = None } in
+  let r = run [| [ tx "x" ]; [ tx "y" ] |] in
+  check Alcotest.int "no aborts" 0 r.Sim.tx_aborts
+
+let test_tm_readers_dont_conflict () =
+  let tx = Sim.Tx { cost = 100.; reads = [ "x" ]; writes = []; outputs = []; tag = "r"; spec = None } in
+  let r = run [| [ tx ]; [ tx ]; [ tx ] |] in
+  check Alcotest.int "read-only txs commute" 0 r.Sim.tx_aborts
+
+let test_emit_ordering () =
+  let r =
+    run [| [ compute 10.; Sim.Emit "late" ]; [ Sim.Emit "early" ] |]
+  in
+  check Alcotest.(list string) "outputs sorted by commit time" [ "early"; "late" ]
+    (List.map snd r.Sim.outputs)
+
+(* property: with any number of contenders, total busy time is preserved
+   and the makespan at least the critical path *)
+let prop_lock_conservation =
+  QCheck.Test.make ~name:"locks never lose work" ~count:100
+    QCheck.(pair (int_range 1 6) (int_range 1 40))
+    (fun (threads, crit) ->
+      let crit = float_of_int (crit * 10) in
+      let body = [ Sim.Acquire 0; compute crit; Sim.Release 0 ] in
+      let r =
+        Sim.run
+          (Sim.create ~locks:[| spin_lock |] ~n_queues:0 (Array.make threads body))
+      in
+      let total_busy = Array.fold_left ( +. ) 0. r.Sim.thread_busy in
+      abs_float (total_busy -. (crit *. float_of_int threads)) < 0.001
+      && r.Sim.makespan +. 0.001 >= crit *. float_of_int threads)
+
+(* ---- more simulator properties ---- *)
+
+(* random two-thread lock/compute programs: the makespan is at least the
+   busiest thread and at most the serialized total *)
+let prop_makespan_bounds =
+  QCheck.Test.make ~name:"makespan between max-busy and serial total" ~count:150
+    QCheck.(pair (small_list (int_range 1 30)) (small_list (int_range 1 30)))
+    (fun (costs1, costs2) ->
+      let thread costs =
+        List.concat_map
+          (fun c -> [ Sim.Acquire 0; compute (float_of_int (c * 10)); Sim.Release 0 ])
+          costs
+      in
+      let r = run ~locks:[| spin_lock |] [| thread costs1; thread costs2 |] in
+      let busy1 = r.Sim.thread_busy.(0) and busy2 = r.Sim.thread_busy.(1) in
+      let serial = busy1 +. busy2 in
+      r.Sim.makespan +. 0.001 >= max busy1 busy2
+      (* overheads are bounded: base costs + handoffs per acquire *)
+      && r.Sim.makespan
+         <= serial
+            +. (float_of_int (List.length costs1 + List.length costs2) *. 200.)
+            +. 1.0)
+
+(* queue token conservation: the consumer pops exactly what was pushed *)
+let prop_queue_conservation =
+  QCheck.Test.make ~name:"queue tokens conserved" ~count:150
+    QCheck.(int_range 1 80)
+    (fun n ->
+      let producer = List.concat (List.init n (fun _ -> [ compute 5.; Sim.Push 0 ])) in
+      let consumer =
+        List.concat (List.init n (fun _ -> [ Sim.Pop 0; Sim.Emit "tok" ]))
+      in
+      let r = run ~n_queues:1 [| producer; consumer |] in
+      List.length r.Sim.outputs = n)
+
+let prop_cases = [ qcheck prop_makespan_bounds; qcheck prop_queue_conservation ]
+
+let suite =
+  ( "sim",
+    prop_cases
+    @ [
+      Alcotest.test_case "compute timing" `Quick test_compute_only;
+      Alcotest.test_case "mutual exclusion" `Quick test_mutual_exclusion;
+      Alcotest.test_case "FIFO handoff" `Quick test_lock_fifo_handoff;
+      Alcotest.test_case "release unowned" `Quick test_release_unowned;
+      Alcotest.test_case "queue FIFO" `Quick test_queue_fifo;
+      Alcotest.test_case "queue blocking" `Quick test_queue_blocking_consumer;
+      Alcotest.test_case "queue backpressure" `Quick test_queue_backpressure;
+      Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+      Alcotest.test_case "TM conflict" `Quick test_tm_conflict;
+      Alcotest.test_case "TM disjoint" `Quick test_tm_no_false_conflict;
+      Alcotest.test_case "TM readers" `Quick test_tm_readers_dont_conflict;
+      Alcotest.test_case "emit ordering" `Quick test_emit_ordering;
+      qcheck prop_lock_conservation;
+    ] )
+

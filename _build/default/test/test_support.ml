@@ -1,0 +1,161 @@
+(** Unit and property tests for the support library: locations,
+    diagnostics, list helpers, and the directed-graph algorithms. *)
+
+open Commset_support
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ---- Loc / Diag ---- *)
+
+let test_loc_merge () =
+  let p l c o = Loc.position ~line:l ~col:c ~offset:o in
+  let a = Loc.make ~file:"f" ~start_pos:(p 1 1 0) ~end_pos:(p 1 5 4) in
+  let b = Loc.make ~file:"f" ~start_pos:(p 2 1 10) ~end_pos:(p 2 8 17) in
+  let m = Loc.merge a b in
+  check Alcotest.int "merged start line" 1 (Loc.line m);
+  check Alcotest.string "pp spans lines" "f:1:1-2:8" (Loc.to_string m);
+  check Alcotest.string "merge with dummy keeps other" (Loc.to_string a)
+    (Loc.to_string (Loc.merge Loc.dummy a))
+
+let test_diag_error () =
+  match Diag.guard (fun () -> Diag.error "boom %d" 42) with
+  | Error d -> check Alcotest.string "message" "boom 42" d.Diag.message
+  | Ok _ -> Alcotest.fail "expected an error"
+
+(* ---- Listx ---- *)
+
+let test_listx () =
+  check Alcotest.(option int) "index_of" (Some 2) (Listx.index_of (fun x -> x = 30) [ 10; 20; 30 ]);
+  check Alcotest.(list int) "take" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  check Alcotest.(list int) "take beyond" [ 1 ] (Listx.take 5 [ 1 ]);
+  check Alcotest.(list int) "drop" [ 3 ] (Listx.drop 2 [ 1; 2; 3 ]);
+  check Alcotest.(list int) "uniq keeps order" [ 3; 1; 2 ] (Listx.uniq [ 3; 1; 3; 2; 1 ]);
+  check Alcotest.int "pairs count" 6 (List.length (Listx.pairs [ 1; 2; 3; 4 ]));
+  check Alcotest.int "sum" 6 (Listx.sum (fun x -> x) [ 1; 2; 3 ]);
+  check Alcotest.(list (pair int (list int))) "group_by"
+    [ (1, [ 1; 3 ]); (0, [ 2 ]) ]
+    (Listx.group_by (fun x -> x mod 2) [ 1; 2; 3 ])
+
+let prop_take_drop =
+  QCheck.Test.make ~name:"take n @ drop n = id" ~count:200
+    QCheck.(pair small_nat (small_list int))
+    (fun (n, xs) -> Listx.take n xs @ Listx.drop n xs = xs)
+
+(* ---- Gensym ---- *)
+
+let test_gensym () =
+  let g = Gensym.create ~prefix:"r" () in
+  check Alcotest.string "first" "r0" (Gensym.fresh g);
+  check Alcotest.string "second" "r1" (Gensym.fresh g);
+  check Alcotest.string "named" "loop.2" (Gensym.fresh_named g "loop");
+  Gensym.reset g;
+  check Alcotest.string "reset restarts" "r0" (Gensym.fresh g);
+  (* independent namespaces *)
+  let h = Gensym.create () in
+  check Alcotest.string "default prefix" "t0" (Gensym.fresh h)
+
+(* ---- Digraph ---- *)
+
+let diamond () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 1 3;
+  Digraph.add_edge g 2 4;
+  Digraph.add_edge g 3 4;
+  g
+
+let test_digraph_basics () =
+  let g = diamond () in
+  check Alcotest.int "nodes" 4 (Digraph.n_nodes g);
+  check Alcotest.int "edges" 4 (Digraph.n_edges g);
+  check Alcotest.(list int) "succs" [ 2; 3 ] (Digraph.succs g 1);
+  check Alcotest.(list int) "preds" [ 2; 3 ] (Digraph.preds g 4);
+  check Alcotest.bool "no cycle" false (Digraph.has_cycle g);
+  check Alcotest.bool "reaches 1->4" true (Digraph.reaches g 1 4);
+  check Alcotest.bool "not reaches 4->1" false (Digraph.reaches g 4 1);
+  check Alcotest.(list int) "reachable includes self" [ 2; 4 ] (Digraph.reachable g 2)
+
+let test_digraph_cycle () =
+  let g = diamond () in
+  Digraph.add_edge g 4 1;
+  check Alcotest.bool "cycle detected" true (Digraph.has_cycle g);
+  check Alcotest.bool "topo on cyclic" true (Digraph.topo_sort g = None);
+  check Alcotest.int "one big SCC" 1 (List.length (Digraph.sccs g))
+
+let test_digraph_self_loop () =
+  let g = Digraph.create () in
+  Digraph.add_edge g 1 1;
+  check Alcotest.bool "self loop is a cycle" true (Digraph.has_cycle g)
+
+let test_digraph_topo () =
+  let g = diamond () in
+  match Digraph.topo_sort g with
+  | None -> Alcotest.fail "diamond is acyclic"
+  | Some order ->
+      let pos x = Option.get (Listx.index_of (fun y -> y = x) order) in
+      List.iter
+        (fun (a, b) ->
+          if not (pos a < pos b) then
+            Alcotest.failf "topo order violates edge %d->%d" a b)
+        [ (1, 2); (1, 3); (2, 4); (3, 4) ]
+
+(* random DAG: edges only from lower to higher numbers *)
+let dag_gen =
+  QCheck.Gen.(
+    sized (fun n ->
+        let n = min 10 (max 2 n) in
+        let* edges =
+          list_size (int_bound (n * 2))
+            (let* a = int_bound (n - 1) in
+             let* b = int_bound (n - 1) in
+             return (min a b, max a b))
+        in
+        return (n, List.filter (fun (a, b) -> a <> b) edges)))
+
+let prop_dag_acyclic =
+  QCheck.Test.make ~name:"forward-edge graphs are acyclic and topo-sortable" ~count:200
+    (QCheck.make dag_gen)
+    (fun (n, edges) ->
+      let g = Digraph.create () in
+      for i = 0 to n - 1 do
+        Digraph.add_node g i
+      done;
+      List.iter (fun (a, b) -> Digraph.add_edge g a b) edges;
+      (not (Digraph.has_cycle g))
+      &&
+      match Digraph.topo_sort g with
+      | None -> false
+      | Some order ->
+          let pos = Hashtbl.create 16 in
+          List.iteri (fun i x -> Hashtbl.replace pos x i) order;
+          List.for_all (fun (a, b) -> Hashtbl.find pos a < Hashtbl.find pos b) edges)
+
+let prop_scc_partition =
+  QCheck.Test.make ~name:"SCCs partition the nodes" ~count:200
+    QCheck.(small_list (pair (int_bound 8) (int_bound 8)))
+    (fun edges ->
+      let g = Digraph.create () in
+      for i = 0 to 8 do
+        Digraph.add_node g i
+      done;
+      List.iter (fun (a, b) -> Digraph.add_edge g a b) edges;
+      let comps = Digraph.sccs g in
+      let all = List.concat comps in
+      List.length all = 9 && List.sort compare all = List.init 9 (fun i -> i))
+
+let suite =
+  ( "support",
+    [
+      Alcotest.test_case "loc merge and pp" `Quick test_loc_merge;
+      Alcotest.test_case "diag error" `Quick test_diag_error;
+      Alcotest.test_case "listx helpers" `Quick test_listx;
+      Alcotest.test_case "gensym" `Quick test_gensym;
+      Alcotest.test_case "digraph basics" `Quick test_digraph_basics;
+      Alcotest.test_case "digraph cycle" `Quick test_digraph_cycle;
+      Alcotest.test_case "digraph self loop" `Quick test_digraph_self_loop;
+      Alcotest.test_case "digraph topo" `Quick test_digraph_topo;
+      qcheck prop_take_drop;
+      qcheck prop_dag_acyclic;
+      qcheck prop_scc_partition;
+    ] )
