@@ -4,7 +4,12 @@
     [Test.make] per table/figure family.
 
     Run with [dune exec bench/main.exe]. Set COMMSET_BENCH_QUICK=1 to skip
-    the 1..8-thread sweeps (Table 2 and the 8-thread results only). *)
+    the 1..8-thread sweeps (Table 2 and the 8-thread results only).
+
+    The harness also times the whole evaluation pipeline per stage
+    (compile, evaluate_all, sweep) with the domain pool at 1 job and at
+    the default job count, checks the two render identical tables, and
+    writes the result to [BENCH_commset.json]. *)
 
 open Bechamel
 open Toolkit
@@ -73,6 +78,101 @@ let run_bechamel () =
     (bench_tests ())
 
 (* ------------------------------------------------------------------ *)
+(* Wall-clock timings of the evaluation pipeline, sequential vs        *)
+(* parallel, written to BENCH_commset.json                             *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Commset_support.Pool
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+type stage_times = {
+  st_jobs : int;
+  st_compile : float;
+  st_eval : float;
+  st_sweep : float;  (** full evaluate_all with sweeps; 0 in quick mode *)
+  st_table2 : string;
+}
+
+let st_total st = st.st_compile +. st.st_eval +. st.st_sweep
+
+(** Run the three pipeline stages with the pool fixed at [jobs] domains.
+    Stages are deliberately independent full passes: "compile" is every
+    workload and variant through {!P.compile}, "evaluate_all" adds the
+    8-thread simulations, "sweep" adds the 1..8-thread sweeps. *)
+let measure_stages ~sweep ~jobs : stage_times =
+  Pool.with_jobs jobs (fun () ->
+      let sources =
+        List.concat_map
+          (fun w ->
+            (w.W.wname, w.W.setup, w.W.source)
+            :: List.map
+                 (fun (vn, src) -> (w.W.wname ^ "/" ^ vn, w.W.setup, src))
+                 w.W.variants)
+          Registry.all
+      in
+      let _, t_compile =
+        timed (fun () ->
+            Pool.parmap (fun (name, setup, src) -> P.compile ~name ~setup src) sources)
+      in
+      let evals, t_eval =
+        timed (fun () -> Report.Evaluation.evaluate_all ~sweep:false ())
+      in
+      let t_sweep =
+        if sweep then
+          snd (timed (fun () -> ignore (Report.Evaluation.evaluate_all ~sweep:true ())))
+        else 0.
+      in
+      {
+        st_jobs = jobs;
+        st_compile = t_compile;
+        st_eval = t_eval;
+        st_sweep = t_sweep;
+        st_table2 = Report.Evaluation.render_table2 evals;
+      })
+
+let json_of_stages st =
+  Printf.sprintf
+    {|{ "jobs": %d, "compile_s": %.3f, "evaluate_all_s": %.3f, "sweep_s": %.3f, "total_s": %.3f }|}
+    st.st_jobs st.st_compile st.st_eval st.st_sweep (st_total st)
+
+let bench_wall_clock ~quick =
+  section "Pipeline wall-clock: sequential vs parallel";
+  let seq = measure_stages ~sweep:(not quick) ~jobs:1 in
+  let par_jobs = Pool.default_jobs () in
+  let par = measure_stages ~sweep:(not quick) ~jobs:par_jobs in
+  let identical = String.equal seq.st_table2 par.st_table2 in
+  let speedup = st_total seq /. Float.max 1e-9 (st_total par) in
+  let line label st =
+    Printf.printf
+      "  %-22s compile %6.2fs  evaluate_all %6.2fs  sweep %6.2fs  total %6.2fs wall\n"
+      label st.st_compile st.st_eval st.st_sweep (st_total st)
+  in
+  line "sequential (jobs=1)" seq;
+  line (Printf.sprintf "parallel (jobs=%d)" par_jobs) par;
+  Printf.printf "  parallel speedup %.2fx wall; identical tables: %b\n" speedup identical;
+  let oc = open_out "BENCH_commset.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "commset-evaluation-pipeline",
+  "quick": %b,
+  "recommended_domains": %d,
+  "sequential": %s,
+  "parallel": %s,
+  "parallel_speedup": %.3f,
+  "identical_tables": %b
+}
+|}
+    quick
+    (Domain.recommended_domain_count ())
+    (json_of_stages seq) (json_of_stages par) speedup identical;
+  close_out oc;
+  Printf.printf "  wrote BENCH_commset.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Paper artifacts                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -139,4 +239,6 @@ let () =
   Printf.printf "Geomean best COMMSET speedup on 8 threads:     %.2fx (paper: 5.7x)\n"
     (Report.Evaluation.geomean best_speedups);
   Printf.printf "Geomean best non-COMMSET speedup on 8 threads: %.2fx (paper: 1.5x)\n"
-    (Report.Evaluation.geomean noncomm_speedups)
+    (Report.Evaluation.geomean noncomm_speedups);
+
+  bench_wall_clock ~quick

@@ -1,1 +1,1 @@
-lib/pipeline/pipeline.ml: Array Commset_analysis Commset_core Commset_ir Commset_lang Commset_pdg Commset_runtime Commset_support Commset_transforms Diag Digraph Hashtbl List Logs Option String
+lib/pipeline/pipeline.ml: Array Commset_analysis Commset_core Commset_ir Commset_lang Commset_pdg Commset_runtime Commset_support Commset_transforms Diag Digraph Hashtbl List Logs Option Pool String

@@ -250,33 +250,52 @@ let simulate ?(record_timeline = false) t (plan : T.Plan.t) : run =
     timelines = result.R.Sim.timelines;
   }
 
-(** Simulate every plan at [threads]; sorted by speedup, best first. *)
+(** Simulate every plan at [threads]; sorted by speedup, best first.
+    Simulations are independent, so they fan out over the domain pool;
+    the sort key and the deterministic plan order make the result
+    identical to the sequential path. *)
 let evaluate ?record_timeline t ~threads : run list =
-  List.map (simulate ?record_timeline t) (plans t ~threads)
+  Pool.parmap (simulate ?record_timeline t) (plans t ~threads)
   |> List.sort (fun a b -> compare b.speedup a.speedup)
 
 let best ?record_timeline t ~threads : run option =
   match evaluate ?record_timeline t ~threads with [] -> None | r :: _ -> Some r
 
 (** Speedup curves: series name -> (threads, speedup) points, for thread
-    counts 1..max_threads. *)
-let sweep ?(min_threads = 1) t ~max_threads : (string * (int * float) list) list =
+    counts min_threads..max_threads. Thread counts are evaluated on the
+    domain pool; [precomputed] supplies run lists for thread counts that
+    were already evaluated (e.g. the 8-thread runs the caller needed
+    anyway), so no configuration is ever simulated twice. *)
+let sweep ?(min_threads = 1) ?(precomputed = []) t ~max_threads :
+    (string * (int * float) list) list =
+  let counts = List.init (max 0 (max_threads - min_threads + 1)) (fun i -> min_threads + i) in
+  let runs_per_count =
+    Pool.parmap
+      (fun threads ->
+        match List.assoc_opt threads precomputed with
+        | Some runs -> (threads, runs)
+        | None -> (threads, evaluate t ~threads))
+      counts
+  in
+  (* fold in ascending thread order: series appear in first-encounter
+     order, exactly as the sequential loop produced them *)
   let table : (string, (int * float) list) Hashtbl.t = Hashtbl.create 16 in
   let order = ref [] in
-  for threads = min_threads to max_threads do
-    List.iter
-      (fun r ->
-        let key = r.plan.T.Plan.series in
-        if not (Hashtbl.mem table key) then order := key :: !order;
-        let cur = Option.value ~default:[] (Hashtbl.find_opt table key) in
-        (* keep the best plan per series per thread count *)
-        match List.assoc_opt threads cur with
-        | Some s when s >= r.speedup -> ()
-        | _ ->
-            Hashtbl.replace table key
-              ((threads, r.speedup) :: List.remove_assoc threads cur))
-      (evaluate t ~threads)
-  done;
+  List.iter
+    (fun (threads, runs) ->
+      List.iter
+        (fun r ->
+          let key = r.plan.T.Plan.series in
+          if not (Hashtbl.mem table key) then order := key :: !order;
+          let cur = Option.value ~default:[] (Hashtbl.find_opt table key) in
+          (* keep the best plan per series per thread count *)
+          match List.assoc_opt threads cur with
+          | Some s when s >= r.speedup -> ()
+          | _ ->
+              Hashtbl.replace table key
+                ((threads, r.speedup) :: List.remove_assoc threads cur))
+        runs)
+    runs_per_count;
   List.rev_map
     (fun key -> (key, List.sort compare (Hashtbl.find table key)))
     !order

@@ -80,13 +80,23 @@ val plans : t -> threads:int -> T.Plan.t list
 
 val simulate : ?record_timeline:bool -> t -> T.Plan.t -> run
 
-(** Simulate every plan; sorted by speedup, best first. *)
+(** Simulate every plan; sorted by speedup, best first. Independent
+    simulations fan out over the {!Commset_support.Pool} domain pool;
+    the result is identical to the sequential path. *)
 val evaluate : ?record_timeline:bool -> t -> threads:int -> run list
 
 val best : ?record_timeline:bool -> t -> threads:int -> run option
 
-(** Speedup curves: series name -> (threads, speedup) points. *)
-val sweep : ?min_threads:int -> t -> max_threads:int -> (string * (int * float) list) list
+(** Speedup curves: series name -> (threads, speedup) points.
+    [precomputed] supplies already-evaluated run lists per thread count
+    (e.g. the 8-thread runs from {!evaluate}) so those configurations are
+    not simulated a second time. *)
+val sweep :
+  ?min_threads:int ->
+  ?precomputed:(int * run list) list ->
+  t ->
+  max_threads:int ->
+  (string * (int * float) list) list
 
 (* reporting helpers *)
 val count_annotations : string -> int

@@ -1,1 +1,1 @@
-lib/report/ablation.ml: Ascii Buffer Commset_pipeline Commset_runtime Commset_transforms Commset_workloads Fun List Option Printf String
+lib/report/ablation.ml: Ascii Atomic Buffer Commset_pipeline Commset_runtime Commset_transforms Commset_workloads Fun List Option Printf String

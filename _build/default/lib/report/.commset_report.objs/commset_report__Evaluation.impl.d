@@ -1,1 +1,1 @@
-lib/report/evaluation.ml: Array Ascii Buffer Commset_pdg Commset_pipeline Commset_runtime Commset_support Commset_transforms Commset_workloads Diag Fmt List Listx Option Printf String
+lib/report/evaluation.ml: Array Ascii Buffer Commset_pdg Commset_pipeline Commset_runtime Commset_support Commset_transforms Commset_workloads Diag Fmt List Listx Option Pool Printf String

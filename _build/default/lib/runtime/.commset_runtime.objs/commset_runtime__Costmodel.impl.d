@@ -1,1 +1,1 @@
-lib/runtime/costmodel.ml: Commset_ir Commset_lang
+lib/runtime/costmodel.ml: Atomic Commset_ir Commset_lang

@@ -1,1 +1,1 @@
-lib/runtime/costmodel.mli: Commset_ir
+lib/runtime/costmodel.mli: Atomic Commset_ir

@@ -1,1 +1,1 @@
-lib/runtime/sim.ml: Array Commset_support Costmodel Diag List Queue Value
+lib/runtime/sim.ml: Array Atomic Commset_support Costmodel Diag Float List Map Queue Seq Set String Value

@@ -1,1 +1,1 @@
-lib/runtime/sim.mli: Costmodel Value
+lib/runtime/sim.mli: Costmodel Set Value

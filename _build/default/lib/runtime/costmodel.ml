@@ -44,15 +44,19 @@ let release_base = function Mutex -> 12.0 | Spin -> 12.0 | Libsafe -> 8.0
     Mutexes pay an OS sleep/wakeup; spin locks pay cache-line bouncing
     that grows with the number of spinners; thread-safe libraries use
     short internal critical sections. *)
-(* tunable knobs, exposed for the ablation benchmarks *)
-let mutex_wakeup = ref 2800.0
-let spin_handoff_base = ref 50.0
-let spin_handoff_per_waiter = ref 45.0
+(* tunable knobs, exposed for the ablation benchmarks; atomic so the
+   ablation sweeps can retune them while the (parallel) evaluation
+   harness reads them from worker domains without tearing *)
+let mutex_wakeup = Atomic.make 2800.0
+let spin_handoff_base = Atomic.make 50.0
+let spin_handoff_per_waiter = Atomic.make 45.0
 
 let handoff_penalty flavor ~n_waiters =
   match flavor with
-  | Mutex -> !mutex_wakeup
-  | Spin -> !spin_handoff_base +. (!spin_handoff_per_waiter *. float_of_int (max 0 (n_waiters - 1)))
+  | Mutex -> Atomic.get mutex_wakeup
+  | Spin ->
+      Atomic.get spin_handoff_base
+      +. (Atomic.get spin_handoff_per_waiter *. float_of_int (max 0 (n_waiters - 1)))
   | Libsafe -> 45.0
 
 (* --- transactions ------------------------------------------------------ *)
@@ -65,7 +69,7 @@ let tx_max_retries = 64
 (** Read/write-set instrumentation slows code executed inside a software
     transaction (the "kicking the tires of STM" effect). Tunable for the
     ablation benchmarks. *)
-let tx_instrumentation_factor = ref 1.8
+let tx_instrumentation_factor = Atomic.make 1.8
 
 (* --- pipeline queues ---------------------------------------------------- *)
 
@@ -73,7 +77,7 @@ let queue_push_cost = 35.0
 let queue_pop_cost = 35.0
 
 (** Bounded queue capacity (tokens); tunable for the ablation benchmarks. *)
-let queue_capacity = ref 32
+let queue_capacity = Atomic.make 32
 
 (* --- builtin cost helpers ---------------------------------------------- *)
 

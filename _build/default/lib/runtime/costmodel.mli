@@ -1,7 +1,8 @@
 (** Cost model of the simulated multicore (all values in simulated
     cycles), calibrated so the *relative* behaviour of the paper's eight
-    workloads is preserved (DESIGN.md §7). The [ref] cells are the knobs
-    the ablation benchmarks sweep. *)
+    workloads is preserved (DESIGN.md §7). The [Atomic.t] cells are the
+    knobs the ablation benchmarks sweep; atomics make them safe to read
+    from the parallel evaluation harness's worker domains. *)
 
 module Ir = Commset_ir.Ir
 
@@ -20,10 +21,10 @@ val release_base : lock_flavor -> float
 (** Knobs for the contended-handoff model: mutexes pay an OS
     sleep/wakeup; spin locks pay cache-line bouncing that grows with the
     number of spinners. *)
-val mutex_wakeup : float ref
+val mutex_wakeup : float Atomic.t
 
-val spin_handoff_base : float ref
-val spin_handoff_per_waiter : float ref
+val spin_handoff_base : float Atomic.t
+val spin_handoff_per_waiter : float Atomic.t
 
 (** Extra latency before a blocked thread obtains a released lock. *)
 val handoff_penalty : lock_flavor -> n_waiters:int -> float
@@ -35,12 +36,12 @@ val tx_abort_penalty : float
 val tx_max_retries : int
 
 (** Read/write-set instrumentation slows code inside a transaction. *)
-val tx_instrumentation_factor : float ref
+val tx_instrumentation_factor : float Atomic.t
 
 (* pipeline queues *)
 val queue_push_cost : float
 val queue_pop_cost : float
-val queue_capacity : int ref
+val queue_capacity : int Atomic.t
 
 (* builtin cost helpers *)
 val per_byte : float

@@ -10,7 +10,15 @@
 
     Threads are processed in virtual-time order (always the minimum-time
     runnable thread), which preserves causality for all resource
-    interactions. *)
+    interactions.
+
+    Transaction-conflict detection is the simulator's hottest path: a
+    transaction window is validated against every earlier commit. The
+    commit log is therefore kept in {!Commit_index}, a map ordered by
+    commit time, so a window only examines the commits it can actually
+    overlap, and entries older than every unfinished thread are pruned as
+    virtual time advances. Footprints are precomputed string sets, not
+    the [List.mem] product the naive formulation implies. *)
 
 open Commset_support
 
@@ -40,6 +48,74 @@ type seg =
       spec : spec_info option;
     }
 
+module Sset = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Commit index                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Commit_index = struct
+  (* Commits keyed by commit time. Commit times are not monotone in log
+     order (the min-time scheduler interleaves threads whose windows
+     overlap), so a sorted map rather than an append-only list; a window
+     query walks only the bindings inside (start, stop). *)
+  module Fmap = Map.Make (Float)
+
+  type entry = {
+    e_thread : int;
+    e_rset : Sset.t;
+    e_wset : Sset.t;
+    e_spec : spec_info option;
+  }
+
+  type t = entry list Fmap.t
+
+  let empty : t = Fmap.empty
+  let is_empty = Fmap.is_empty
+
+  let add_sets idx ~time ~thread ~rset ~wset ~spec : t =
+    let e = { e_thread = thread; e_rset = rset; e_wset = wset; e_spec = spec } in
+    Fmap.update time
+      (function None -> Some [ e ] | Some es -> Some (e :: es))
+      idx
+
+  let add idx ~time ~thread ~reads ~writes ~spec : t =
+    add_sets idx ~time ~thread ~rset:(Sset.of_list reads) ~wset:(Sset.of_list writes) ~spec
+
+  (* drop every commit at or before [min_time]: no future transaction
+     window (start, stop) can have start < min_time once every unfinished
+     thread's clock has reached min_time *)
+  let prune idx ~min_time : t =
+    let _, _, above = Fmap.split min_time idx in
+    above
+
+  let size idx = Fmap.fold (fun _ es acc -> acc + List.length es) idx 0
+
+  (* an overlapping footprint is forgiven when the runtime commutativity
+     check proves the two transactions' member instances commute *)
+  let entry_conflicts ~commutes ~thread ~rwset ~wset ~spec e =
+    e.e_thread <> thread
+    && ((not (Sset.disjoint e.e_wset rwset)) || not (Sset.disjoint e.e_rset wset))
+    &&
+    match (spec, e.e_spec, commutes) with
+    | Some s1, Some s2, Some commutes -> not (commutes s1 s2)
+    | _ -> true
+
+  let conflicts idx ~commutes ~thread ~start ~stop ~reads ~writes ~spec : bool =
+    let rwset = Sset.union reads writes in
+    let rec scan seq =
+      match seq () with
+      | Seq.Nil -> false
+      | Seq.Cons ((time, entries), rest) ->
+          if time >= stop then false
+          else if time <= start then scan rest
+          else
+            List.exists (entry_conflicts ~commutes ~thread ~rwset ~wset:writes ~spec) entries
+            || scan rest
+    in
+    scan (Fmap.to_seq_from start idx)
+end
+
 type lock_state = {
   spec : lock_spec;
   mutable owner : int option;
@@ -64,14 +140,6 @@ type thread = {
   mutable intervals : (float * float * string) list;  (** for timelines; reverse *)
 }
 
-type committed_tx = {
-  ctime : float;
-  cthread : int;
-  creads : string list;
-  cwrites : string list;
-  cspec : spec_info option;
-}
-
 type result = {
   makespan : float;
   outputs : (float * string) list;  (** commit-time ordered *)
@@ -86,7 +154,8 @@ type t = {
   locks : lock_state array;
   queues : queue_state array;
   mutable emitted : (float * string) list;
-  mutable tx_log : committed_tx list;
+  mutable commits : Commit_index.t;
+  mutable pruned_to : float;  (** commits at or before this time are gone *)
   mutable tx_aborts : int;
   spec_commutes : (spec_info -> spec_info -> bool) option;
       (** runtime commutativity check for speculative transactions: when
@@ -117,13 +186,14 @@ let create ?(record_timeline = false) ?spec_commutes ~locks ~n_queues (seg_lists
     queues =
       Array.init n_queues (fun _ ->
           {
-            capacity = !Costmodel.queue_capacity;
+            capacity = Atomic.get Costmodel.queue_capacity;
             count = 0;
             waiting_producer = None;
             waiting_consumer = None;
           });
     emitted = [];
-    tx_log = [];
+    commits = Commit_index.empty;
+    pruned_to = neg_infinity;
     tx_aborts = 0;
     spec_commutes;
     record_timeline;
@@ -133,21 +203,6 @@ let finished th = th.pc >= Array.length th.segs
 
 let note_interval t th start stop tag =
   if t.record_timeline && stop > start then th.intervals <- (start, stop, tag) :: th.intervals
-
-(* conflict of a transaction window against the commit log: an
-   overlapping footprint is forgiven when the runtime commutativity check
-   proves the two transactions' member instances commute *)
-let tx_conflicts t ~tid ~start ~stop ~reads ~writes ~spec =
-  List.exists
-    (fun c ->
-      c.cthread <> tid && c.ctime > start && c.ctime < stop
-      && (List.exists (fun w -> List.mem w reads || List.mem w writes) c.cwrites
-         || List.exists (fun r -> List.mem r writes) c.creads)
-      &&
-      match (spec, c.cspec, t.spec_commutes) with
-      | Some s1, Some s2, Some commutes -> not (commutes s1 s2)
-      | _ -> true)
-    t.tx_log
 
 let step t th =
   let seg = th.segs.(th.pc) in
@@ -231,27 +286,30 @@ let step t th =
         th.blocked <- true
       end
   | Tx { cost; reads; writes; outputs; tag; spec } ->
+      (* footprint sets built once per execution (each Tx segment runs
+         exactly once), shared by every retry's conflict query *)
+      let rset = Sset.of_list reads in
+      let wset = Sset.of_list writes in
       (* execute-with-retry until the commit window is conflict-free *)
       let rec attempt tries start =
         let stop = start +. Costmodel.tx_begin_cost +. cost +. Costmodel.tx_commit_cost in
         if
           tries < Costmodel.tx_max_retries
-          && tx_conflicts t ~tid:th.tid ~start ~stop ~reads ~writes ~spec
+          && Commit_index.conflicts t.commits ~commutes:t.spec_commutes ~thread:th.tid
+               ~start ~stop ~reads:rset ~writes:wset ~spec
         then begin
           t.tx_aborts <- t.tx_aborts + 1;
           th.busy <- th.busy +. cost;
           attempt (tries + 1) (stop +. Costmodel.tx_abort_penalty)
         end
-        else (start, stop)
+        else stop
       in
-      let start, stop = attempt 0 th.time in
+      let stop = attempt 0 th.time in
       note_interval t th th.time stop tag;
-      ignore start;
       th.time <- stop;
       th.busy <- th.busy +. cost;
-      t.tx_log <-
-        { ctime = stop; cthread = th.tid; creads = reads; cwrites = writes; cspec = spec }
-        :: t.tx_log;
+      t.commits <-
+        Commit_index.add_sets t.commits ~time:stop ~thread:th.tid ~rset ~wset ~spec;
       List.iter (fun s -> t.emitted <- (stop, s) :: t.emitted) outputs;
       th.pc <- th.pc + 1
 
@@ -259,15 +317,25 @@ let run t : result =
   let n = Array.length t.threads in
   let continue_ = ref true in
   while !continue_ do
-    (* pick the minimum-time runnable unfinished thread *)
+    (* pick the minimum-time runnable unfinished thread; track the
+       minimum time over every unfinished thread (runnable or blocked)
+       as the safe horizon for pruning the commit index *)
     let best = ref None in
+    let min_all = ref infinity in
     for i = 0 to n - 1 do
       let th = t.threads.(i) in
-      if (not (finished th)) && not th.blocked then
-        match !best with
-        | Some b when t.threads.(b).time <= th.time -> ()
-        | _ -> best := Some i
+      if not (finished th) then begin
+        if th.time < !min_all then min_all := th.time;
+        if not th.blocked then
+          match !best with
+          | Some b when t.threads.(b).time <= th.time -> ()
+          | _ -> best := Some i
+      end
     done;
+    if (not (Commit_index.is_empty t.commits)) && !min_all > t.pruned_to then begin
+      t.commits <- Commit_index.prune t.commits ~min_time:!min_all;
+      t.pruned_to <- !min_all
+    end;
     match !best with
     | Some i -> step t t.threads.(i)
     | None ->

@@ -32,6 +32,56 @@ type seg =
       spec : spec_info option;
     }
 
+module Sset : Set.S with type elt = string
+
+(** The transaction commit log, keyed by commit time, so that validating
+    a transaction window [(start, stop)] only examines the commits that
+    can actually overlap it (commit times are not monotone in log order —
+    the min-time scheduler interleaves threads). Footprints are stored as
+    string sets. Exposed so the simulator tests can cross-check the
+    indexed conflict query against a naive reference implementation. *)
+module Commit_index : sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+
+  (** [add idx ~time ~thread ~reads ~writes ~spec] records a commit. *)
+  val add :
+    t ->
+    time:float ->
+    thread:int ->
+    reads:string list ->
+    writes:string list ->
+    spec:spec_info option ->
+    t
+
+  (** [prune idx ~min_time] drops every commit at or before [min_time];
+    safe once every unfinished thread's clock has reached [min_time],
+    because a conflict requires a commit time strictly inside a window
+    that starts at some thread's current clock. *)
+  val prune : t -> min_time:float -> t
+
+  (** Number of commits currently held. *)
+  val size : t -> int
+
+  (** [conflicts idx ~commutes ~thread ~start ~stop ~reads ~writes ~spec]
+    holds when some commit by another thread, with commit time strictly
+    inside [(start, stop)], has a write set intersecting [reads ∪ writes]
+    or a read set intersecting [writes] — unless both sides carry
+    [spec_info] and [commutes] proves they commute. *)
+  val conflicts :
+    t ->
+    commutes:(spec_info -> spec_info -> bool) option ->
+    thread:int ->
+    start:float ->
+    stop:float ->
+    reads:Sset.t ->
+    writes:Sset.t ->
+    spec:spec_info option ->
+    bool
+end
+
 type t
 
 type result = {

@@ -1,1 +1,1 @@
-lib/support/gensym.ml: Printf
+lib/support/gensym.ml: Atomic Printf

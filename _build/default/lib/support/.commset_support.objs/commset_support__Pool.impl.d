@@ -1,0 +1,1 @@
+lib/support/pool.ml: Array Atomic Domain Fun List Option Printexc String Sys

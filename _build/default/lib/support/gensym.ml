@@ -2,20 +2,20 @@
 
     Each [t] is an independent counter namespace, so separate compiler
     pipelines produce identical names for identical inputs — a property
-    the golden tests rely on. *)
+    the golden tests rely on. The counter is atomic: a [t] shared across
+    domains (e.g. by concurrent compiles fanned out by {!Pool}) never
+    loses or duplicates a counter value. *)
 
-type t = { prefix : string; mutable next : int }
+type t = { prefix : string; next : int Atomic.t }
 
-let create ?(prefix = "t") () = { prefix; next = 0 }
+let create ?(prefix = "t") () = { prefix; next = Atomic.make 0 }
 
 let fresh t =
-  let n = t.next in
-  t.next <- n + 1;
+  let n = Atomic.fetch_and_add t.next 1 in
   Printf.sprintf "%s%d" t.prefix n
 
 let fresh_named t base =
-  let n = t.next in
-  t.next <- n + 1;
+  let n = Atomic.fetch_and_add t.next 1 in
   Printf.sprintf "%s.%d" base n
 
-let reset t = t.next <- 0
+let reset t = Atomic.set t.next 0

@@ -1,0 +1,104 @@
+(** Fixed-size domain pool; see the interface for the contract.
+
+    Implementation notes. The pool is a token budget, not a set of
+    long-lived worker domains: each [parmap] call spawns at most
+    [tokens available] short-lived domains that pull indices from a
+    shared atomic counter and write results into a pre-sized array.
+    Tasks here are coarse (whole compiles, whole simulations), so the
+    spawn cost is noise, and short-lived domains keep the module free of
+    shutdown/teardown protocol. Nested calls see an exhausted budget and
+    simply run inline, which bounds the total number of live domains by
+    the budget regardless of nesting depth. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "COMMSET_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* 0 = not yet initialised from the environment *)
+let jobs_setting = Atomic.make 0
+
+(* extra worker domains still available for lease *)
+let tokens = Atomic.make 0
+
+let rec init_if_needed () =
+  let cur = Atomic.get jobs_setting in
+  if cur > 0 then cur
+  else
+    let n = max 1 (default_jobs ()) in
+    if Atomic.compare_and_set jobs_setting 0 n then begin
+      Atomic.set tokens (n - 1);
+      n
+    end
+    else init_if_needed ()
+
+let jobs () = init_if_needed ()
+
+let set_jobs n =
+  let n = max 1 n in
+  Atomic.set jobs_setting n;
+  Atomic.set tokens (n - 1)
+
+let with_jobs n f =
+  let old = jobs () in
+  set_jobs n;
+  Fun.protect ~finally:(fun () -> set_jobs old) f
+
+(* lease up to [want] worker tokens; returns how many were obtained *)
+let rec acquire want =
+  if want <= 0 then 0
+  else
+    let cur = Atomic.get tokens in
+    if cur <= 0 then 0
+    else
+      let take = min want cur in
+      if Atomic.compare_and_set tokens cur (cur - take) then take
+      else acquire want
+
+let release n = if n > 0 then ignore (Atomic.fetch_and_add tokens n)
+
+let parmap_ordered (f : int -> 'a -> 'b) (xs : 'a list) : 'b list =
+  let _ = init_if_needed () in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f 0 x ]
+  | _ ->
+      let items = Array.of_list xs in
+      let n = Array.length items in
+      let extra = acquire (min (jobs () - 1) (n - 1)) in
+      if extra = 0 then List.mapi f xs
+      else
+        Fun.protect
+          ~finally:(fun () -> release extra)
+          (fun () ->
+            let results : 'b option array = Array.make n None in
+            let errors : (exn * Printexc.raw_backtrace) option array =
+              Array.make n None
+            in
+            let next = Atomic.make 0 in
+            let rec work () =
+              let i = Atomic.fetch_and_add next 1 in
+              if i < n then begin
+                (match f i items.(i) with
+                | v -> results.(i) <- Some v
+                | exception e ->
+                    errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+                work ()
+              end
+            in
+            let workers = List.init extra (fun _ -> Domain.spawn work) in
+            work ();
+            List.iter Domain.join workers;
+            (* deterministic failure: re-raise for the lowest input index,
+               the item a sequential map would have failed on first *)
+            Array.iter
+              (function
+                | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+                | None -> ())
+              errors;
+            Array.to_list (Array.map Option.get results))
+
+let parmap f xs = parmap_ordered (fun _ x -> f x) xs

@@ -1,0 +1,45 @@
+(** Fixed-size domain pool for coarse-grained fan-out.
+
+    The evaluation pipeline runs hundreds of independent compiles and
+    discrete-event simulations; this module spreads them over OCaml 5
+    domains while keeping results deterministic: [parmap] preserves input
+    order, and a failing item re-raises the exception of the {e lowest}
+    input index (exactly the one a sequential [List.map] would have hit
+    first).
+
+    The pool is a global token budget of [jobs () - 1] extra worker
+    domains (the calling domain always participates), so arbitrarily
+    nested [parmap] calls never oversubscribe the machine: once the
+    budget is exhausted, inner calls degrade to plain sequential maps.
+
+    The budget is sized by the [COMMSET_JOBS] environment variable,
+    defaulting to {!Domain.recommended_domain_count}. [COMMSET_JOBS=1]
+    disables parallelism entirely and is guaranteed to behave exactly
+    like sequential code (same order of side effects included). *)
+
+(** Pool size from the environment: [COMMSET_JOBS] if set to a positive
+    integer, else {!Domain.recommended_domain_count}. *)
+val default_jobs : unit -> int
+
+(** The pool size currently in force (lazily initialised from
+    {!default_jobs} on first use). *)
+val jobs : unit -> int
+
+(** [set_jobs n] resizes the pool to [n] (clamped to >= 1). Must not be
+    called while a [parmap] is in flight. *)
+val set_jobs : int -> unit
+
+(** [with_jobs n f] runs [f ()] with the pool resized to [n], restoring
+    the previous size afterwards (even on exceptions). Not reentrant with
+    respect to concurrent [parmap]s from other domains. *)
+val with_jobs : int -> (unit -> 'a) -> 'a
+
+(** [parmap f xs] is [List.map f xs] computed on up to [jobs ()] domains.
+    Results are returned in input order. If one or more applications
+    raise, the exception of the lowest-index failing item is re-raised
+    (with its backtrace) after all workers have drained. *)
+val parmap : ('a -> 'b) -> 'a list -> 'b list
+
+(** [parmap_ordered f xs] is [parmap] with the 0-based input index passed
+    to [f]. *)
+val parmap_ordered : (int -> 'a -> 'b) -> 'a list -> 'b list

@@ -1,1 +1,1 @@
-lib/transforms/emit.ml: Array Commset_analysis Commset_pdg Commset_runtime Fmt Hashtbl List Option Plan
+lib/transforms/emit.ml: Array Atomic Commset_analysis Commset_pdg Commset_runtime Fmt Hashtbl List Option Plan

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Atomic Commset_pipeline Commset_report Commset_runtime Commset_support Commset_transforms Commset_workloads Gensym List Option Pool Printf

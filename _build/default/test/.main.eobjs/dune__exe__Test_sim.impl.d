@@ -1,1 +1,1 @@
-test/test_sim.ml: Alcotest Array Commset_runtime Commset_support Diag List QCheck QCheck_alcotest String
+test/test_sim.ml: Alcotest Array Atomic Commset_runtime Commset_support Diag List QCheck QCheck_alcotest String

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "commset"
     [
       Test_support.suite;
+      Test_pool.suite;
       Test_lang.suite;
       Test_ir.suite;
       Test_analysis.suite;

@@ -1,0 +1,175 @@
+(** Tests for the domain pool: ordering, exception propagation,
+    sequential equivalence at pool size 1, nesting, domain-safety of the
+    shared counters, and end-to-end determinism of the parallel
+    evaluation engine. *)
+
+open Commset_support
+module P = Commset_pipeline.Pipeline
+module Evaluation = Commset_report.Evaluation
+
+let check = Alcotest.check
+
+exception Boom of int
+
+(* ---- ordering ---- *)
+
+let test_parmap_order () =
+  List.iter
+    (fun n ->
+      let xs = List.init n (fun i -> i) in
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "parmap == List.map (n=%d)" n)
+        (List.map (fun x -> (x * 7) mod 11) xs)
+        (Pool.parmap (fun x -> (x * 7) mod 11) xs))
+    [ 0; 1; 2; 3; 17; 100 ]
+
+let test_parmap_ordered () =
+  let xs = [ "a"; "b"; "c"; "d" ] in
+  check
+    Alcotest.(list string)
+    "index matches position"
+    [ "0a"; "1b"; "2c"; "3d" ]
+    (Pool.parmap_ordered (fun i s -> string_of_int i ^ s) xs)
+
+(* ---- exception propagation ---- *)
+
+let test_parmap_exception () =
+  (* several items fail; the lowest input index must win, matching what
+     a sequential List.map would have raised first *)
+  List.iter
+    (fun jobs ->
+      Pool.with_jobs jobs (fun () ->
+          match
+            Pool.parmap
+              (fun x -> if x mod 5 = 2 then raise (Boom x) else x)
+              (List.init 20 (fun i -> i))
+          with
+          | _ -> Alcotest.fail "expected Boom"
+          | exception Boom x ->
+              check Alcotest.int
+                (Printf.sprintf "lowest failing index (jobs=%d)" jobs)
+                2 x))
+    [ 1; 4 ]
+
+(* ---- pool size 1 is exactly sequential ---- *)
+
+let test_jobs1_sequential () =
+  let order = ref [] in
+  let out =
+    Pool.with_jobs 1 (fun () ->
+        Pool.parmap
+          (fun x ->
+            order := x :: !order;
+            x * 2)
+          [ 3; 1; 4; 1; 5 ])
+  in
+  check Alcotest.(list int) "results" [ 6; 2; 8; 2; 10 ] out;
+  check Alcotest.(list int) "side effects in input order" [ 3; 1; 4; 1; 5 ]
+    (List.rev !order)
+
+let test_with_jobs_restores () =
+  let before = Pool.jobs () in
+  (try Pool.with_jobs 3 (fun () -> raise Exit) with Exit -> ());
+  check Alcotest.int "restored after exception" before (Pool.jobs ())
+
+(* ---- nesting ---- *)
+
+let test_nested_parmap () =
+  let got =
+    Pool.with_jobs 4 (fun () ->
+        Pool.parmap
+          (fun x -> Pool.parmap (fun y -> (x * 10) + y) [ 0; 1; 2 ])
+          [ 1; 2; 3 ])
+  in
+  check
+    Alcotest.(list (list int))
+    "nested results ordered"
+    [ [ 10; 11; 12 ]; [ 20; 21; 22 ]; [ 30; 31; 32 ] ]
+    got
+
+(* ---- domain-safety of shared counters ---- *)
+
+let test_gensym_across_domains () =
+  let g = Gensym.create ~prefix:"d" () in
+  let names =
+    Pool.with_jobs 4 (fun () ->
+        Pool.parmap
+          (fun _ -> List.init 500 (fun _ -> Gensym.fresh g))
+          [ (); (); (); () ])
+    |> List.concat
+  in
+  let distinct = List.sort_uniq compare names in
+  check Alcotest.int "no lost or duplicated counter values" 2000
+    (List.length distinct)
+
+let test_costmodel_knob_atomic () =
+  (* hammer queue_capacity from several domains; fetch_and_add must not
+     lose updates *)
+  let saved = Atomic.get Commset_runtime.Costmodel.queue_capacity in
+  Atomic.set Commset_runtime.Costmodel.queue_capacity 0;
+  let () =
+    Pool.with_jobs 4 (fun () ->
+        Pool.parmap
+          (fun _ ->
+            for _ = 1 to 1000 do
+              ignore
+                (Atomic.fetch_and_add Commset_runtime.Costmodel.queue_capacity 1)
+            done)
+          [ (); (); (); () ])
+    |> ignore
+  in
+  let total = Atomic.exchange Commset_runtime.Costmodel.queue_capacity saved in
+  check Alcotest.int "no lost increments" 4000 total
+
+(* ---- end-to-end determinism ---- *)
+
+let test_concurrent_compiles () =
+  (* the same source compiled on several domains at once must yield the
+     same plan labels as a lone sequential compile *)
+  let w = Commset_workloads.Registry.find "md5sum" |> Option.get in
+  let module W = Commset_workloads.Workload in
+  let labels comp =
+    P.plans comp ~threads:4
+    |> List.map (fun p -> p.Commset_transforms.Plan.label)
+  in
+  let seq =
+    labels (P.compile ~name:"md5sum" ~setup:w.W.setup w.W.source)
+  in
+  let par =
+    Pool.with_jobs 4 (fun () ->
+        Pool.parmap
+          (fun _ -> labels (P.compile ~name:"md5sum" ~setup:w.W.setup w.W.source))
+          [ (); (); (); () ])
+  in
+  List.iteri
+    (fun i l ->
+      check Alcotest.(list string) (Printf.sprintf "compile %d" i) seq l)
+    par
+
+let test_parallel_table2_deterministic () =
+  (* the headline guarantee: the parallel evaluation engine renders the
+     exact same Table 2 string as the sequential one *)
+  let table jobs =
+    Pool.with_jobs jobs (fun () ->
+        Evaluation.render_table2 (Evaluation.evaluate_all ~sweep:false ()))
+  in
+  let seq = table 1 in
+  let par = table 4 in
+  check Alcotest.string "Table 2 byte-identical" seq par
+
+let suite =
+  ( "pool",
+    [
+      Alcotest.test_case "parmap preserves order" `Quick test_parmap_order;
+      Alcotest.test_case "parmap_ordered indices" `Quick test_parmap_ordered;
+      Alcotest.test_case "lowest-index exception wins" `Quick test_parmap_exception;
+      Alcotest.test_case "jobs=1 is exactly sequential" `Quick test_jobs1_sequential;
+      Alcotest.test_case "with_jobs restores on exception" `Quick test_with_jobs_restores;
+      Alcotest.test_case "nested parmap" `Quick test_nested_parmap;
+      Alcotest.test_case "gensym shared across domains" `Quick test_gensym_across_domains;
+      Alcotest.test_case "costmodel knobs are atomic" `Quick test_costmodel_knob_atomic;
+      Alcotest.test_case "concurrent compiles agree" `Quick test_concurrent_compiles;
+      Alcotest.test_case "parallel Table 2 == sequential" `Slow
+        test_parallel_table2_deterministic;
+    ] )

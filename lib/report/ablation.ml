@@ -64,10 +64,11 @@ let annotation_ablation () =
 (* Cost-model knob sweeps                                              *)
 (* ------------------------------------------------------------------ *)
 
-let with_ref r value f =
-  let saved = !r in
-  r := value;
-  Fun.protect ~finally:(fun () -> r := saved) f
+(* retune a cost-model knob for the duration of [f]; the sims under [f]
+   may run on pool domains, which read the knob atomically *)
+let with_knob knob value f =
+  let saved = Atomic.exchange knob value in
+  Fun.protect ~finally:(fun () -> Atomic.set knob saved) f
 
 (* The evaluation workloads have stable per-stage costs, so any capacity
    >= 1 sustains their pipelines (itself a finding). To expose the queue
@@ -94,7 +95,7 @@ let queue_capacity_sweep () =
   in
   List.map
     (fun cap ->
-      with_ref R.Costmodel.queue_capacity cap (fun () ->
+      with_knob R.Costmodel.queue_capacity cap (fun () ->
           let r =
             R.Sim.run (R.Sim.create ~locks:[||] ~n_queues:1 [| producer; consumer |])
           in
@@ -111,7 +112,7 @@ let spin_bounce_sweep () =
   in
   List.map
     (fun per_waiter ->
-      with_ref R.Costmodel.spin_handoff_per_waiter per_waiter (fun () ->
+      with_knob R.Costmodel.spin_handoff_per_waiter per_waiter (fun () ->
           let s t = match doall_spin t with Some r -> r.P.speedup | None -> 1.0 in
           [
             Printf.sprintf "%.0f" per_waiter;
@@ -129,7 +130,7 @@ let tm_factor_sweep () =
   in
   List.map
     (fun factor ->
-      with_ref R.Costmodel.tx_instrumentation_factor factor (fun () ->
+      with_knob R.Costmodel.tx_instrumentation_factor factor (fun () ->
           [
             Printf.sprintf "%.1f" factor;
             (match doall_tm () with

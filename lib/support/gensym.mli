@@ -1,5 +1,7 @@
 (** Deterministic fresh-name generation; each [t] is an independent
-    counter namespace, so identical pipelines produce identical names. *)
+    counter namespace, so identical pipelines produce identical names.
+    Counters are atomic, so a [t] shared across domains never loses or
+    duplicates a value. *)
 
 type t
 

@@ -75,7 +75,7 @@ let node_segs ~(plan : Plan.t) ~(pdg : Pdg.t) ~reg (e : Trace.node_exec) : Sim.s
          a speculative transaction carrying its predicate actuals *)
       let ctx = Option.get plan.Plan.spec_ctx in
       let cost =
-        !Costmodel.tx_instrumentation_factor
+        Atomic.get Costmodel.tx_instrumentation_factor
         *. List.fold_left (fun acc a -> acc +. Trace.atom_cost a) 0. atoms
       in
       let outputs = List.filter_map (function Trace.Aout s -> Some s | _ -> None) atoms in
@@ -98,7 +98,7 @@ let node_segs ~(plan : Plan.t) ~(pdg : Pdg.t) ~reg (e : Trace.node_exec) : Sim.s
     (* one transaction covering the whole member; read/write-set
        instrumentation inflates the code inside the transaction *)
     let cost =
-      !Costmodel.tx_instrumentation_factor
+      Atomic.get Costmodel.tx_instrumentation_factor
       *. List.fold_left (fun acc a -> acc +. Trace.atom_cost a) 0. atoms
     in
     let outputs =

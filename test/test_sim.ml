@@ -68,13 +68,13 @@ let test_queue_blocking_consumer () =
 let test_queue_backpressure () =
   (* capacity is bounded: a producer pushing far ahead must block until
      the consumer drains *)
-  let n = !Costmodel.queue_capacity + 5 in
+  let n = Atomic.get Costmodel.queue_capacity + 5 in
   let producer = List.init n (fun _ -> Sim.Push 0) in
   let consumer = List.concat (List.init n (fun _ -> [ compute 100.; Sim.Pop 0 ])) in
   let r = run ~n_queues:1 [| producer; consumer |] in
   (* the producer cannot finish before the consumer frees capacity *)
   check Alcotest.bool "producer throttled" true
-    (r.Sim.makespan >= 100. *. float_of_int (n - !Costmodel.queue_capacity))
+    (r.Sim.makespan >= 100. *. float_of_int (n - Atomic.get Costmodel.queue_capacity))
 
 let test_deadlock_detection () =
   (* consumer pops from an empty queue nobody fills *)
@@ -162,7 +162,91 @@ let prop_queue_conservation =
       let r = run ~n_queues:1 [| producer; consumer |] in
       List.length r.Sim.outputs = n)
 
-let prop_cases = [ qcheck prop_makespan_bounds; qcheck prop_queue_conservation ]
+(* ---- the commit index against a naive reference ---- *)
+
+(* a commit is (time, thread, reads, writes) over a tiny alphabet so
+   footprints overlap often *)
+let commit_gen =
+  QCheck.(
+    quad (int_range 0 30) (int_range 0 3)
+      (small_list (oneofl [ "a"; "b"; "c"; "d" ]))
+      (small_list (oneofl [ "a"; "b"; "c"; "d" ])))
+
+let build_index log =
+  List.fold_left
+    (fun idx (t, th, rs, ws) ->
+      Sim.Commit_index.add idx ~time:(float_of_int t) ~thread:th ~reads:rs
+        ~writes:ws ~spec:None)
+    Sim.Commit_index.empty log
+
+(* the naive full-log scan the index replaced *)
+let naive_conflicts log ~thread ~start ~stop ~reads ~writes =
+  let overlaps xs ys = List.exists (fun x -> List.mem x ys) xs in
+  List.exists
+    (fun (t, th, rs, ws) ->
+      let t = float_of_int t in
+      th <> thread && t > start && t < stop
+      && (overlaps ws (reads @ writes) || overlaps rs writes))
+    log
+
+let prop_commit_index_agrees =
+  QCheck.Test.make ~name:"commit index agrees with naive full-log scan"
+    ~count:500
+    QCheck.(
+      pair (small_list commit_gen)
+        (quad (int_range 0 3) (int_range 0 30) (int_range 0 30)
+           (pair
+              (small_list (oneofl [ "a"; "b"; "c"; "d" ]))
+              (small_list (oneofl [ "a"; "b"; "c"; "d" ])))))
+    (fun (log, (thread, t1, t2, (reads, writes))) ->
+      let start = float_of_int (min t1 t2)
+      and stop = float_of_int (max t1 t2) in
+      Sim.Commit_index.conflicts (build_index log) ~commutes:None ~thread
+        ~start ~stop
+        ~reads:(Sim.Sset.of_list reads)
+        ~writes:(Sim.Sset.of_list writes)
+        ~spec:None
+      = naive_conflicts log ~thread ~start ~stop ~reads ~writes)
+
+let prop_prune_preserves_queries =
+  QCheck.Test.make
+    ~name:"pruning never changes a query whose window starts at or after the cut"
+    ~count:500
+    QCheck.(pair (small_list commit_gen) (int_range 0 30))
+    (fun (log, cut) ->
+      let idx = build_index log in
+      let pruned =
+        Sim.Commit_index.prune idx ~min_time:(float_of_int cut)
+      in
+      (* every commit at or before the cut is gone, the rest are kept *)
+      let expect_size =
+        List.length (List.filter (fun (t, _, _, _) -> t > cut) log)
+      in
+      Sim.Commit_index.size pruned = expect_size
+      && List.for_all
+           (fun start ->
+             List.for_all
+               (fun stop ->
+                 Sim.Commit_index.conflicts idx ~commutes:None ~thread:99
+                   ~start:(float_of_int start) ~stop:(float_of_int stop)
+                   ~reads:(Sim.Sset.of_list [ "a"; "c" ])
+                   ~writes:(Sim.Sset.of_list [ "b" ])
+                   ~spec:None
+                 = Sim.Commit_index.conflicts pruned ~commutes:None ~thread:99
+                     ~start:(float_of_int start) ~stop:(float_of_int stop)
+                     ~reads:(Sim.Sset.of_list [ "a"; "c" ])
+                     ~writes:(Sim.Sset.of_list [ "b" ])
+                     ~spec:None)
+               [ start; start + 1; start + 10; 40 ])
+           [ cut; cut + 3; 31 ])
+
+let prop_cases =
+  [
+    qcheck prop_makespan_bounds;
+    qcheck prop_queue_conservation;
+    qcheck prop_commit_index_agrees;
+    qcheck prop_prune_preserves_queries;
+  ]
 
 let suite =
   ( "sim",
