@@ -16,6 +16,8 @@ module W = Commset_workloads.Workload
 module Registry = Commset_workloads.Registry
 module T = Commset_transforms
 module R = Commset_runtime
+module V = Commset_verify
+module Diag = Commset_support.Diag
 
 let load ~workload ~variant ~file : string * string * (R.Machine.t -> unit) =
   match (workload, file) with
@@ -36,10 +38,16 @@ let load ~workload ~variant ~file : string * string * (R.Machine.t -> unit) =
             (String.concat ", " Registry.names);
           exit 2)
   | None, Some path ->
-      let ic = open_in_bin path in
-      let n = in_channel_length ic in
-      let src = really_input_string ic n in
-      close_in ic;
+      let src =
+        try
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with Sys_error reason ->
+          Commset_support.Diag.error ~code:"CS008" "cannot read input file '%s': %s"
+            path reason
+      in
       (Filename.basename path, src, (fun _ -> ()))
   | _ ->
       Fmt.epr "exactly one of WORKLOAD or --file is required@.";
@@ -67,9 +75,11 @@ let variant_arg =
     & info [ "variant" ] ~docv:"NAME" ~doc:"Annotation variant of the workload.")
 
 let file_arg =
+  (* a plain string, not [Arg.file]: unreadable paths must surface as a
+     proper CS008 diagnostic, not a cmdliner parse error *)
   Arg.(
     value
-    & opt (some file) None
+    & opt (some string) None
     & info [ "file"; "f" ] ~docv:"FILE" ~doc:"Compile a miniC source file instead.")
 
 let threads_arg =
@@ -232,6 +242,60 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Speedup-vs-threads chart for every plan family (Figure 6 style)")
     Term.(const run $ workload_arg $ variant_arg $ file_arg)
 
+let lint_cmd =
+  (* exit codes: 0 all clean, 1 warnings only, 2 any error (a refuted
+     annotation, an impure predicate, or a failure to compile at all) *)
+  let run workload variant file format strict verbose =
+    setup_logs verbose;
+    let fail (d : Diag.diagnostic) =
+      (match format with
+      | `Text -> Fmt.epr "%s@." (Diag.to_string d)
+      | `Json ->
+          print_endline
+            (Commset_report.Verdicts.render_json { Commset_verify.Verdict.rpairs = [] } [ d ]));
+      exit 2
+    in
+    let name, src, setup =
+      try load ~workload ~variant ~file with Diag.Error d -> fail d
+    in
+    let c = try P.compile ~name ~setup ~verify:true src with Diag.Error d -> fail d in
+    let report =
+      match c.P.verification with
+      | Some r -> r
+      | None -> { Commset_verify.Verdict.rpairs = [] }
+    in
+    let diags = V.Lint.run_all { V.Lint.md = c.P.md; report = Some report; strict } in
+    (match format with
+    | `Text ->
+        Fmt.pr "%s@." (Commset_report.Verdicts.render report);
+        List.iter (fun d -> Fmt.pr "%s@." (Diag.to_string d)) diags
+    | `Json -> print_endline (Commset_report.Verdicts.render_json report diags));
+    let has_error =
+      List.exists (fun (d : Diag.diagnostic) -> d.Diag.severity = Diag.Error_sev) diags
+    in
+    exit (if has_error then 2 else if diags <> [] then 1 else 0)
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Also warn about pairs whose commutativity could not be verified (CS002).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Audit the COMMSET annotations: symbolic differencing plus dynamic replay of \
+          every member pair, and the annotation lint passes (CS001-CS007)")
+    Term.(
+      const run $ workload_arg $ variant_arg $ file_arg $ format_arg $ strict_arg
+      $ verbose_arg)
+
 let table1_cmd =
   let run () = print_endline (Commset_report.Table1.render ()) in
   Cmd.v
@@ -243,4 +307,4 @@ let () =
   let info = Cmd.info "commsetc" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; check_cmd; pdg_cmd; plans_cmd; run_cmd; seq_cmd; explain_cmd; sweep_cmd; table1_cmd ]))
+       (Cmd.group info [ list_cmd; check_cmd; pdg_cmd; plans_cmd; run_cmd; seq_cmd; explain_cmd; sweep_cmd; lint_cmd; table1_cmd ]))

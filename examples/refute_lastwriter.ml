@@ -1,0 +1,62 @@
+(** A deliberately WRONG annotation, and the sanitizer catching it.
+
+    Both loops below carry a genuine loop-carried dependence — a
+    last-writer-wins store to a global — yet each is annotated with a
+    predicated self commset claiming distinct iterations commute. The
+    first store ([last = i]) is refuted statically: the stored value is
+    an affine function of the induction variable, so symbolic
+    differencing proves the two orders leave different final stores and
+    produces a concrete pair of iterations as witness. The second store
+    ([mark = hash(i) %% 100]) is opaque to the symbolic domain, so the
+    pair survives as Unknown until the dynamic engine replays two
+    recorded instances in both orders and watches the global diverge.
+
+    Run with [dune exec examples/refute_lastwriter.exe]; exits 2, the
+    same convention as [commsetc lint]. *)
+
+module P = Commset_pipeline.Pipeline
+module V = Commset_verify
+module Diag = Commset_support.Diag
+
+let source =
+  {|
+#pragma commset decl LSET self
+#pragma commset predicate LSET (a1) (a2) (a1 != a2)
+#pragma commset decl MSET self
+#pragma commset predicate MSET (b1) (b2) (b1 != b2)
+
+int last = 0;
+int mark = 0;
+
+void main() {
+  for (int i = 0; i < 64; i++) {
+    int w = str_hash(int_to_string(i * 13)) + str_hash(int_to_string(i * 7));
+    #pragma commset member LSET(i)
+    {
+      last = i;
+    }
+  }
+  for (int j = 0; j < 64; j++) {
+    int h = str_hash(int_to_string(j * 17)) % 100;
+    #pragma commset member MSET(j)
+    {
+      mark = h;
+    }
+  }
+  print("last " + int_to_string(last));
+  print("mark " + int_to_string(mark));
+}
+|}
+
+let () =
+  print_endline "=== A non-commutative 'commutative' set ===";
+  print_endline source;
+  let c = P.compile ~name:"refute_lastwriter" ~verify:true source in
+  let report = Option.get c.P.verification in
+  print_endline "=== Sanitizer verdicts ===";
+  print_string (Commset_report.Verdicts.render report);
+  let diags =
+    V.Lint.run_all { V.Lint.md = c.P.md; report = Some report; strict = false }
+  in
+  List.iter (fun d -> print_endline (Diag.to_string d)) diags;
+  if V.Verdict.n_refuted report > 0 then exit 2

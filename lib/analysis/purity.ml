@@ -53,4 +53,5 @@ let check_predicate ?effects ~lookup ~set_name (body : Ast.expr) =
   match expr_verdict lookup effects body with
   | Pure -> ()
   | Impure reason ->
-      Diag.error ~loc:body.Ast.eloc "predicate of commset '%s' is not pure: %s" set_name reason
+      Diag.error ~loc:body.Ast.eloc ~code:"CS004"
+        "predicate of commset '%s' is not pure: %s" set_name reason

@@ -28,6 +28,9 @@ type env = (string * sval) list
 
 val const_int : int -> sval
 
+(** Are two symbolic integers equal, under the iteration fact? *)
+val int_eq : iteration_fact -> sval -> sval -> tribool
+
 (** Three-valued evaluation of a predicate body. *)
 val eval : iteration_fact -> env -> Ast.expr -> sval
 

@@ -29,7 +29,7 @@ let check_region_control_flow (f : Ir.func) (r : Ir.region) =
          (fun b ->
            match b.Ir.term with
            | Ir.Ret _ ->
-               Diag.error ~loc:r.Ir.rloc
+               Diag.error ~loc:r.Ir.rloc ~code:"CS010"
                  "commutative block in '%s' contains a 'return': members must have local, \
                   structured control flow"
                  f.Ir.fname
@@ -39,7 +39,7 @@ let check_region_control_flow (f : Ir.func) (r : Ir.region) =
   match external_targets with
   | [] | [ _ ] -> ()
   | _ ->
-      Diag.error ~loc:r.Ir.rloc
+      Diag.error ~loc:r.Ir.rloc ~code:"CS010"
         "commutative block in '%s' has %d exits (a 'break' or 'continue' escapes it): members \
          must have local, structured control flow"
         f.Ir.fname (List.length external_targets)
@@ -97,7 +97,7 @@ let check_no_intra_set_calls (cg : A.Callgraph.t) (t : Metadata.t) =
                     m1 <> m2 && List.mem f2 reach
               in
               if target_reached then
-                Diag.error
+                Diag.error ~code:"CS011"
                   "commset '%s': member %s transitively calls member %s of the same set \
                    (ambiguous commutativity and a deadlock risk)"
                   info.Metadata.sname
@@ -127,7 +127,7 @@ let check_commset_graph_acyclic (cg : A.Callgraph.t) (t : Metadata.t) =
         ms1)
     sets;
   if Digraph.has_cycle g then
-    Diag.error
+    Diag.error ~code:"CS012"
       "the COMMSET graph has a cycle: commutative members call into each other's commsets, \
        which would risk deadlock";
   g

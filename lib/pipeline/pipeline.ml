@@ -22,6 +22,7 @@ module Wellformed = Commset_core.Wellformed
 module Dep_analysis = Commset_core.Dep_analysis
 module T = Commset_transforms
 module R = Commset_runtime
+module V = Commset_verify
 open Commset_support
 
 type setup = R.Machine.t -> unit
@@ -56,6 +57,8 @@ type t = {
   sync : T.Sync.t;
   sync_none : T.Sync.t;
   setup : setup;
+  verification : V.Verdict.report option;
+      (** per-pair commutativity verdicts, when compiled with [~verify:true] *)
 }
 
 type output_fidelity = Exact | Multiset_equal | Mismatch
@@ -146,7 +149,8 @@ module Log = (val Logs.src_log src_log : Logs.LOG)
     one tracing run (both on fresh machines built by [setup]). Stage
     progress is reported on the [commset.pipeline] log source (paper
     Figure 5's workflow). *)
-let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) (source : string) : t =
+let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) ?(verify = false)
+    (source : string) : t =
   let lookup = R.Builtins.lookup_spec in
   Log.info (fun m -> m "[%s] frontend: parsing and type checking" name);
   let ast = Parser.parse_program ~file:name source in
@@ -183,6 +187,21 @@ let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) (source : strin
   Log.info (fun m -> m "[%s] synchronization engine: %d node(s) compiler-locked" name
       (Hashtbl.length sync.T.Sync.node_locks));
   let sync_none = T.Sync.none md in
+  let verification =
+    if not verify then None
+    else begin
+      Log.info (fun m -> m "[%s] commutativity sanitizer: differencing + replay" name);
+      let report =
+        V.Verify.run ~md ~target_fname:target.func.Ir.fname ~loop:target.loop
+          ~induction:target.induction ~setup ()
+      in
+      Log.info (fun m ->
+          m "[%s] sanitizer verdicts: %d proved, %d unknown, %d refuted" name
+            (V.Verdict.n_proved report) (V.Verdict.n_unknown report)
+            (V.Verdict.n_refuted report));
+      Some report
+    end
+  in
   {
     name;
     source;
@@ -198,6 +217,7 @@ let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) (source : strin
     sync;
     sync_none;
     setup;
+    verification;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -15,6 +15,7 @@ module Pdg = Commset_pdg.Pdg
 module Metadata = Commset_core.Metadata
 module T = Commset_transforms
 module R = Commset_runtime
+module V = Commset_verify
 open Commset_support
 
 (** Prepares a fresh machine's input data (files, packets, database rows). *)
@@ -53,6 +54,8 @@ type t = {
   sync : T.Sync.t;
   sync_none : T.Sync.t;
   setup : setup;
+  verification : V.Verdict.report option;
+      (** per-pair commutativity verdicts, when compiled with [~verify:true] *)
 }
 
 (** How a simulated schedule's output compares with the sequential run. *)
@@ -71,8 +74,10 @@ type run = {
 val fidelity_to_string : output_fidelity -> string
 
 (** Compile a miniC source. Raises {!Diag.Error} on any frontend,
-    metadata, well-formedness or runtime failure. *)
-val compile : ?name:string -> ?setup:setup -> string -> t
+    metadata, well-formedness or runtime failure. With [~verify:true]
+    the commutativity sanitizer also runs (static differencing plus
+    dynamic replay) and its verdicts land in [verification]. *)
+val compile : ?name:string -> ?setup:setup -> ?verify:bool -> string -> t
 
 (** All plans at a thread count: COMMSET-enabled plans over the annotated
     PDG plus non-COMMSET baseline plans over the plain PDG. *)

@@ -1,0 +1,11 @@
+(** Rendering of the commutativity sanitizer's verdict table. *)
+
+module Verdict = Commset_verify.Verdict
+module Diag = Commset_support.Diag
+
+(** Plain-text table, one row per member pair, with a summary line. *)
+val render : Verdict.report -> string
+
+(** The whole lint outcome as one JSON object: per-pair verdicts, the
+    lint diagnostics, and the proved/unknown/refuted summary. *)
+val render_json : Verdict.report -> Diag.diagnostic list -> string

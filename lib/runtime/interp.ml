@@ -14,12 +14,16 @@ type hooks = {
   mutable on_output : string -> unit;
   mutable on_enter_func : Ir.func -> unit;
   mutable on_exit_func : Ir.func -> unit;
-  mutable on_region_enter : Ir.func -> Ir.region -> (string * Value.t list) list -> unit;
+  mutable on_region_enter :
+    Ir.func -> Ir.region -> (string * Value.t list) list -> Value.t array -> unit;
       (** fired on entry to a commutative region, with the predicate
-          actuals of each of its commsets evaluated at that instant *)
-  mutable on_call_actuals : Ir.instr -> Value.t list -> unit;
+          actuals of each of its commsets evaluated at that instant and
+          the live register file (for replay, snapshot it) *)
+  mutable on_call_actuals :
+    Ir.instr -> Value.t list -> (string * (string * Value.t list) list) list -> unit;
       (** fired before a call to a user-defined function, with the
-          evaluated argument values *)
+          evaluated argument values and, per COMMSETNAMEDARGADD enable on
+          the call, the evaluated (block, set actuals) bindings *)
 }
 
 let null_hooks () =
@@ -31,8 +35,8 @@ let null_hooks () =
     on_output = (fun _ -> ());
     on_enter_func = (fun _ -> ());
     on_exit_func = (fun _ -> ());
-    on_region_enter = (fun _ _ _ -> ());
-    on_call_actuals = (fun _ _ -> ());
+    on_region_enter = (fun _ _ _ _ -> ());
+    on_call_actuals = (fun _ _ _ -> ());
   }
 
 type t = {
@@ -154,7 +158,7 @@ and exec_func_body t (func : Ir.func) (args : Value.t list) : Value.t option =
             (fun (set, ops) -> (set, List.map (eval_operand regs) ops))
             region.Ir.rrefs
         in
-        t.hooks.on_region_enter func region actuals
+        t.hooks.on_region_enter func region actuals regs
     | None -> ());
     let block = Ir.block func label in
     List.iter (exec_instr t func regs) block.Ir.instrs;
@@ -196,7 +200,7 @@ and exec_instr t func regs (i : Ir.instr) =
         Diag.error ~loc:i.Ir.iloc "runtime: index %d out of bounds (length %d)" j
           (Array.length a);
       a.(j) <- eval_operand regs v
-  | Ir.Call { dst; callee; args; _ } -> (
+  | Ir.Call { dst; callee; args; enabled } -> (
       let argv = List.map (eval_operand regs) args in
       match Builtins.find callee with
       | Some bi ->
@@ -208,13 +212,53 @@ and exec_instr t func regs (i : Ir.instr) =
       | None -> (
           match Ir.find_func t.prog callee with
           | Some f -> (
-              t.hooks.on_call_actuals i argv;
+              let en_actuals =
+                List.map
+                  (fun (e : Ir.enable) ->
+                    ( e.Ir.en_block,
+                      List.map
+                        (fun (set, ops) -> (set, List.map (eval_operand regs) ops))
+                        e.Ir.en_sets ))
+                  enabled
+              in
+              t.hooks.on_call_actuals i argv en_actuals;
               let result = exec_func t f argv in
               match (dst, result) with
               | Some r, Some v -> regs.(r) <- v
               | Some r, None -> regs.(r) <- Value.Vint 0
               | None, _ -> ())
           | None -> Diag.error ~loc:i.Ir.iloc "runtime: call to unknown function '%s'" callee))
+
+(** Execute one commutative region of [func] in isolation, starting from
+    its entry block with the given register file, and stop as soon as
+    control leaves the region's blocks (the single external exit that
+    well-formedness guarantees) or the function returns. Used by the
+    commutativity sanitizer to replay a traced member instance on a cloned
+    machine; deliberately does not re-fire [on_region_enter]. *)
+let exec_region t (func : Ir.func) (regs : Value.t array) (region : Ir.region) : unit =
+  let labels =
+    List.filter_map
+      (fun (b : Ir.block) ->
+        if List.mem region.Ir.rid b.Ir.bregions then Some b.Ir.label else None)
+      (Ir.blocks_in_order func)
+  in
+  let rec run label =
+    if List.mem label labels then begin
+      if t.fuel <= 0 then raise Out_of_fuel;
+      t.fuel <- t.fuel - 1;
+      t.hooks.on_block func label;
+      let block = Ir.block func label in
+      List.iter (exec_instr t func regs) block.Ir.instrs;
+      charge t Costmodel.terminator_cost;
+      match block.Ir.term with
+      | Ir.Jump l -> run l
+      | Ir.Branch (c, l1, l2) ->
+          if Value.to_bool ~what:"branch condition" (eval_operand regs c) then run l1
+          else run l2
+      | Ir.Ret _ -> ()
+    end
+  in
+  run region.Ir.rentry
 
 (** Run [main()] to completion; returns total simulated cycles. *)
 let run_main t =

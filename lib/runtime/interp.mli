@@ -12,12 +12,16 @@ type hooks = {
   mutable on_output : string -> unit;
   mutable on_enter_func : Ir.func -> unit;
   mutable on_exit_func : Ir.func -> unit;
-  mutable on_region_enter : Ir.func -> Ir.region -> (string * Value.t list) list -> unit;
+  mutable on_region_enter :
+    Ir.func -> Ir.region -> (string * Value.t list) list -> Value.t array -> unit;
       (** fired on entry to a commutative region, with the predicate
-          actuals of each of its commsets evaluated at that instant *)
-  mutable on_call_actuals : Ir.instr -> Value.t list -> unit;
+          actuals of each of its commsets evaluated at that instant and
+          the live register file (for replay, snapshot it) *)
+  mutable on_call_actuals :
+    Ir.instr -> Value.t list -> (string * (string * Value.t list) list) list -> unit;
       (** fired before a call to a user-defined function, with the
-          evaluated argument values *)
+          evaluated argument values and, per COMMSETNAMEDARGADD enable on
+          the call, the evaluated (block, set actuals) bindings *)
 }
 
 val null_hooks : unit -> hooks
@@ -40,6 +44,12 @@ exception Out_of_fuel
 
 val create : ?hooks:hooks -> ?fuel:int -> ?machine:Machine.t -> Ir.program -> t
 val exec_func : t -> Ir.func -> Value.t list -> Value.t option
+
+(** Execute one commutative region of a function in isolation, from its
+    entry block with the given register file, stopping when control
+    leaves the region or the function returns. Does not re-fire
+    [on_region_enter]; used to replay traced member instances. *)
+val exec_region : t -> Ir.func -> Value.t array -> Ir.region -> unit
 
 (** Run [main()] to completion; returns total simulated cycles. *)
 val run_main : t -> float

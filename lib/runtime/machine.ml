@@ -348,3 +348,92 @@ let log_write m line =
   m.log_count <- m.log_count + 1
 
 let log_count m = m.log_count
+
+(* --- cloning and observational comparison (commutativity sanitizer) ------- *)
+
+let copy_tbl copy tbl =
+  let t = Hashtbl.create (Hashtbl.length tbl) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace t k (copy v)) tbl;
+  t
+
+(** Deep copy of the whole machine state. The clone gets the no-op [emit];
+    whoever runs programs on it installs its own. *)
+let clone m =
+  {
+    files = copy_tbl (fun (f : vfile) -> { contents = f.contents }) m.files;
+    fd_table = copy_tbl (fun (f : open_file) -> { f with pos = f.pos }) m.fd_table;
+    next_fd = m.next_fd;
+    rng_state = m.rng_state;
+    hist = Array.copy m.hist;
+    hist_count = m.hist_count;
+    hist_total = m.hist_total;
+    vec = Array.copy m.vec;
+    vec_len = m.vec_len;
+    bitmaps = copy_tbl Bytes.copy m.bitmaps;
+    next_bitmap = m.next_bitmap;
+    live_bitmaps = m.live_bitmaps;
+    lists = copy_tbl (fun l -> ref !l) m.lists;
+    next_list = m.next_list;
+    stat_sum = m.stat_sum;
+    stat_count = m.stat_count;
+    stat_max = m.stat_max;
+    packets = m.packets;
+    dequeued = m.dequeued;
+    pkt_urls = Hashtbl.copy m.pkt_urls;
+    db_rows = Array.copy m.db_rows;
+    db_cursor = m.db_cursor;
+    graph_next_tbl = Array.copy m.graph_next_tbl;
+    graph_head = m.graph_head;
+    graph_nbrs = Hashtbl.copy m.graph_nbrs;
+    graph_wts = Hashtbl.copy m.graph_wts;
+    graph_edge_count = m.graph_edge_count;
+    registry = Hashtbl.copy m.registry;
+    log_lines = m.log_lines;
+    log_count = m.log_count;
+    emit = (fun _ -> ());
+    outputs = m.outputs;
+  }
+
+let sorted_bindings tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(** Differences between two machines that COMMSET's semantics treat as
+    observable. Identity-sensitive state is compared up to renaming
+    (handles like fds, bitmap ids, and list ids are allocation-order
+    artifacts) and order-insensitive sinks (the output stream, the log,
+    the vector, list contents) are compared as multisets — the paper's
+    contract is that a commutative reordering may permute such sinks.
+    Everything else is compared strictly. Returns a human-readable
+    description per differing component; [[]] means observationally
+    equal. *)
+let obs_diff m1 m2 : string list =
+  let diffs = ref [] in
+  let check what equal = if not equal then diffs := what :: !diffs in
+  let msort l = List.sort compare l in
+  check "file contents"
+    (sorted_bindings (copy_tbl (fun (f : vfile) -> f.contents) m1.files)
+    = sorted_bindings (copy_tbl (fun (f : vfile) -> f.contents) m2.files));
+  let fd_multiset m =
+    msort (Hashtbl.fold (fun _ (f : open_file) acc -> (f.path, f.pos, f.closed) :: acc) m.fd_table [])
+  in
+  check "open-file table" (fd_multiset m1 = fd_multiset m2);
+  check "rng state" (m1.rng_state = m2.rng_state);
+  check "histogram" (m1.hist = m2.hist && m1.hist_count = m2.hist_count && m1.hist_total = m2.hist_total);
+  let vec_multiset m = msort (Array.to_list (Array.sub m.vec 0 m.vec_len)) in
+  check "vector contents" (vec_multiset m1 = vec_multiset m2);
+  let bm_multiset m = msort (Hashtbl.fold (fun _ b acc -> Bytes.to_string b :: acc) m.bitmaps []) in
+  check "bitmaps" (bm_multiset m1 = bm_multiset m2);
+  let list_multiset m = msort (Hashtbl.fold (fun _ l acc -> msort !l :: acc) m.lists []) in
+  check "lists" (list_multiset m1 = list_multiset m2);
+  check "stats"
+    (m1.stat_sum = m2.stat_sum && m1.stat_count = m2.stat_count && m1.stat_max = m2.stat_max);
+  check "packet queue" (m1.packets = m2.packets && m1.dequeued = m2.dequeued);
+  check "db cursor" (m1.db_rows = m2.db_rows && m1.db_cursor = m2.db_cursor);
+  check "graph"
+    (m1.graph_next_tbl = m2.graph_next_tbl
+    && m1.graph_head = m2.graph_head
+    && sorted_bindings m1.graph_nbrs = sorted_bindings m2.graph_nbrs
+    && sorted_bindings m1.graph_wts = sorted_bindings m2.graph_wts);
+  check "registry" (sorted_bindings m1.registry = sorted_bindings m2.registry);
+  check "log" (msort m1.log_lines = msort m2.log_lines);
+  check "outputs" (msort m1.outputs = msort m2.outputs);
+  List.rev !diffs

@@ -117,3 +117,14 @@ val cache_put : t -> string -> string -> unit
 (* log sink *)
 val log_write : t -> string -> unit
 val log_count : t -> int
+
+(** Deep copy of the whole machine state; the clone gets a no-op [emit]. *)
+val clone : t -> t
+
+(** Differences between two machines that COMMSET's semantics treat as
+    observable: handle-bearing state (fds, bitmap/list ids) compares up
+    to renaming, order-insensitive sinks (outputs, log, vector, lists)
+    compare as multisets, everything else strictly. Returns one
+    human-readable description per differing component; [[]] means
+    observationally equal. *)
+val obs_diff : t -> t -> string list

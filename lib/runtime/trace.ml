@@ -171,7 +171,7 @@ let hooks_of_recorder rec_ : Interp.hooks =
     on_enter_func = (fun _ -> ());
     on_exit_func = (fun _ -> ());
     on_region_enter =
-      (fun func region actuals ->
+      (fun func region actuals _regs ->
         if func.Ir.fname = rec_.target then
           match rec_.cur_iter with
           | Some it -> (
@@ -190,7 +190,7 @@ let hooks_of_recorder rec_ : Interp.hooks =
               | None -> ())
           | None -> ());
     on_call_actuals =
-      (fun i argv ->
+      (fun i argv _enables ->
         match current_exec rec_ with
         | Some e -> e.eactuals <- Acall_args (callee_name i, argv) :: e.eactuals
         | None -> ());

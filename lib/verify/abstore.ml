@@ -1,0 +1,140 @@
+(** Abstract-store differencing of two member interleavings.
+
+    The two interleavings [A;B] and [B;A] are not executed instruction by
+    instruction; instead each conflicting abstract location is resolved
+    by the *operation classes* of the writes landing on it ({!Summary}):
+    class-algebraic writes (accumulation, multiset append) commute by
+    construction, last-writer-wins stores commute exactly when both
+    orders leave the same final value — decided with {!Symexec.int_eq}
+    over the induction-classified stored operands — and everything else
+    is conservatively unsure or, when the final values provably differ,
+    divergent. *)
+
+module S = Commset_analysis.Symexec
+module Effects = Commset_analysis.Effects
+
+(** One write of one member to one location, with the stored value when
+    it is symbolically known. *)
+type write = {
+  wloc : Effects.location;
+  wclass : Summary.opclass;
+  wvalue : S.sval option;
+}
+
+type divergence = { dloc : Effects.location; dv1 : S.sval; dv2 : S.sval }
+
+(** Result of differencing the two orders over one iteration fact. *)
+type outcome =
+  | Commute of string  (** both orders provably reach equal stores *)
+  | Unsure of string  (** neither proved nor refuted *)
+  | Diverge of divergence  (** the final stores provably differ *)
+
+let outcome_rank = function Commute _ -> 0 | Unsure _ -> 1 | Diverge _ -> 2
+let join_outcome a b = if outcome_rank a >= outcome_rank b then a else b
+
+let loc_str l = Format.asprintf "%a" Effects.pp_location l
+
+let same_tag_class writes =
+  match writes with
+  | [] -> None
+  | w :: rest ->
+      let tag_of = function
+        | Summary.Accum t -> Some (`Accum, t)
+        | Summary.Multiset t -> Some (`Multiset, t)
+        | Summary.Alloc t -> Some (`Alloc, t)
+        | Summary.Cursor t -> Some (`Cursor, t)
+        | Summary.Rng -> Some (`Rng, "rng")
+        | Summary.Overwrite -> Some (`Overwrite, "")
+        | Summary.Opaque _ -> None
+      in
+      let first = tag_of w.wclass in
+      if first <> None && List.for_all (fun w' -> tag_of w'.wclass = first) rest
+      then first
+      else None
+
+(* Final value a sequence of last-writer-wins stores leaves at a
+   location: the last write with a known value, or None. *)
+let final_value ws =
+  List.fold_left (fun _ w -> w.wvalue) None ws
+
+(* Outcome at one location, given each member's writes to it and whether
+   the *other* member reads it. *)
+let diff_loc fact l ~w1 ~w2 ~r1 ~r2 : outcome =
+  match (w1, w2) with
+  | [], [] -> Commute "no writes"
+  | _ :: _, [] | [], _ :: _ ->
+      if (w1 <> [] && r2) || (w2 <> [] && r1) then
+        Unsure
+          (Printf.sprintf
+             "read/write skew on %s: one member reads what the other writes"
+             (loc_str l))
+      else Commute "single writer, partner indifferent"
+  | _ -> (
+      match same_tag_class (w1 @ w2) with
+      | Some (`Accum, t) ->
+          Commute (Printf.sprintf "commutative accumulation (%s)" t)
+      | Some (`Multiset, t) ->
+          Commute (Printf.sprintf "append-only sink (%s), multiset semantics" t)
+      | Some (`Alloc, t) ->
+          Unsure
+            (Printf.sprintf
+               "allocation order permutes %s handles (commutes up to renaming)" t)
+      | Some (`Cursor, t) ->
+          Unsure
+            (Printf.sprintf
+               "shared %s cursor: positions commute, drawn values are exchanged" t)
+      | Some (`Rng, _) -> Unsure "random-stream draws are exchanged"
+      | Some (`Overwrite, _) -> (
+          (* In A;B the final value is B's last store; in B;A it is A's. *)
+          match (final_value w2, final_value w1) with
+          | Some vab, Some vba -> (
+              match S.int_eq fact vab vba with
+              | S.True -> Commute "both orders store the same final value"
+              | S.False -> Diverge { dloc = l; dv1 = vba; dv2 = vab }
+              | S.Maybe ->
+                  Unsure
+                    (Printf.sprintf "final value of %s depends on order"
+                       (loc_str l)))
+          | _ ->
+              Unsure
+                (Printf.sprintf "stored value at %s is not symbolically known"
+                   (loc_str l)))
+      | None ->
+          Unsure
+            (Printf.sprintf "writes of mixed operation classes on %s" (loc_str l)))
+
+(** Difference the final stores of [A;B] and [B;A].
+
+    [writes1]/[writes2] are the members' classified writes with their
+    symbolic stored values (member 1 bound to {!S.Side1}, member 2 to
+    {!S.Side2}); [reads1]/[reads2] their read footprints. Only locations
+    where the two footprints actually conflict contribute. *)
+let diff fact ~(reads1 : Effects.LocSet.t) ~(writes1 : write list)
+    ~(reads2 : Effects.LocSet.t) ~(writes2 : write list) : outcome =
+  let wlocs =
+    List.fold_left
+      (fun s w -> Effects.LocSet.add w.wloc s)
+      Effects.LocSet.empty (writes1 @ writes2)
+  in
+  let touches1 l =
+    Effects.LocSet.exists (Effects.locs_conflict l)
+      (List.fold_left
+         (fun s w -> Effects.LocSet.add w.wloc s)
+         reads1 writes1)
+  and touches2 l =
+    Effects.LocSet.exists (Effects.locs_conflict l)
+      (List.fold_left
+         (fun s w -> Effects.LocSet.add w.wloc s)
+         reads2 writes2)
+  in
+  Effects.LocSet.fold
+    (fun l acc ->
+      if not (touches1 l && touches2 l) then acc
+      else
+        let w1 = List.filter (fun w -> Effects.locs_conflict w.wloc l) writes1
+        and w2 = List.filter (fun w -> Effects.locs_conflict w.wloc l) writes2 in
+        let r1 = Effects.LocSet.exists (Effects.locs_conflict l) reads1
+        and r2 = Effects.LocSet.exists (Effects.locs_conflict l) reads2 in
+        join_outcome acc (diff_loc fact l ~w1 ~w2 ~r1 ~r2))
+    wlocs
+    (Commute "disjoint write sets")

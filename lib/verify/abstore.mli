@@ -1,0 +1,36 @@
+(** Abstract-store differencing of the two interleavings [A;B] / [B;A]. *)
+
+module S = Commset_analysis.Symexec
+module Effects = Commset_analysis.Effects
+
+(** One write of one member to one location. *)
+type write = {
+  wloc : Effects.location;
+  wclass : Summary.opclass;
+  wvalue : S.sval option;  (** stored value, when symbolically known *)
+}
+
+type divergence = {
+  dloc : Effects.location;
+  dv1 : S.sval;  (** final value under [B;A] *)
+  dv2 : S.sval;  (** final value under [A;B] *)
+}
+
+type outcome =
+  | Commute of string  (** both orders provably reach equal stores *)
+  | Unsure of string  (** neither proved nor refuted *)
+  | Diverge of divergence  (** the final stores provably differ *)
+
+val join_outcome : outcome -> outcome -> outcome
+val loc_str : Effects.location -> string
+
+(** Difference the final stores of the two orders under an iteration
+    fact; member 1's values are bound to {!S.Side1}, member 2's to
+    {!S.Side2}. *)
+val diff :
+  S.iteration_fact ->
+  reads1:Effects.LocSet.t ->
+  writes1:write list ->
+  reads2:Effects.LocSet.t ->
+  writes2:write list ->
+  outcome

@@ -1,0 +1,20 @@
+(** The annotation lint framework: registered passes over the COMMSET
+    metadata and verification report, emitting structured diagnostics
+    with stable [CS...] codes. *)
+
+module Metadata = Commset_core.Metadata
+module Diag = Commset_support.Diag
+
+type ctx = {
+  md : Metadata.t;
+  report : Verdict.report option;  (** verification verdicts, when computed *)
+  strict : bool;  (** also flag pairs that could not be proved (CS002) *)
+}
+
+type pass = { pcode : string; pname : string; prun : ctx -> unit }
+
+(** The registry, in code order. *)
+val passes : pass list
+
+(** Run every registered pass and return the accumulated diagnostics. *)
+val run_all : ctx -> Diag.diagnostic list

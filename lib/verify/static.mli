@@ -1,0 +1,38 @@
+(** Static commutativity checking by symbolic differencing of the two
+    interleavings of every member pair of every commset. *)
+
+module Ir = Commset_ir.Ir
+module A = Commset_analysis
+module Metadata = Commset_core.Metadata
+
+type ctx
+
+val create :
+  md:Metadata.t ->
+  target_fname:string ->
+  loop:A.Loops.loop ->
+  induction:A.Induction.t ->
+  ctx
+
+(** An invocation site of a member: the function whose registers the
+    predicate actuals live in, those actuals for one set, and the block
+    the site sits in. *)
+type site = {
+  site_fn : string;
+  site_label : Ir.label option;
+  site_actuals : Ir.operand list;
+}
+
+(** Every place a member can be invoked as an instance of the set. *)
+val sites : ctx -> string -> Metadata.member -> site list
+
+(** Verdict for one member pair of one set. *)
+val check_pair : ctx -> Metadata.set_info -> Metadata.member -> Metadata.member -> Verdict.t
+
+(** The member pairs a set asserts commutative: each member against
+    itself for Self sets, distinct members for Group sets. *)
+val pairs_of_set :
+  Metadata.t -> Metadata.set_info -> (Metadata.member * Metadata.member * bool) list
+
+(** Check every pair of every commset. *)
+val run : ctx -> Verdict.report

@@ -1,0 +1,142 @@
+(** Per-member effect summaries with *operation classes*.
+
+    The raw {!Effects} footprint says which abstract locations a member
+    touches; to difference two interleavings we also need to know *how*
+    each write combines with a concurrent write to the same location.
+    Every write is classified:
+
+    - [Accum]: commutative-associative accumulation (histogram add,
+      statistics, bitmap OR) — any interleaving yields the same state;
+    - [Multiset]: append to an order-insensitive sink (log, vector,
+      output stream) — states are equal as multisets;
+    - [Alloc]: allocator bump (fd table, heap ids) — states are equal up
+      to handle renaming;
+    - [Cursor]: advance of a shared cursor (packet queue, db rows,
+      stream position) — positions commute, drawn values are exchanged;
+    - [Rng]: pseudo-random stream draw — values are exchanged;
+    - [Overwrite]: last-writer-wins store — commutes only when both
+      interleavings provably store the same final value;
+    - [Opaque]: no algebraic structure known. *)
+
+module Ir = Commset_ir.Ir
+module Effects = Commset_analysis.Effects
+module Metadata = Commset_core.Metadata
+
+type opclass =
+  | Accum of string
+  | Multiset of string
+  | Alloc of string
+  | Cursor of string
+  | Rng
+  | Overwrite
+  | Opaque of string
+
+let opclass_to_string = function
+  | Accum s -> Printf.sprintf "accumulate(%s)" s
+  | Multiset s -> Printf.sprintf "append(%s)" s
+  | Alloc s -> Printf.sprintf "alloc(%s)" s
+  | Cursor s -> Printf.sprintf "cursor(%s)" s
+  | Rng -> "rng-draw"
+  | Overwrite -> "overwrite"
+  | Opaque s -> Printf.sprintf "opaque(%s)" s
+
+(* How each builtin's writes combine with a concurrent instance of the
+   same (or another) builtin hitting the same resource. *)
+let builtin_class name =
+  match name with
+  | "hist_add" -> Accum "histogram"
+  | "stat_add" | "stat_note_max" -> Accum "statistics"
+  | "bm_set" -> Accum "bitmap-or"
+  | "list_insert" -> Multiset "list"
+  | "vec_push" -> Multiset "vector"
+  | "log_write" -> Multiset "log"
+  | "print" -> Multiset "stdout"
+  | "fwrite" -> Multiset "stream"
+  | "fopen" | "fclose" -> Alloc "fd"
+  | "bm_new" | "bm_free" | "list_new" | "list_free" | "matrix_alloc"
+  | "matrix_free" ->
+      Alloc "heap"
+  | "pkt_dequeue" -> Cursor "packet-queue"
+  | "db_read" -> Cursor "db"
+  | "fread" -> Cursor "stream"
+  | "rng_int" | "rng_range" | "rng_float" | "rng_gauss" -> Rng
+  | "rng_reseed" | "cache_put" -> Overwrite
+  | other -> Opaque other
+
+(** One abstract-store access of a member. *)
+type access = {
+  aloc : Effects.location;
+  awrite : bool;
+  aclass : opclass;
+  avalue : Ir.operand option;
+      (** the stored operand, when the write is a [Store_global] whose
+          value the differencing engine can reason about symbolically *)
+}
+
+let accesses_of_instr effects ~fname (i : Ir.instr) : access list =
+  let rw = Effects.instr_rw effects ~fname i in
+  let wclass, wvalue =
+    match i.Ir.desc with
+    | Ir.Store_global (_, v) -> (Overwrite, Some v)
+    | Ir.Store_index _ -> (Opaque "array element write", None)
+    | Ir.Call { callee; _ } -> (
+        match Commset_runtime.Builtins.find callee with
+        | Some _ -> (builtin_class callee, None)
+        | None -> (Opaque (Printf.sprintf "call to '%s'" callee), None))
+    | _ -> (Opaque "write", None)
+  in
+  let reads =
+    Effects.LocSet.fold
+      (fun l acc ->
+        { aloc = l; awrite = false; aclass = Opaque "read"; avalue = None } :: acc)
+      rw.Effects.reads []
+  in
+  Effects.LocSet.fold
+    (fun l acc -> { aloc = l; awrite = true; aclass = wclass; avalue = wvalue } :: acc)
+    rw.Effects.writes reads
+
+(** Summary of one commset member: its identity, owning function, the
+    classified accesses of its body, and the raw footprint. *)
+type t = {
+  smember : Metadata.member;
+  sowner : string;
+  sacc : access list;
+  srw : Effects.rw;
+}
+
+let instrs_of_member md (m : Metadata.member) : string * Ir.instr list =
+  let prog = md.Metadata.prog in
+  match m with
+  | Metadata.Mregion (fname, rid) -> (
+      match Ir.find_func prog fname with
+      | None -> (fname, [])
+      | Some f -> (fname, Metadata.region_instrs f rid))
+  | Metadata.Mfun fname -> (
+      match Ir.find_func prog fname with
+      | None -> (fname, [])
+      | Some f ->
+          let acc = ref [] in
+          Ir.iter_instrs f (fun _ i -> acc := i :: !acc);
+          (fname, List.rev !acc))
+  | Metadata.Mnamed (fname, bname) -> (
+      match (Ir.find_func prog fname, Metadata.named_region md fname bname) with
+      | Some f, Some r -> (fname, Metadata.region_instrs f r.Ir.rid)
+      | _ -> (fname, []))
+
+let of_member md (m : Metadata.member) : t =
+  let effects = md.Metadata.effects in
+  let fname, instrs = instrs_of_member md m in
+  let sacc = List.concat_map (accesses_of_instr effects ~fname) instrs in
+  let srw = Effects.instrs_rw effects ~fname instrs in
+  { smember = m; sowner = fname; sacc; srw }
+
+(** Does the member's summary mention [Lunknown] or an unprovenanced heap
+    write, i.e. state the engines cannot attribute precisely? *)
+let has_unanalyzable s =
+  List.exists
+    (fun a ->
+      match a.aloc with
+      | Effects.Lunknown -> true
+      | Effects.Lheap (Effects.Sunknown) -> a.awrite
+      | _ -> false)
+    s.sacc

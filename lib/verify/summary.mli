@@ -1,0 +1,43 @@
+(** Per-member effect summaries with operation classes, the input to the
+    abstract-store differencing of {!Abstore}. *)
+
+module Ir = Commset_ir.Ir
+module Effects = Commset_analysis.Effects
+module Metadata = Commset_core.Metadata
+
+(** How a write combines with a concurrent write to the same location. *)
+type opclass =
+  | Accum of string  (** commutative-associative accumulation *)
+  | Multiset of string  (** append to an order-insensitive sink *)
+  | Alloc of string  (** allocator bump; equal up to handle renaming *)
+  | Cursor of string  (** shared-cursor advance; drawn values exchanged *)
+  | Rng  (** pseudo-random stream draw *)
+  | Overwrite  (** last-writer-wins store *)
+  | Opaque of string  (** no algebraic structure known *)
+
+val opclass_to_string : opclass -> string
+val builtin_class : string -> opclass
+
+(** One abstract-store access of a member. *)
+type access = {
+  aloc : Effects.location;
+  awrite : bool;
+  aclass : opclass;
+  avalue : Ir.operand option;  (** stored operand of a [Store_global] *)
+}
+
+val accesses_of_instr : Effects.t -> fname:string -> Ir.instr -> access list
+
+(** Summary of one commset member. *)
+type t = {
+  smember : Metadata.member;
+  sowner : string;  (** the function whose registers the body reads *)
+  sacc : access list;
+  srw : Effects.rw;
+}
+
+val instrs_of_member : Metadata.t -> Metadata.member -> string * Ir.instr list
+val of_member : Metadata.t -> Metadata.member -> t
+
+(** The summary mentions state the engines cannot attribute precisely. *)
+val has_unanalyzable : t -> bool

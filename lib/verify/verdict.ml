@@ -1,0 +1,62 @@
+(** The verdict lattice of the commutativity sanitizer.
+
+    Every ordered pair of members of a commset (including the pair of two
+    dynamic instances of one member, for Self sets) receives a verdict:
+
+    [Proved < Unknown < Refuted]
+
+    [Proved] — the differencing engine showed both interleavings reach
+    equal abstract stores (or the predicate rules out co-occurrence);
+    [Unknown] — the engines could neither prove nor refute, with the
+    justification recorded; [Refuted] — a counterexample was found, by
+    symbolic differencing or by concrete replay. Joining scenario verdicts
+    takes the worst. *)
+
+module Metadata = Commset_core.Metadata
+
+(** Which engine produced a counterexample. *)
+type source = Static | Dynamic
+
+type counterexample = { cx_source : source; cx_detail : string }
+
+type t = Proved of string | Unknown of string | Refuted of counterexample
+
+let rank = function Proved _ -> 0 | Unknown _ -> 1 | Refuted _ -> 2
+
+(** Least upper bound: the worse verdict wins. *)
+let join a b = if rank a >= rank b then a else b
+
+type pair = {
+  pset : string;  (** the commset asserting commutativity *)
+  pm1 : Metadata.member;
+  pm2 : Metadata.member;
+  pself : bool;  (** two dynamic instances of one member (Self sets) *)
+  pverdict : t;
+  ptrials : int;  (** completed dynamic replay trials *)
+}
+
+type report = { rpairs : pair list }
+
+let count p r = List.length (List.filter p r.rpairs)
+let n_proved = count (fun p -> match p.pverdict with Proved _ -> true | _ -> false)
+let n_unknown = count (fun p -> match p.pverdict with Unknown _ -> true | _ -> false)
+let n_refuted = count (fun p -> match p.pverdict with Refuted _ -> true | _ -> false)
+
+let refuted_pairs r =
+  List.filter_map
+    (fun p -> match p.pverdict with Refuted cx -> Some (p, cx) | _ -> None)
+    r.rpairs
+
+let source_to_string = function Static -> "static differencing" | Dynamic -> "dynamic replay"
+
+let to_string = function
+  | Proved why -> Printf.sprintf "proved: %s" why
+  | Unknown why -> Printf.sprintf "unknown: %s" why
+  | Refuted cx ->
+      Printf.sprintf "REFUTED (%s): %s" (source_to_string cx.cx_source) cx.cx_detail
+
+let pair_label p =
+  if p.pself then Printf.sprintf "%s ~ itself" (Metadata.member_to_string p.pm1)
+  else
+    Printf.sprintf "%s ~ %s" (Metadata.member_to_string p.pm1)
+      (Metadata.member_to_string p.pm2)

@@ -1,0 +1,35 @@
+(** Verdict lattice of the commutativity sanitizer:
+    [Proved < Unknown < Refuted]. *)
+
+module Metadata = Commset_core.Metadata
+
+(** Which engine produced a counterexample. *)
+type source = Static | Dynamic
+
+type counterexample = { cx_source : source; cx_detail : string }
+
+type t = Proved of string | Unknown of string | Refuted of counterexample
+
+val rank : t -> int
+
+(** Least upper bound: the worse verdict wins. *)
+val join : t -> t -> t
+
+type pair = {
+  pset : string;  (** the commset asserting commutativity *)
+  pm1 : Metadata.member;
+  pm2 : Metadata.member;
+  pself : bool;  (** two dynamic instances of one member (Self sets) *)
+  pverdict : t;
+  ptrials : int;  (** completed dynamic replay trials *)
+}
+
+type report = { rpairs : pair list }
+
+val n_proved : report -> int
+val n_unknown : report -> int
+val n_refuted : report -> int
+val refuted_pairs : report -> (pair * counterexample) list
+val source_to_string : source -> string
+val to_string : t -> string
+val pair_label : pair -> string

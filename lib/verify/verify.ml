@@ -1,0 +1,16 @@
+(** The commutativity annotation verifier: static symbolic differencing
+    ({!Static}) followed by dynamic refutation of the surviving
+    [Unknown] pairs ({!Dynamic}). *)
+
+module A = Commset_analysis
+module Metadata = Commset_core.Metadata
+module Machine = Commset_runtime.Machine
+
+let run ?(dynamic = true) ?(max_snapshots = 2) ?(max_trials = 3)
+    ~(md : Metadata.t) ~target_fname ~(loop : A.Loops.loop)
+    ~(induction : A.Induction.t) ~(setup : Machine.t -> unit) () :
+    Verdict.report =
+  let ctx = Static.create ~md ~target_fname ~loop ~induction in
+  let report = Static.run ctx in
+  if dynamic then Dynamic.refine ~max_snapshots ~max_trials ~md ~setup report
+  else report

@@ -14,6 +14,7 @@ let () =
       Test_transforms.suite;
       Test_workloads.suite;
       Test_report.suite;
+      Test_verify.suite;
       Test_spec.suite;
       Test_invariants.suite;
       Test_fuzz.suite;
