@@ -28,12 +28,11 @@ let section title =
 (* Bechamel microbenchmarks of the pipeline stages                     *)
 (* ------------------------------------------------------------------ *)
 
-let bench_tests () =
+let bench_tests comp =
   (* pre-computed inputs so each staged function measures one stage *)
   let source = md5sum.W.source in
   let ast = Commset_lang.Parser.parse_program ~file:"md5sum" source in
   let _ = Commset_lang.Typecheck.check ~externs:Commset_runtime.Builtins.extern_sigs ast in
-  let comp = P.compile ~name:"md5sum" ~setup:md5sum.W.setup source in
   let plan =
     match P.plans comp ~threads:8 with
     | p :: _ -> p
@@ -60,7 +59,7 @@ let bench_tests () =
            T.Emit.simulate ~plan ~pdg:comp.P.target.P.pdg ~trace:comp.P.trace ()));
   ]
 
-let run_bechamel () =
+let run_bechamel comp =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.6) ~stabilize:false () in
@@ -75,7 +74,7 @@ let run_bechamel () =
           | Some [ t ] -> Printf.printf "  %-28s %12.0f ns/run\n%!" name t
           | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
         analyzed)
-    (bench_tests ())
+    (bench_tests comp)
 
 (* ------------------------------------------------------------------ *)
 (* Wall-clock timings of the evaluation pipeline, sequential vs        *)
@@ -84,16 +83,43 @@ let run_bechamel () =
 
 module Pool = Commset_support.Pool
 
+(** GC pressure of one stage, from {!Gc.quick_stat} deltas on the
+    calling domain. With jobs=1 this is exact; with worker domains it
+    understates (workers keep their own counters) but still tracks the
+    coordinator's share of the allocation story. *)
+type gc_delta = {
+  gd_minor : int;  (** minor collections *)
+  gd_major : int;  (** major collections *)
+  gd_alloc_mw : float;  (** words allocated, in millions *)
+}
+
+let words (s : Gc.stat) = s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+let gc_delta (a : Gc.stat) (b : Gc.stat) =
+  {
+    gd_minor = b.Gc.minor_collections - a.Gc.minor_collections;
+    gd_major = b.Gc.major_collections - a.Gc.major_collections;
+    gd_alloc_mw = (words b -. words a) /. 1e6;
+  }
+
+let gc_zero = { gd_minor = 0; gd_major = 0; gd_alloc_mw = 0. }
+
 let timed f =
+  let s0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  let dt = Unix.gettimeofday () -. t0 in
+  let s1 = Gc.quick_stat () in
+  (r, dt, gc_delta s0 s1)
 
 type stage_times = {
   st_jobs : int;
   st_compile : float;
   st_eval : float;
   st_sweep : float;  (** full evaluate_all with sweeps; 0 in quick mode *)
+  st_gc_compile : gc_delta;
+  st_gc_eval : gc_delta;
+  st_gc_sweep : gc_delta;
   st_table2 : string;
 }
 
@@ -114,30 +140,44 @@ let measure_stages ~sweep ~jobs : stage_times =
                  w.W.variants)
           Registry.all
       in
-      let _, t_compile =
+      let _, t_compile, gc_compile =
         timed (fun () ->
             Pool.parmap (fun (name, setup, src) -> P.compile ~name ~setup src) sources)
       in
-      let evals, t_eval =
+      let evals, t_eval, gc_eval =
         timed (fun () -> Report.Evaluation.evaluate_all ~sweep:false ())
       in
-      let t_sweep =
+      let t_sweep, gc_sweep =
         if sweep then
-          snd (timed (fun () -> ignore (Report.Evaluation.evaluate_all ~sweep:true ())))
-        else 0.
+          let _, t, g =
+            timed (fun () -> ignore (Report.Evaluation.evaluate_all ~sweep:true ()))
+          in
+          (t, g)
+        else (0., gc_zero)
       in
       {
         st_jobs = jobs;
         st_compile = t_compile;
         st_eval = t_eval;
         st_sweep = t_sweep;
+        st_gc_compile = gc_compile;
+        st_gc_eval = gc_eval;
+        st_gc_sweep = gc_sweep;
         st_table2 = Report.Evaluation.render_table2 evals;
       })
 
+let json_of_gc g =
+  Printf.sprintf
+    {|{ "minor_collections": %d, "major_collections": %d, "allocated_mwords": %.1f }|}
+    g.gd_minor g.gd_major g.gd_alloc_mw
+
 let json_of_stages st =
   Printf.sprintf
-    {|{ "jobs": %d, "compile_s": %.3f, "evaluate_all_s": %.3f, "sweep_s": %.3f, "total_s": %.3f }|}
+    {|{ "jobs": %d, "compile_s": %.3f, "evaluate_all_s": %.3f, "sweep_s": %.3f, "total_s": %.3f,
+    "gc": { "compile": %s, "evaluate_all": %s, "sweep": %s } }|}
     st.st_jobs st.st_compile st.st_eval st.st_sweep (st_total st)
+    (json_of_gc st.st_gc_compile) (json_of_gc st.st_gc_eval)
+    (json_of_gc st.st_gc_sweep)
 
 let bench_wall_clock ~quick =
   section "Pipeline wall-clock: sequential vs parallel";
@@ -149,7 +189,14 @@ let bench_wall_clock ~quick =
   let line label st =
     Printf.printf
       "  %-22s compile %6.2fs  evaluate_all %6.2fs  sweep %6.2fs  total %6.2fs wall\n"
-      label st.st_compile st.st_eval st.st_sweep (st_total st)
+      label st.st_compile st.st_eval st.st_sweep (st_total st);
+    let gc tag g =
+      Printf.printf "    %-14s gc: %5d minor  %3d major  %8.1f Mwords alloc\n"
+        tag g.gd_minor g.gd_major g.gd_alloc_mw
+    in
+    gc "compile" st.st_gc_compile;
+    gc "evaluate_all" st.st_gc_eval;
+    if st.st_sweep > 0. then gc "sweep" st.st_gc_sweep
   in
   line "sequential (jobs=1)" seq;
   line (Printf.sprintf "parallel (jobs=%d)" par_jobs) par;
@@ -178,16 +225,23 @@ let bench_wall_clock ~quick =
 
 let () =
   let quick = Sys.getenv_opt "COMMSET_BENCH_QUICK" <> None in
-  run_bechamel ();
+  (* one md5sum compilation (and its deterministic variant) feeds the
+     microbenchmarks and both figures *)
+  let md5_comp = P.compile ~name:"md5sum" ~setup:md5sum.W.setup md5sum.W.source in
+  let md5_det =
+    let det = List.assoc "deterministic" md5sum.W.variants in
+    P.compile ~name:"md5sum-det" ~setup:md5sum.W.setup det
+  in
+  run_bechamel md5_comp;
 
   section "Table 1: comparison of commutativity-based IPP systems";
   print_endline (Report.Table1.render ());
 
   section "Figure 2: annotated PDG for md5sum";
-  print_endline (Report.Evaluation.render_figure2 ());
+  print_endline (Report.Evaluation.render_figure2 ~comp:md5_comp ());
 
   section "Figure 3: md5sum timelines";
-  print_endline (Report.Evaluation.render_figure3 ());
+  print_endline (Report.Evaluation.render_figure3 ~comp:md5_comp ~comp_det:md5_det ());
 
   Printf.printf "\nEvaluating all eight workloads%s...\n%!"
     (if quick then " (quick: 8 threads only)" else " (threads 1..8)");

@@ -201,8 +201,8 @@ let seq_cmd =
         let prog = Commset_ir.Lower.lower_program ast in
         let machine = R.Machine.create () in
         setup machine;
-        let interp = R.Interp.create ~machine prog in
-        let total = R.Interp.run_main interp in
+        let prepared = R.Precompile.prepare prog in
+        let total = R.Precompile.run_main (R.Precompile.executor ~machine prepared) in
         List.iter print_endline (R.Machine.outputs machine);
         Fmt.pr "-- %.0f simulated cycles@." total)
   in

@@ -42,12 +42,19 @@ type target = {
   n_ico : int;
 }
 
+(** Thread-count-independent planning inputs for one PDG, computed once
+    at compile time and reused by every [plans] call of the sweep. *)
+type plan_ctx = { reductions : Commset_pdg.Reduction.t list; scc : Scc.t }
+
 type t = {
   name : string;
   source : string;
   ast : Ast.program;
   tcenv : Tc.t;
   prog : Ir.program;
+  prepared : R.Precompile.t;
+      (** prepared once; every interpreter run of this compilation
+          (profiling, tracing, verification, CLI execution) shares it *)
   effects : A.Effects.t;
   md : Metadata.t;
   commset_graph : string Digraph.t;
@@ -56,6 +63,8 @@ type t = {
   trace : R.Trace.t;
   sync : T.Sync.t;
   sync_none : T.Sync.t;
+  plan_ctx_comm : plan_ctx;
+  plan_ctx_plain : plan_ctx;
   setup : setup;
   verification : V.Verdict.report option;
       (** per-pair commutativity verdicts, when compiled with [~verify:true] *)
@@ -87,7 +96,8 @@ let fresh_machine setup () =
   setup m;
   m
 
-let build_target prog effects (lookup : A.Effects.lookup) md ~fname ~header ~setup : target * R.Trace.t =
+let build_target prog effects (lookup : A.Effects.lookup) md ~fname ~header ~setup ~prepared :
+    target * R.Trace.t =
   let func =
     match Ir.find_func prog fname with
     | Some f -> f
@@ -121,7 +131,7 @@ let build_target prog effects (lookup : A.Effects.lookup) md ~fname ~header ~set
   in
   let pdg = Pdg_builder.build input in
   let pdg_plain = Pdg_builder.build input in
-  let trace, _machine = R.Trace.record ~machine:(fresh_machine setup ()) prog pdg in
+  let trace, _machine = R.Trace.record ~machine:(fresh_machine setup ()) ~prepared prog pdg in
   R.Trace.apply_weights trace pdg;
   R.Trace.apply_weights trace pdg_plain;
   let n_uco, n_ico = Dep_analysis.annotate md pdg dom induction in
@@ -163,8 +173,10 @@ let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) ?(verify = fals
   Log.info (fun m -> m "[%s] COMMSET metadata manager and well-formedness checks" name);
   let md = Metadata.build prog tcenv effects in
   let commset_graph = Wellformed.check md ~lookup in
+  Log.info (fun m -> m "[%s] preparing the program for execution" name);
+  let prepared = R.Precompile.prepare prog in
   Log.info (fun m -> m "[%s] profiling to select the hottest loop" name);
-  let profile = R.Profile.analyze ~machine:(fresh_machine setup ()) prog in
+  let profile = R.Profile.analyze ~machine:(fresh_machine setup ()) ~prepared prog in
   let hottest =
     match R.Profile.hottest profile with
     | Some h -> h
@@ -176,7 +188,7 @@ let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) ?(verify = fals
         (100. *. hottest.R.Profile.lr_fraction));
   let target, trace =
     build_target prog effects lookup md ~fname:hottest.R.Profile.lr_func
-      ~header:hottest.R.Profile.lr_header ~setup
+      ~header:hottest.R.Profile.lr_header ~setup ~prepared
   in
   Log.info (fun m ->
       m "[%s] PDG built (%d nodes, %d edges); Algorithm 1: %d uco, %d ico" name
@@ -192,7 +204,7 @@ let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) ?(verify = fals
     else begin
       Log.info (fun m -> m "[%s] commutativity sanitizer: differencing + replay" name);
       let report =
-        V.Verify.run ~md ~target_fname:target.func.Ir.fname ~loop:target.loop
+        V.Verify.run ~prepared ~md ~target_fname:target.func.Ir.fname ~loop:target.loop
           ~induction:target.induction ~setup ()
       in
       Log.info (fun m ->
@@ -202,12 +214,19 @@ let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) ?(verify = fals
       Some report
     end
   in
+  let plan_ctx_of pdg =
+    {
+      reductions = Commset_pdg.Reduction.detect pdg;
+      scc = Scc.compute pdg ~edges:(Pdg.effective_edges pdg);
+    }
+  in
   {
     name;
     source;
     ast;
     tcenv;
     prog;
+    prepared;
     effects;
     md;
     commset_graph;
@@ -216,6 +235,8 @@ let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) ?(verify = fals
     trace;
     sync;
     sync_none;
+    plan_ctx_comm = plan_ctx_of target.pdg;
+    plan_ctx_plain = plan_ctx_of target.pdg_plain;
     setup;
     verification;
   }
@@ -225,20 +246,21 @@ let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) ?(verify = fals
 (* ------------------------------------------------------------------ *)
 
 (** All plans at a given thread count: COMMSET-enabled plans over the
-    annotated PDG plus non-COMMSET baseline plans over the plain PDG. *)
+    annotated PDG plus non-COMMSET baseline plans over the plain PDG.
+    Reductions and SCCs are thread-count independent and come from the
+    compile-time {!plan_ctx}, so a sweep over thread counts only pays
+    for the schedulers themselves. *)
 let plans t ~threads : T.Plan.t list =
   let comm =
     let pdg = t.target.pdg in
-    let reductions = Commset_pdg.Reduction.detect pdg in
-    let scc = Scc.compute pdg ~edges:(Pdg.effective_edges pdg) in
+    let { reductions; scc } = t.plan_ctx_comm in
     T.Doall.plans ~reductions t.sync t.trace pdg ~threads ~uses_commset:true
     @ T.Dswp.plans pdg t.sync scc t.trace ~threads ~uses_commset:true
     @ T.Spec.plans t.md t.sync pdg ~threads ~uses_commset:true
   in
   let plain =
     let pdg = t.target.pdg_plain in
-    let reductions = Commset_pdg.Reduction.detect pdg in
-    let scc = Scc.compute pdg ~edges:(Pdg.effective_edges pdg) in
+    let { reductions; scc } = t.plan_ctx_plain in
     T.Doall.plans ~reductions t.sync_none t.trace pdg ~threads ~uses_commset:false
     @ T.Dswp.plans pdg t.sync_none scc t.trace ~threads ~uses_commset:false
   in
@@ -412,7 +434,7 @@ let features_used t : string list =
 (** Names of the transform families applicable with COMMSET annotations. *)
 let applicable_transforms t : string list =
   let pdg = t.target.pdg in
-  let scc = Scc.compute pdg ~edges:(Pdg.effective_edges pdg) in
+  let scc = t.plan_ctx_comm.scc in
   let doall = T.Doall.applicable pdg in
   let pipeline_plans = T.Dswp.plans pdg t.sync scc t.trace ~threads:8 ~uses_commset:true in
   let has_psdswp = List.exists T.Plan.is_psdswp pipeline_plans in

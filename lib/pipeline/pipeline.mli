@@ -37,14 +37,21 @@ type target = {
   n_ico : int;
 }
 
+(** Thread-count-independent planning inputs for one PDG, computed once
+    at compile time and reused by every {!plans} call of a sweep. *)
+type plan_ctx = { reductions : Commset_pdg.Reduction.t list; scc : Commset_pdg.Scc.t }
+
 (** A compiled program: every static stage plus one profiling run and one
-    tracing run. *)
+    tracing run (both on the prepared-program engine). *)
 type t = {
   name : string;
   source : string;
   ast : Ast.program;
   tcenv : Tc.t;
   prog : Ir.program;
+  prepared : R.Precompile.t;
+      (** prepared once; every interpreter run of this compilation
+          (profiling, tracing, verification, CLI execution) shares it *)
   effects : A.Effects.t;
   md : Metadata.t;
   commset_graph : string Digraph.t;
@@ -53,6 +60,8 @@ type t = {
   trace : R.Trace.t;
   sync : T.Sync.t;
   sync_none : T.Sync.t;
+  plan_ctx_comm : plan_ctx;
+  plan_ctx_plain : plan_ctx;
   setup : setup;
   verification : V.Verdict.report option;
       (** per-pair commutativity verdicts, when compiled with [~verify:true] *)

@@ -193,9 +193,17 @@ let render_geomean evals =
 (* Figures 2 and 3 (md5sum PDG and timelines)                          *)
 (* ------------------------------------------------------------------ *)
 
-let render_figure2 () =
+let md5sum_comp () =
   let w = Registry.find "md5sum" |> Option.get in
-  let c = P.compile ~name:"md5sum" ~setup:w.W.setup w.W.source in
+  P.compile ~name:"md5sum" ~setup:w.W.setup w.W.source
+
+let md5sum_det_comp () =
+  let w = Registry.find "md5sum" |> Option.get in
+  let det = List.assoc "deterministic" w.W.variants in
+  P.compile ~name:"md5sum-det" ~setup:w.W.setup det
+
+let render_figure2 ?comp () =
+  let c = match comp with Some c -> c | None -> md5sum_comp () in
   let pdg = c.P.target.P.pdg in
   Printf.sprintf
     "Figure 2: PDG for md5sum's main loop with COMMSET annotations\n(%d edges annotated uco, %d ico)\n\n%s"
@@ -218,19 +226,17 @@ let render_timeline ?(limit = 40) (r : P.run) =
     r.P.timelines;
   Buffer.contents buf
 
-let render_figure3 () =
-  let w = Registry.find "md5sum" |> Option.get in
+let render_figure3 ?comp ?comp_det () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "Figure 3: md5sum execution timelines (sequential vs PS-DSWP vs DOALL)\n\n";
-  let c = P.compile ~name:"md5sum" ~setup:w.W.setup w.W.source in
+  let c = match comp with Some c -> c | None -> md5sum_comp () in
   Buffer.add_string buf
     (Printf.sprintf "Sequential: %.0f cycles (baseline, 1.00x)\n\n"
        c.P.trace.Commset_runtime.Trace.seq_total);
   (match P.best ~record_timeline:true c ~threads:8 with
   | Some r -> Buffer.add_string buf (render_timeline ~limit:6 r)
   | None -> ());
-  let det = List.assoc "deterministic" w.W.variants in
-  let cd = P.compile ~name:"md5sum-det" ~setup:w.W.setup det in
+  let cd = match comp_det with Some c -> c | None -> md5sum_det_comp () in
   (match P.best ~record_timeline:true cd ~threads:8 with
   | Some r ->
       Buffer.add_char buf '\n';

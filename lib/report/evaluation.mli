@@ -37,7 +37,10 @@ val geomean : float list -> float
 val geomean_series : bench_eval list -> (string * (int * float) list) list
 val render_geomean : bench_eval list -> string
 
-(* Figures 2 and 3 (md5sum PDG and timelines) *)
-val render_figure2 : unit -> string
+(* Figures 2 and 3 (md5sum PDG and timelines). Both renderers accept an
+   already-compiled md5sum pipeline via [?comp] (and the deterministic
+   variant via [?comp_det]) so callers that have one — e.g. the bench
+   harness — avoid a redundant {!P.compile}. *)
+val render_figure2 : ?comp:P.t -> unit -> string
 val render_timeline : ?limit:int -> P.run -> string
-val render_figure3 : unit -> string
+val render_figure3 : ?comp:P.t -> ?comp_det:P.t -> unit -> string

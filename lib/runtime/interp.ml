@@ -113,8 +113,8 @@ let eval_binop op ty (a : Value.t) (b : Value.t) : Value.t =
   | Ast.Ge, Ast.Tfloat -> Vbool (to_float a >= to_float b)
   | Ast.Lt, Ast.Tstring -> Vbool (to_string_val a < to_string_val b)
   | Ast.Gt, Ast.Tstring -> Vbool (to_string_val a > to_string_val b)
-  | Ast.Eq, _ -> Vbool (a = b)
-  | Ast.Neq, _ -> Vbool (a <> b)
+  | Ast.Eq, _ -> Vbool (Value.equal a b)
+  | Ast.Neq, _ -> Vbool (not (Value.equal a b))
   | Ast.And, Ast.Tbool -> Vbool (to_bool a && to_bool b)
   | Ast.Or, Ast.Tbool -> Vbool (to_bool a || to_bool b)
   | _ -> bad ()
@@ -140,12 +140,17 @@ let rec exec_func t (func : Ir.func) (args : Value.t list) : Value.t option =
 
 and exec_func_body t (func : Ir.func) (args : Value.t list) : Value.t option =
   let regs = Array.make (max 1 func.Ir.n_regs) (Value.Vint 0) in
-  List.iteri
-    (fun i r ->
-      match List.nth_opt args i with
-      | Some v -> regs.(r) <- v
-      | None -> Diag.error "runtime: missing argument %d of %s" i func.Ir.fname)
-    func.Ir.param_regs;
+  (* walk params and args in lockstep; extra args are ignored, like a
+     C call through a mismatched prototype *)
+  let rec bind i params args =
+    match (params, args) with
+    | [], _ -> ()
+    | r :: params, v :: args ->
+        regs.(r) <- v;
+        bind (i + 1) params args
+    | _ :: _, [] -> Diag.error "runtime: missing argument %d of %s" i func.Ir.fname
+  in
+  bind 0 func.Ir.param_regs args;
   let rec run label =
     (* fuel is also charged per block so empty infinite loops terminate *)
     if t.fuel <= 0 then raise Out_of_fuel;
@@ -236,14 +241,13 @@ and exec_instr t func regs (i : Ir.instr) =
     commutativity sanitizer to replay a traced member instance on a cloned
     machine; deliberately does not re-fire [on_region_enter]. *)
 let exec_region t (func : Ir.func) (regs : Value.t array) (region : Ir.region) : unit =
-  let labels =
-    List.filter_map
-      (fun (b : Ir.block) ->
-        if List.mem region.Ir.rid b.Ir.bregions then Some b.Ir.label else None)
-      (Ir.blocks_in_order func)
-  in
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      if List.mem region.Ir.rid b.Ir.bregions then Hashtbl.replace labels b.Ir.label ())
+    (Ir.blocks_in_order func);
   let rec run label =
-    if List.mem label labels then begin
+    if Hashtbl.mem labels label then begin
       if t.fuel <= 0 then raise Out_of_fuel;
       t.fuel <- t.fuel - 1;
       t.hooks.on_block func label;

@@ -1,0 +1,664 @@
+(** Prepared-program execution layer: a one-time pass that resolves an
+    {!Ir.program} into an array-indexed, closure-threaded form, plus two
+    engines over it — a null-hooks fast path with zero dispatch and zero
+    allocation per instruction, and an instrumented path that fires the
+    exact {!Interp.hooks} event stream of the reference interpreter.
+
+    What the prepare pass specializes away from the tree-walking
+    interpreter's hot loop:
+
+    - block lookup: labels become dense array indices, terminators jump
+      to pre-resolved indices (no [Hashtbl.find] per block);
+    - commutative region entries: the [(function, label) -> region]
+      table becomes a per-block field, consulted only on the
+      instrumented path (regions are hook-observable only);
+    - operand access: [Const] operands become pre-built {!Value.t}
+      shares, [Reg] operands become direct [regs.(i)] reads;
+    - operator dispatch: the [(op, ty)] match of [Interp.eval_binop]
+      happens once at prepare time, leaving a direct two-argument
+      function;
+    - callee resolution: the builtin-vs-user split happens at prepare
+      time; user calls bind arguments straight into the callee's fresh
+      register file with no intermediate list on the fast path;
+    - global variables: names become dense array slots (a declared
+      global's load is one array read);
+    - cost accounting: {!Costmodel.instr_cost} is precomputed per
+      instruction into a flat float array, charged in the same order as
+      the reference, so total cycles are bit-identical (float addition
+      is not associative — per-block batching would drift).
+
+    Behavioural contract, relied on by the differential tests
+    ([test/test_precompile.ml], [test/test_fuzz.ml]): for any program,
+    outputs, total cycles, diagnostics, and (on the instrumented path)
+    the full hook event stream are identical to {!Interp}. Runtime
+    failures raise the same {!Diag.Error}s at the same point; fuel is
+    charged per instruction and per block exactly like the reference, so
+    {!Interp.Out_of_fuel} fires at the same execution point. *)
+
+module Ir = Commset_ir.Ir
+module Ast = Commset_lang.Ast
+open Commset_support
+
+(* ------------------------------------------------------------------ *)
+(* Prepared form                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  st_machine : Machine.t;
+  st_globals : Value.t array;
+  st_gdefined : bool array;
+      (** per-slot "has a value": always true for declared globals;
+          initially false for slots reserved for undeclared names that
+          some [Store_global] creates at run time (the reference's
+          [Hashtbl.replace] semantics) *)
+  mutable st_fuel : int;
+  mutable st_total : float;
+}
+
+(** A compiled operand read: closed over the constant or the register
+    index; never allocates. *)
+type opf = Value.t array -> Value.t
+
+type pinstr =
+  | Psimple of (state -> Value.t array -> unit)
+      (** everything but calls; includes raising stubs for instructions
+          whose resolution failed (unknown global / unknown callee),
+          which must keep failing at execution time, not prepare time *)
+  | Pbuiltin of { bi : Builtins.t; bargs : opf array; bdst : int (* -1 = none *) }
+  | Pcall of {
+      ccallee : pfunc;
+      cargs : opf array;
+      cdst : int;  (** -1 = none *)
+      cir : Ir.instr;  (** original instruction, for [on_call_actuals] *)
+      cenabled : (string * (string * opf array) list) list;
+    }
+
+and pterm =
+  | Pjump of int
+  | Pbranch of int * int * int  (** condition register, then-idx, else-idx *)
+  | Pbranch_raise of opf
+      (** non-bool constant condition: evaluates and traps like the
+          reference's [Value.to_bool] *)
+  | Pret_reg of int
+  | Pret_const of Value.t
+  | Pret_none
+      (** Jump targets are block indices, or [-1 - label] for an edge to
+          a label with no block: the reference's [Ir.block] raises
+          [Not_found] only if such an edge is actually taken, so the
+          trap must stay behind the branch condition. *)
+
+and pblock = {
+  pb_label : Ir.label;
+  pb_instrs : pinstr array;
+  pb_irs : Ir.instr array;  (** parallel to [pb_instrs], for [on_instr] *)
+  pb_costs : float array;  (** parallel static {!Costmodel.instr_cost}s *)
+  pb_term : pterm;
+  pb_region : (Ir.region * (string * opf array) list) option;
+      (** the region this block enters, with its commset actuals
+          compiled; [None] for non-entry blocks *)
+}
+
+and pfunc = {
+  pf_ir : Ir.func;
+  pf_nregs : int;
+  pf_params : int array;
+  mutable pf_entry : int;
+  mutable pf_blocks : pblock array;
+}
+
+type t = {
+  p_prog : Ir.program;
+  p_funcs : (string, pfunc) Hashtbl.t;
+  p_main : pfunc option;
+  p_global_slots : (string, int) Hashtbl.t;
+  p_global_names : string array;
+  p_global_init : Value.t array;  (** copied into each executor *)
+  p_global_defined : bool array;  (** initial defined flags, copied too *)
+}
+
+let program t = t.p_prog
+
+(* ------------------------------------------------------------------ *)
+(* Prepare: operands and operators                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prep_operand : Ir.operand -> opf = function
+  | Ir.Const c ->
+      let v = Value.of_const c in
+      fun _ -> v
+  | Ir.Reg r -> fun regs -> regs.(r)
+
+(* the (op, ty) match of Interp.eval_binop, performed once per instruction *)
+let prep_binop op ty : Value.t -> Value.t -> Value.t =
+  let open Value in
+  match (op, ty) with
+  | Ast.Add, Ast.Tint -> fun a b -> Vint (to_int a + to_int b)
+  | Ast.Sub, Ast.Tint -> fun a b -> Vint (to_int a - to_int b)
+  | Ast.Mul, Ast.Tint -> fun a b -> Vint (to_int a * to_int b)
+  | Ast.Div, Ast.Tint ->
+      fun a b ->
+        let d = to_int b in
+        if d = 0 then Diag.error "runtime: division by zero" else Vint (to_int a / d)
+  | Ast.Mod, Ast.Tint ->
+      fun a b ->
+        let d = to_int b in
+        if d = 0 then Diag.error "runtime: modulo by zero" else Vint (to_int a mod d)
+  | Ast.Add, Ast.Tfloat -> fun a b -> Vfloat (to_float a +. to_float b)
+  | Ast.Sub, Ast.Tfloat -> fun a b -> Vfloat (to_float a -. to_float b)
+  | Ast.Mul, Ast.Tfloat -> fun a b -> Vfloat (to_float a *. to_float b)
+  | Ast.Div, Ast.Tfloat -> fun a b -> Vfloat (to_float a /. to_float b)
+  | Ast.Add, Ast.Tstring -> fun a b -> Vstring (to_string_val a ^ to_string_val b)
+  | Ast.Lt, Ast.Tint -> fun a b -> Vbool (to_int a < to_int b)
+  | Ast.Le, Ast.Tint -> fun a b -> Vbool (to_int a <= to_int b)
+  | Ast.Gt, Ast.Tint -> fun a b -> Vbool (to_int a > to_int b)
+  | Ast.Ge, Ast.Tint -> fun a b -> Vbool (to_int a >= to_int b)
+  | Ast.Lt, Ast.Tfloat -> fun a b -> Vbool (to_float a < to_float b)
+  | Ast.Le, Ast.Tfloat -> fun a b -> Vbool (to_float a <= to_float b)
+  | Ast.Gt, Ast.Tfloat -> fun a b -> Vbool (to_float a > to_float b)
+  | Ast.Ge, Ast.Tfloat -> fun a b -> Vbool (to_float a >= to_float b)
+  | Ast.Lt, Ast.Tstring -> fun a b -> Vbool (to_string_val a < to_string_val b)
+  | Ast.Gt, Ast.Tstring -> fun a b -> Vbool (to_string_val a > to_string_val b)
+  | Ast.Eq, _ -> fun a b -> Vbool (Value.equal a b)
+  | Ast.Neq, _ -> fun a b -> Vbool (not (Value.equal a b))
+  | Ast.And, Ast.Tbool -> fun a b -> Vbool (to_bool a && to_bool b)
+  | Ast.Or, Ast.Tbool -> fun a b -> Vbool (to_bool a || to_bool b)
+  | _ -> fun _ _ -> Diag.error "runtime: ill-typed binop"
+
+let prep_unop op : Value.t -> Value.t =
+ fun a ->
+  match (op, a) with
+  | Ast.Neg, Value.Vint n -> Value.Vint (-n)
+  | Ast.Neg, Value.Vfloat f -> Value.Vfloat (-.f)
+  | Ast.Not, Value.Vbool x -> Value.Vbool (not x)
+  | _ -> Diag.error "runtime: ill-typed unop"
+
+(* ------------------------------------------------------------------ *)
+(* Prepare: instructions, terminators, blocks                          *)
+(* ------------------------------------------------------------------ *)
+
+let prep_instr ~global_slots ~declared ~funcs (i : Ir.instr) : pinstr =
+  let loc = i.Ir.iloc in
+  match i.Ir.desc with
+  | Ir.Move (r, op) -> (
+      match op with
+      | Ir.Const c ->
+          let v = Value.of_const c in
+          Psimple (fun _ regs -> regs.(r) <- v)
+      | Ir.Reg s -> Psimple (fun _ regs -> regs.(r) <- regs.(s)))
+  | Ir.Binop (op, ty, r, a, b) ->
+      let f = prep_binop op ty in
+      let fa = prep_operand a and fb = prep_operand b in
+      Psimple (fun _ regs -> regs.(r) <- f (fa regs) (fb regs))
+  | Ir.Unop (op, _, r, a) ->
+      let f = prep_unop op in
+      let fa = prep_operand a in
+      Psimple (fun _ regs -> regs.(r) <- f (fa regs))
+  | Ir.Load_global (r, g) -> (
+      match Hashtbl.find_opt global_slots g with
+      | Some slot when Hashtbl.mem declared g ->
+          Psimple (fun st regs -> regs.(r) <- st.st_globals.(slot))
+      | Some slot ->
+          (* undeclared name that some store creates at run time: visible
+             here only once the store has executed, like the reference's
+             globals hashtable *)
+          Psimple
+            (fun st regs ->
+              if st.st_gdefined.(slot) then regs.(r) <- st.st_globals.(slot)
+              else Diag.error "runtime: unknown global '%s'" g)
+      | None -> Psimple (fun _ _ -> Diag.error "runtime: unknown global '%s'" g))
+  | Ir.Store_global (g, op) ->
+      let fop = prep_operand op in
+      let slot = Hashtbl.find global_slots g in
+      if Hashtbl.mem declared g then
+        Psimple (fun st regs -> st.st_globals.(slot) <- fop regs)
+      else
+        Psimple
+          (fun st regs ->
+            st.st_globals.(slot) <- fop regs;
+            st.st_gdefined.(slot) <- true)
+  | Ir.Load_index (r, arr, idx) ->
+      let fa = prep_operand arr and fi = prep_operand idx in
+      Psimple
+        (fun _ regs ->
+          let a = Value.to_array ~what:"indexed value" (fa regs) in
+          let j = Value.to_int ~what:"index" (fi regs) in
+          if j < 0 || j >= Array.length a then
+            Diag.error ~loc "runtime: index %d out of bounds (length %d)" j (Array.length a);
+          regs.(r) <- a.(j))
+  | Ir.Store_index (arr, idx, v) ->
+      let fa = prep_operand arr and fi = prep_operand idx and fv = prep_operand v in
+      Psimple
+        (fun _ regs ->
+          let a = Value.to_array ~what:"indexed value" (fa regs) in
+          let j = Value.to_int ~what:"index" (fi regs) in
+          if j < 0 || j >= Array.length a then
+            Diag.error ~loc "runtime: index %d out of bounds (length %d)" j (Array.length a);
+          a.(j) <- fv regs)
+  | Ir.Call { dst; callee; args; enabled } -> (
+      let cargs = Array.of_list (List.map prep_operand args) in
+      let cdst = match dst with Some r -> r | None -> -1 in
+      match Builtins.find callee with
+      | Some bi -> Pbuiltin { bi; bargs = cargs; bdst = cdst }
+      | None -> (
+          match Hashtbl.find_opt funcs callee with
+          | Some pf ->
+              let cenabled =
+                List.map
+                  (fun (e : Ir.enable) ->
+                    ( e.Ir.en_block,
+                      List.map
+                        (fun (set, ops) -> (set, Array.of_list (List.map prep_operand ops)))
+                        e.Ir.en_sets ))
+                  enabled
+              in
+              Pcall { ccallee = pf; cargs; cdst; cir = i; cenabled }
+          | None ->
+              Psimple
+                (fun _ _ -> Diag.error ~loc "runtime: call to unknown function '%s'" callee)))
+
+let prep_term ~(label_idx : (Ir.label, int) Hashtbl.t) (t : Ir.terminator) : pterm =
+  let idx l = match Hashtbl.find_opt label_idx l with Some i -> i | None -> -1 - l in
+  match t with
+  | Ir.Jump l -> Pjump (idx l)
+  | Ir.Branch (c, l1, l2) -> (
+      match c with
+      | Ir.Const (Ir.Cbool true) -> Pjump (idx l1)
+      | Ir.Const (Ir.Cbool false) -> Pjump (idx l2)
+      | Ir.Const _ -> Pbranch_raise (prep_operand c)
+      | Ir.Reg r -> Pbranch (r, idx l1, idx l2))
+  | Ir.Ret None -> Pret_none
+  | Ir.Ret (Some (Ir.Reg r)) -> Pret_reg r
+  | Ir.Ret (Some (Ir.Const c)) -> Pret_const (Value.of_const c)
+
+let prepare (prog : Ir.program) : t =
+  (* global slots: declared globals first (later duplicate declarations
+     overwrite the initial value, the reference's Hashtbl.replace), then
+     one slot per undeclared name targeted by some Store_global *)
+  let global_slots = Hashtbl.create 16 in
+  let declared = Hashtbl.create 16 in
+  let slots_rev = ref [] in
+  let n_slots = ref 0 in
+  let slot_of name =
+    match Hashtbl.find_opt global_slots name with
+    | Some s -> s
+    | None ->
+        let s = !n_slots in
+        incr n_slots;
+        Hashtbl.replace global_slots name s;
+        slots_rev := name :: !slots_rev;
+        s
+  in
+  List.iter
+    (fun (name, _, _) ->
+      ignore (slot_of name);
+      Hashtbl.replace declared name ())
+    prog.Ir.prog_globals;
+  Hashtbl.iter
+    (fun _ (f : Ir.func) ->
+      Ir.iter_instrs f (fun _ i ->
+          match i.Ir.desc with Ir.Store_global (g, _) -> ignore (slot_of g) | _ -> ()))
+    prog.Ir.funcs;
+  let n = max 1 !n_slots in
+  let global_init = Array.make n (Value.Vint 0) in
+  let global_defined = Array.make n false in
+  let global_names = Array.make n "" in
+  List.iteri (fun i name -> global_names.(!n_slots - 1 - i) <- name) !slots_rev;
+  List.iter
+    (fun (name, _, const) ->
+      let s = Hashtbl.find global_slots name in
+      global_init.(s) <- Value.of_const const;
+      global_defined.(s) <- true)
+    prog.Ir.prog_globals;
+  (* two passes over functions so (mutually) recursive calls resolve to
+     the final pfuncs: create shells, then fill blocks in place *)
+  let funcs : (string, pfunc) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun fname (f : Ir.func) ->
+      Hashtbl.replace funcs fname
+        {
+          pf_ir = f;
+          pf_nregs = max 1 f.Ir.n_regs;
+          pf_params = Array.of_list f.Ir.param_regs;
+          pf_entry = 0;
+          pf_blocks = [||];
+        })
+    prog.Ir.funcs;
+  let fill _fname (pf : pfunc) =
+    let f = pf.pf_ir in
+    let blocks = Ir.blocks_in_order f in
+    let label_idx = Hashtbl.create 16 in
+    List.iteri (fun i (b : Ir.block) -> Hashtbl.replace label_idx b.Ir.label i) blocks;
+    (* region whose entry this block is: last declaration wins, matching
+       the reference's Hashtbl.replace over fregions in order *)
+    let region_of label =
+      List.fold_left
+        (fun acc (r : Ir.region) -> if r.Ir.rentry = label then Some r else acc)
+        None f.Ir.fregions
+    in
+    pf.pf_blocks <-
+      Array.of_list
+        (List.map
+           (fun (b : Ir.block) ->
+             let irs = Array.of_list b.Ir.instrs in
+             {
+               pb_label = b.Ir.label;
+               pb_instrs = Array.map (prep_instr ~global_slots ~declared ~funcs) irs;
+               pb_irs = irs;
+               pb_costs = Array.map (fun (i : Ir.instr) -> Costmodel.instr_cost i.Ir.desc) irs;
+               pb_term = prep_term ~label_idx b.Ir.term;
+               pb_region =
+                 (match region_of b.Ir.label with
+                 | Some r ->
+                     Some
+                       ( r,
+                         List.map
+                           (fun (set, ops) ->
+                             (set, Array.of_list (List.map prep_operand ops)))
+                           r.Ir.rrefs )
+                 | None -> None);
+             })
+           blocks);
+    match Hashtbl.find_opt label_idx f.Ir.entry with
+    | Some i -> pf.pf_entry <- i
+    | None -> Diag.error "internal: function '%s' has no entry block" f.Ir.fname
+  in
+  Hashtbl.iter fill funcs;
+  {
+    p_prog = prog;
+    p_funcs = funcs;
+    p_main = Hashtbl.find_opt funcs "main";
+    p_global_slots = global_slots;
+    p_global_names = global_names;
+    p_global_init = global_init;
+    p_global_defined = global_defined;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Executors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type exec = {
+  ex_prepared : t;
+  ex_state : state;
+  ex_hooks : Interp.hooks option;
+}
+
+let executor ?hooks ?(fuel = Interp.default_fuel) ?(machine = Machine.create ()) (p : t) :
+    exec =
+  let st =
+    {
+      st_machine = machine;
+      st_globals = Array.copy p.p_global_init;
+      st_gdefined = Array.copy p.p_global_defined;
+      st_fuel = fuel;
+      st_total = 0.;
+    }
+  in
+  (machine.Machine.emit <-
+     (match hooks with
+     | None -> fun s -> Machine.default_emit machine s
+     | Some h ->
+         fun s ->
+           Machine.default_emit machine s;
+           h.Interp.on_output s));
+  { ex_prepared = p; ex_state = st; ex_hooks = hooks }
+
+let machine ex = ex.ex_state.st_machine
+let total_cost ex = ex.ex_state.st_total
+
+(** Live global bindings, as the reference's globals hashtable would
+    hold them (declared globals plus any undeclared names created by an
+    executed store). *)
+let globals ex : (string * Value.t) list =
+  let names = ex.ex_prepared.p_global_names in
+  let st = ex.ex_state in
+  let acc = ref [] in
+  for i = Array.length names - 1 downto 0 do
+    if st.st_gdefined.(i) then acc := (names.(i), st.st_globals.(i)) :: !acc
+  done;
+  !acc
+
+(* ---- fast path (no hooks) ------------------------------------------ *)
+
+let rec f_args bargs regs i n =
+  if i >= n then [] else bargs.(i) regs :: f_args bargs regs (i + 1) n
+
+let rec f_exec_call st (callee : pfunc) (cargs : opf array) caller_regs : Value.t =
+  let regs = Array.make callee.pf_nregs (Value.Vint 0) in
+  let params = callee.pf_params in
+  let np = Array.length params in
+  if Array.length cargs < np then
+    Diag.error "runtime: missing argument %d of %s" (Array.length cargs)
+      callee.pf_ir.Ir.fname;
+  for i = 0 to np - 1 do
+    regs.(params.(i)) <- cargs.(i) caller_regs
+  done;
+  f_run st callee regs callee.pf_entry
+
+and f_run st (pf : pfunc) regs bidx : Value.t =
+  if st.st_fuel <= 0 then raise Interp.Out_of_fuel;
+  st.st_fuel <- st.st_fuel - 1;
+  if bidx < 0 then ignore (Ir.block pf.pf_ir (-1 - bidx)) (* raises Not_found *);
+  let b = Array.unsafe_get pf.pf_blocks bidx in
+  let instrs = b.pb_instrs and costs = b.pb_costs in
+  for k = 0 to Array.length instrs - 1 do
+    if st.st_fuel <= 0 then raise Interp.Out_of_fuel;
+    st.st_fuel <- st.st_fuel - 1;
+    st.st_total <- st.st_total +. Array.unsafe_get costs k;
+    match Array.unsafe_get instrs k with
+    | Psimple f -> f st regs
+    | Pbuiltin { bi; bargs; bdst } ->
+        let v, cost =
+          bi.Builtins.impl st.st_machine (f_args bargs regs 0 (Array.length bargs))
+        in
+        st.st_total <- st.st_total +. cost;
+        if bdst >= 0 then regs.(bdst) <- v
+    | Pcall { ccallee; cargs; cdst; _ } ->
+        let v = f_exec_call st ccallee cargs regs in
+        if cdst >= 0 then regs.(cdst) <- v
+  done;
+  st.st_total <- st.st_total +. Costmodel.terminator_cost;
+  match b.pb_term with
+  | Pjump j -> f_run st pf regs j
+  | Pbranch (c, l1, l2) -> (
+      match regs.(c) with
+      | Value.Vbool true -> f_run st pf regs l1
+      | Value.Vbool false -> f_run st pf regs l2
+      | v ->
+          ignore (Value.to_bool ~what:"branch condition" v);
+          assert false)
+  | Pbranch_raise fop ->
+      ignore (Value.to_bool ~what:"branch condition" (fop regs));
+      assert false
+  | Pret_reg r -> regs.(r)
+  | Pret_const v -> v
+  | Pret_none -> Value.Vint 0
+
+(* ---- coarse path (block-grained hooks) ------------------------------ *)
+
+(* Runs like the fast path but fires the function- and block-level
+   subset of the hooks: [on_enter_func], [on_exit_func], [on_block]
+   (plus [on_output] via the machine). Per-instruction hooks
+   ([on_instr], [on_base_cost], [on_builtin]) and actuals hooks
+   ([on_region_enter], [on_call_actuals]) never fire; observers that
+   only need running cost read {!total_cost}, which advances through
+   the same per-instruction charges as the other two paths. The
+   profiler's block-segment attribution is the intended client. *)
+let rec c_exec_call st (h : Interp.hooks) (callee : pfunc) (cargs : opf array)
+    caller_regs : Value.t =
+  h.Interp.on_enter_func callee.pf_ir;
+  let regs = Array.make callee.pf_nregs (Value.Vint 0) in
+  let params = callee.pf_params in
+  let np = Array.length params in
+  if Array.length cargs < np then
+    Diag.error "runtime: missing argument %d of %s" (Array.length cargs)
+      callee.pf_ir.Ir.fname;
+  for i = 0 to np - 1 do
+    regs.(params.(i)) <- cargs.(i) caller_regs
+  done;
+  let v = c_run st h callee regs callee.pf_entry in
+  h.Interp.on_exit_func callee.pf_ir;
+  v
+
+and c_run st h (pf : pfunc) regs bidx : Value.t =
+  if st.st_fuel <= 0 then raise Interp.Out_of_fuel;
+  st.st_fuel <- st.st_fuel - 1;
+  if bidx < 0 then begin
+    h.Interp.on_block pf.pf_ir (-1 - bidx);
+    ignore (Ir.block pf.pf_ir (-1 - bidx)) (* raises Not_found like the reference *)
+  end;
+  let b = Array.unsafe_get pf.pf_blocks bidx in
+  h.Interp.on_block pf.pf_ir b.pb_label;
+  let instrs = b.pb_instrs and costs = b.pb_costs in
+  for k = 0 to Array.length instrs - 1 do
+    if st.st_fuel <= 0 then raise Interp.Out_of_fuel;
+    st.st_fuel <- st.st_fuel - 1;
+    st.st_total <- st.st_total +. Array.unsafe_get costs k;
+    match Array.unsafe_get instrs k with
+    | Psimple f -> f st regs
+    | Pbuiltin { bi; bargs; bdst } ->
+        let v, cost =
+          bi.Builtins.impl st.st_machine (f_args bargs regs 0 (Array.length bargs))
+        in
+        st.st_total <- st.st_total +. cost;
+        if bdst >= 0 then regs.(bdst) <- v
+    | Pcall { ccallee; cargs; cdst; _ } ->
+        let v = c_exec_call st h ccallee cargs regs in
+        if cdst >= 0 then regs.(cdst) <- v
+  done;
+  st.st_total <- st.st_total +. Costmodel.terminator_cost;
+  match b.pb_term with
+  | Pjump j -> c_run st h pf regs j
+  | Pbranch (c, l1, l2) -> (
+      match regs.(c) with
+      | Value.Vbool true -> c_run st h pf regs l1
+      | Value.Vbool false -> c_run st h pf regs l2
+      | v ->
+          ignore (Value.to_bool ~what:"branch condition" v);
+          assert false)
+  | Pbranch_raise fop ->
+      ignore (Value.to_bool ~what:"branch condition" (fop regs));
+      assert false
+  | Pret_reg r -> regs.(r)
+  | Pret_const v -> v
+  | Pret_none -> Value.Vint 0
+
+(* ---- instrumented path (hook-faithful) ------------------------------ *)
+
+let rec i_exec_func st (h : Interp.hooks) (pf : pfunc) (args : Value.t list) : Value.t =
+  h.Interp.on_enter_func pf.pf_ir;
+  let regs = Array.make pf.pf_nregs (Value.Vint 0) in
+  let params = pf.pf_params in
+  let np = Array.length params in
+  let rec bind i args =
+    if i >= np then ()
+    else
+      match args with
+      | v :: args ->
+          regs.(params.(i)) <- v;
+          bind (i + 1) args
+      | [] -> Diag.error "runtime: missing argument %d of %s" i pf.pf_ir.Ir.fname
+  in
+  bind 0 args;
+  let v = i_run st h pf regs pf.pf_entry in
+  h.Interp.on_exit_func pf.pf_ir;
+  v
+
+and i_run st h (pf : pfunc) regs bidx : Value.t =
+  if st.st_fuel <= 0 then raise Interp.Out_of_fuel;
+  st.st_fuel <- st.st_fuel - 1;
+  if bidx < 0 then begin
+    h.Interp.on_block pf.pf_ir (-1 - bidx);
+    ignore (Ir.block pf.pf_ir (-1 - bidx)) (* raises Not_found like the reference *)
+  end;
+  let b = pf.pf_blocks.(bidx) in
+  h.Interp.on_block pf.pf_ir b.pb_label;
+  (match b.pb_region with
+  | Some (region, set_fns) ->
+      let actuals =
+        List.map
+          (fun (set, fns) -> (set, List.map (fun f -> f regs) (Array.to_list fns)))
+          set_fns
+      in
+      h.Interp.on_region_enter pf.pf_ir region actuals regs
+  | None -> ());
+  let instrs = b.pb_instrs and costs = b.pb_costs and irs = b.pb_irs in
+  for k = 0 to Array.length instrs - 1 do
+    if st.st_fuel <= 0 then raise Interp.Out_of_fuel;
+    st.st_fuel <- st.st_fuel - 1;
+    h.Interp.on_instr pf.pf_ir irs.(k);
+    let c = costs.(k) in
+    st.st_total <- st.st_total +. c;
+    h.Interp.on_base_cost c;
+    match instrs.(k) with
+    | Psimple f -> f st regs
+    | Pbuiltin { bi; bargs; bdst } ->
+        let argv = f_args bargs regs 0 (Array.length bargs) in
+        let v, cost = bi.Builtins.impl st.st_machine argv in
+        (* builtin cost is reported through its own hook, not on_base_cost *)
+        st.st_total <- st.st_total +. cost;
+        h.Interp.on_builtin bi cost;
+        if bdst >= 0 then regs.(bdst) <- v
+    | Pcall { ccallee; cargs; cdst; cir; cenabled } ->
+        let argv = f_args cargs regs 0 (Array.length cargs) in
+        let en_actuals =
+          List.map
+            (fun (block, sets) ->
+              ( block,
+                List.map
+                  (fun (set, fns) -> (set, List.map (fun f -> f regs) (Array.to_list fns)))
+                  sets ))
+            cenabled
+        in
+        h.Interp.on_call_actuals cir argv en_actuals;
+        let v = i_exec_func st h ccallee argv in
+        if cdst >= 0 then regs.(cdst) <- v
+  done;
+  let c = Costmodel.terminator_cost in
+  st.st_total <- st.st_total +. c;
+  h.Interp.on_base_cost c;
+  match b.pb_term with
+  | Pjump j -> i_run st h pf regs j
+  | Pbranch (c, l1, l2) -> (
+      match regs.(c) with
+      | Value.Vbool true -> i_run st h pf regs l1
+      | Value.Vbool false -> i_run st h pf regs l2
+      | v ->
+          ignore (Value.to_bool ~what:"branch condition" v);
+          assert false)
+  | Pbranch_raise fop ->
+      ignore (Value.to_bool ~what:"branch condition" (fop regs));
+      assert false
+  | Pret_reg r -> regs.(r)
+  | Pret_const v -> v
+  | Pret_none -> Value.Vint 0
+
+(* ---- entry ---------------------------------------------------------- *)
+
+(** Run [main()] to completion; returns total simulated cycles. The
+    executor keeps the machine, globals, and running total for
+    inspection afterwards. *)
+let run_main (ex : exec) : float =
+  match ex.ex_prepared.p_main with
+  | None -> Diag.error "program has no 'main' function"
+  | Some mainf ->
+      let st = ex.ex_state in
+      (match ex.ex_hooks with
+      | None -> ignore (f_exec_call st mainf [||] [||])
+      | Some h -> ignore (i_exec_func st h mainf []));
+      st.st_total
+
+(** Like {!run_main}, but an executor with hooks runs on the coarse
+    path: only [on_enter_func], [on_exit_func], [on_block] and
+    [on_output] fire (per-instruction and actuals hooks are skipped),
+    while {!total_cost} still advances per instruction. Block-grained
+    observers — the profiler — get fast-path speed this way. *)
+let run_main_coarse (ex : exec) : float =
+  match ex.ex_prepared.p_main with
+  | None -> Diag.error "program has no 'main' function"
+  | Some mainf ->
+      let st = ex.ex_state in
+      (match ex.ex_hooks with
+      | None -> ignore (f_exec_call st mainf [||] [||])
+      | Some h -> ignore (c_exec_call st h mainf [||] [||]));
+      st.st_total

@@ -1,0 +1,46 @@
+(** Prepared-program execution layer: a one-time pass resolving an
+    {!Ir.program} into an array-indexed, closure-threaded form, and two
+    engines over it — a null-hooks fast path (zero dispatch, zero
+    allocation per instruction) and an instrumented path firing the
+    exact {!Interp.hooks} event stream of the reference interpreter.
+
+    Contract: outputs, total cycles, diagnostics, fuel exhaustion point,
+    and (instrumented) hook event streams are identical to {!Interp} on
+    every program. The differential tests in [test/test_precompile.ml]
+    and [test/test_fuzz.ml] enforce this. *)
+
+(** A prepared program: immutable once built, safe to share across
+    domains (each executor gets its own mutable state). *)
+type t
+
+val prepare : Commset_ir.Ir.program -> t
+val program : t -> Commset_ir.Ir.program
+
+(** One run of a prepared program: private machine, globals, fuel and
+    cycle counter. Passing [?hooks] selects the instrumented engine;
+    omitting it selects the allocation-free fast path. *)
+type exec
+
+val executor : ?hooks:Interp.hooks -> ?fuel:int -> ?machine:Machine.t -> t -> exec
+
+(** Run [main()] to completion; returns total simulated cycles. Raises
+    the same {!Commset_support.Diag.Error}s / {!Interp.Out_of_fuel} as
+    {!Interp.run_main}. *)
+val run_main : exec -> float
+
+(** Like {!run_main}, but hooks run block-grained: only [on_enter_func],
+    [on_exit_func], [on_block] and [on_output] fire; per-instruction
+    hooks ([on_instr], [on_base_cost], [on_builtin]) and actuals hooks
+    ([on_region_enter], [on_call_actuals]) are skipped while
+    {!total_cost} still advances per instruction in reference order.
+    For block-grained observers (the profiler) this costs the same as
+    the fast path. *)
+val run_main_coarse : exec -> float
+
+val machine : exec -> Machine.t
+val total_cost : exec -> float
+
+(** Live global bindings after (or during) a run, as the reference
+    interpreter's globals hashtable would hold them — declared globals
+    plus any undeclared names created by an executed store. *)
+val globals : exec -> (string * Value.t) list

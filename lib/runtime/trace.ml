@@ -85,9 +85,16 @@ let loop_cost t = Array.fold_left (fun acc it -> acc +. iteration_cost it) 0. t.
 type recorder = {
   pdg : Pdg.t;
   target : string;
+  tfunc : Ir.func;  (** the target function record, for physical-equality
+                        checks on the per-instruction hot path *)
+  nid_of_iid : int array;  (** target-function iid -> PDG node, -1 = none;
+                               replaces a hashtable probe per instruction *)
   header : Ir.label;
-  mutable cur_node : int option;
+  mutable cur_nid : int;  (** -1 = outside any node *)
   mutable cur_iter : iteration option;
+  mutable cur_exec : node_exec option;
+      (** cache of the [(cur_iter, cur_nid)] exec, invalidated whenever
+          either changes: cost events skip the exec-table probe *)
   mutable done_iters : iteration list;  (** reverse *)
   mutable other : float;
   mutable before : string list;  (** reverse *)
@@ -95,6 +102,9 @@ type recorder = {
   mutable all_outputs : string list;  (** reverse *)
   mutable saw_loop : bool;
 }
+
+let is_target rec_ (func : Ir.func) =
+  func == rec_.tfunc || String.equal func.Ir.fname rec_.target
 
 (* the node owning a region is found through its entry block's first
    instruction *)
@@ -107,19 +117,24 @@ let callee_name (i : Ir.instr) =
   match Ir.callee_of i with Some c -> c | None -> "<none>"
 
 let current_exec rec_ =
-  match (rec_.cur_iter, rec_.cur_node) with
-  | Some it, Some nid ->
-      let e =
-        match Hashtbl.find_opt it.exec_tbl nid with
-        | Some e -> e
-        | None ->
-            let e = { nid; atoms = []; eactuals = [] } in
-            Hashtbl.replace it.exec_tbl nid e;
-            it.execs <- e :: it.execs;
-            e
-      in
-      Some e
-  | _ -> None
+  match rec_.cur_exec with
+  | Some _ as s -> s
+  | None -> (
+      match rec_.cur_iter with
+      | Some it when rec_.cur_nid >= 0 ->
+          let nid = rec_.cur_nid in
+          let e =
+            match Hashtbl.find_opt it.exec_tbl nid with
+            | Some e -> e
+            | None ->
+                let e = { nid; atoms = []; eactuals = [] } in
+                Hashtbl.replace it.exec_tbl nid e;
+                it.execs <- e :: it.execs;
+                e
+          in
+          rec_.cur_exec <- Some e;
+          Some e
+      | _ -> None)
 
 let add_compute rec_ c =
   match current_exec rec_ with
@@ -133,16 +148,27 @@ let hooks_of_recorder rec_ : Interp.hooks =
   {
     Interp.on_instr =
       (fun func i ->
-        if func.Ir.fname = rec_.target then
-          rec_.cur_node <- Pdg.node_of_instr rec_.pdg i.Ir.iid);
+        if is_target rec_ func then begin
+          let iid = i.Ir.iid in
+          let nid =
+            if iid >= 0 && iid < Array.length rec_.nid_of_iid then
+              rec_.nid_of_iid.(iid)
+            else -1
+          in
+          if nid <> rec_.cur_nid then begin
+            rec_.cur_nid <- nid;
+            rec_.cur_exec <- None
+          end
+        end);
     on_block =
       (fun func l ->
-        if func.Ir.fname = rec_.target && l = rec_.header then begin
+        if l = rec_.header && is_target rec_ func then begin
           rec_.saw_loop <- true;
           (match rec_.cur_iter with
           | Some it -> rec_.done_iters <- it :: rec_.done_iters
           | None -> ());
-          rec_.cur_iter <- Some { execs = []; exec_tbl = Hashtbl.create 16 }
+          rec_.cur_iter <- Some { execs = []; exec_tbl = Hashtbl.create 16 };
+          rec_.cur_exec <- None
         end);
     on_base_cost = (fun c -> add_compute rec_ c);
     on_builtin =
@@ -172,7 +198,7 @@ let hooks_of_recorder rec_ : Interp.hooks =
     on_exit_func = (fun _ -> ());
     on_region_enter =
       (fun func region actuals _regs ->
-        if func.Ir.fname = rec_.target then
+        if is_target rec_ func then
           match rec_.cur_iter with
           | Some it -> (
               match Pdg.node_of_instr rec_.pdg (region_first_iid rec_ region) with
@@ -198,14 +224,29 @@ let hooks_of_recorder rec_ : Interp.hooks =
 
 (** Run the program once sequentially and record the trace of the PDG's
     target loop. *)
-let record ?(machine = Machine.create ()) (prog : Ir.program) (pdg : Pdg.t) : t * Machine.t =
+let record ?(machine = Machine.create ()) ?prepared (prog : Ir.program) (pdg : Pdg.t) :
+    t * Machine.t =
+  let tfunc = pdg.Pdg.func in
+  let nid_of_iid =
+    let m = ref (-1) in
+    Ir.iter_instrs tfunc (fun _ i -> if i.Ir.iid > !m then m := i.Ir.iid);
+    let a = Array.make (!m + 2) (-1) in
+    Ir.iter_instrs tfunc (fun _ i ->
+        match Pdg.node_of_instr pdg i.Ir.iid with
+        | Some nid -> a.(i.Ir.iid) <- nid
+        | None -> ());
+    a
+  in
   let rec_ =
     {
       pdg;
-      target = pdg.Pdg.func.Ir.fname;
+      target = tfunc.Ir.fname;
+      tfunc;
+      nid_of_iid;
       header = pdg.Pdg.loop.Commset_analysis.Loops.header;
-      cur_node = None;
+      cur_nid = -1;
       cur_iter = None;
+      cur_exec = None;
       done_iters = [];
       other = 0.;
       before = [];
@@ -214,8 +255,12 @@ let record ?(machine = Machine.create ()) (prog : Ir.program) (pdg : Pdg.t) : t 
       saw_loop = false;
     }
   in
-  let interp = Interp.create ~hooks:(hooks_of_recorder rec_) ~machine prog in
-  let total = Interp.run_main interp in
+  let hooks = hooks_of_recorder rec_ in
+  let total =
+    match prepared with
+    | Some p -> Precompile.run_main (Precompile.executor ~hooks ~machine p)
+    | None -> Interp.run_main (Interp.create ~hooks ~machine prog)
+  in
   (* the final header visit (the failing test) is not a real iteration:
      fold its cost into [other] *)
   (match rec_.cur_iter with

@@ -36,6 +36,25 @@ let to_array ?(what = "value") = function
   | Varray a -> a
   | _ -> Diag.error "runtime: %s is not an array" what
 
+(** Structural equality with IEEE float semantics: [Vfloat nan] is not
+    equal to itself (C's [==], and what the miniC type checker admits),
+    arrays are compared element-wise, and values of different shapes are
+    unequal. Unlike polymorphic [=] this never walks a value's
+    representation blindly, so it is safe and fast on deeply nested
+    arrays while agreeing with [=] on every constructible value. *)
+let rec equal (a : t) (b : t) =
+  match (a, b) with
+  | Vint x, Vint y -> Int.equal x y
+  | Vfloat x, Vfloat y -> x = y
+  | Vbool x, Vbool y -> Bool.equal x y
+  | Vstring x, Vstring y -> String.equal x y
+  | Varray x, Varray y ->
+      Array.length x = Array.length y
+      &&
+      let rec go i = i < 0 || (equal x.(i) y.(i) && go (i - 1)) in
+      go (Array.length x - 1)
+  | (Vint _ | Vfloat _ | Vbool _ | Vstring _ | Varray _), _ -> false
+
 let rec pp ppf = function
   | Vint n -> Fmt.int ppf n
   | Vfloat f -> Fmt.pf ppf "%g" f

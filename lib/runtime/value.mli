@@ -17,5 +17,9 @@ val to_float : ?what:string -> t -> float
 val to_bool : ?what:string -> t -> bool
 val to_string_val : ?what:string -> t -> string
 val to_array : ?what:string -> t -> t array
+
+(** Structural equality with IEEE float semantics ([Vfloat nan] is not
+    equal to itself); arrays compare element-wise. *)
+val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_display_string : t -> string

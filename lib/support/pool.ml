@@ -2,10 +2,12 @@
 
     Implementation notes. The pool is a token budget, not a set of
     long-lived worker domains: each [parmap] call spawns at most
-    [tokens available] short-lived domains that pull indices from a
-    shared atomic counter and write results into a pre-sized array.
-    Tasks here are coarse (whole compiles, whole simulations), so the
-    spawn cost is noise, and short-lived domains keep the module free of
+    [tokens available] short-lived domains that claim chunks of indices
+    from a shared atomic counter and write results into a pre-sized
+    untyped array (no per-item option boxing — parmap itself allocates
+    O(workers), not O(items), on the shared major heap). Tasks here are
+    coarse (whole compiles, whole simulations), so the spawn cost is
+    noise, and short-lived domains keep the module free of
     shutdown/teardown protocol. Nested calls see an exhausted budget and
     simply run inline, which bounds the total number of live domains by
     the budget regardless of nesting depth. *)
@@ -74,24 +76,41 @@ let parmap_ordered (f : int -> 'a -> 'b) (xs : 'a list) : 'b list =
         Fun.protect
           ~finally:(fun () -> release extra)
           (fun () ->
-            let results : 'b option array = Array.make n None in
+            let workers = extra + 1 in
+            (* chunked claiming: one fetch_and_add leases a whole run of
+               indices, so the shared counter is touched O(workers) times
+               instead of once per item; ~8 chunks per worker keeps the
+               tail balanced when item costs are uneven *)
+            let chunk = max 1 (n / (workers * 8)) in
+            (* results live untyped in a pre-filled array: no per-item
+               [Some] box on the hot path. The placeholder is the
+               immediate 0 so the array is never scanned as a float
+               array; [written] flags distinguish it from a genuine
+               result that happens to be 0. *)
+            let results : Obj.t array = Array.make n (Obj.repr 0) in
+            let written = Bytes.make n '\000' in
             let errors : (exn * Printexc.raw_backtrace) option array =
               Array.make n None
             in
             let next = Atomic.make 0 in
             let rec work () =
-              let i = Atomic.fetch_and_add next 1 in
-              if i < n then begin
-                (match f i items.(i) with
-                | v -> results.(i) <- Some v
-                | exception e ->
-                    errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+              let start = Atomic.fetch_and_add next chunk in
+              if start < n then begin
+                let stop = min n (start + chunk) in
+                for i = start to stop - 1 do
+                  match f i (Array.unsafe_get items i) with
+                  | v ->
+                      Array.unsafe_set results i (Obj.repr v);
+                      Bytes.unsafe_set written i '\001'
+                  | exception e ->
+                      errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+                done;
                 work ()
               end
             in
-            let workers = List.init extra (fun _ -> Domain.spawn work) in
+            let domains = List.init extra (fun _ -> Domain.spawn work) in
             work ();
-            List.iter Domain.join workers;
+            List.iter Domain.join domains;
             (* deterministic failure: re-raise for the lowest input index,
                the item a sequential map would have failed on first *)
             Array.iter
@@ -99,6 +118,8 @@ let parmap_ordered (f : int -> 'a -> 'b) (xs : 'a list) : 'b list =
                 | Some (e, bt) -> Printexc.raise_with_backtrace e bt
                 | None -> ())
               errors;
-            Array.to_list (Array.map Option.get results))
+            List.init n (fun i ->
+                assert (Bytes.unsafe_get written i = '\001');
+                (Obj.obj (Array.unsafe_get results i) : 'b)))
 
 let parmap f xs = parmap_ordered (fun _ x -> f x) xs

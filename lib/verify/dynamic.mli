@@ -24,9 +24,13 @@ type inv = {
 }
 
 (** Run the program once under instrumentation and record member
-    instances with state snapshots. *)
+    instances with state snapshots. Passing [?prepared] (from
+    [Precompile.prepare] of the same program) records on the
+    prepared-program engine; replay always uses the reference
+    interpreter's region/function entry points. *)
 val record :
   max_snapshots:int ->
+  ?prepared:Commset_runtime.Precompile.t ->
   md:Metadata.t ->
   setup:(Machine.t -> unit) ->
   Ir.program ->
@@ -51,6 +55,7 @@ val refute_pair :
 val refine :
   ?max_snapshots:int ->
   ?max_trials:int ->
+  ?prepared:Commset_runtime.Precompile.t ->
   md:Metadata.t ->
   setup:(Machine.t -> unit) ->
   Verdict.report ->

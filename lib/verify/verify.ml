@@ -6,11 +6,11 @@ module A = Commset_analysis
 module Metadata = Commset_core.Metadata
 module Machine = Commset_runtime.Machine
 
-let run ?(dynamic = true) ?(max_snapshots = 2) ?(max_trials = 3)
+let run ?(dynamic = true) ?(max_snapshots = 2) ?(max_trials = 3) ?prepared
     ~(md : Metadata.t) ~target_fname ~(loop : A.Loops.loop)
     ~(induction : A.Induction.t) ~(setup : Machine.t -> unit) () :
     Verdict.report =
   let ctx = Static.create ~md ~target_fname ~loop ~induction in
   let report = Static.run ctx in
-  if dynamic then Dynamic.refine ~max_snapshots ~max_trials ~md ~setup report
+  if dynamic then Dynamic.refine ~max_snapshots ~max_trials ?prepared ~md ~setup report
   else report

@@ -18,6 +18,7 @@ let () =
       Test_spec.suite;
       Test_invariants.suite;
       Test_fuzz.suite;
+      Test_precompile.suite;
       Test_builtins.suite;
       Test_analysis_props.suite;
     ]

@@ -134,6 +134,43 @@ let prop_pretty_roundtrip_behaviour =
       let out2 = run_sequential printed in
       out1 = out2)
 
+(* the prepared-program engine (all three paths) must be observationally
+   identical to the reference tree-walking interpreter: same outputs and
+   bit-identical cycle totals on every random program *)
+let prop_prepared_differential =
+  QCheck.Test.make
+    ~name:"random programs: prepared engine matches the reference interpreter"
+    ~count:60
+    (QCheck.make ~print:render_program gen_program)
+    (fun spec ->
+      let src = render_program spec in
+      let ast = L.Parser.parse_program ~file:"<fuzz>" src in
+      let _ = L.Typecheck.check ~externs:R.Builtins.extern_sigs ast in
+      let prog = Commset_ir.Lower.lower_program ast in
+      let m_ref = R.Machine.create () in
+      let t_ref = R.Interp.run_main (R.Interp.create ~machine:m_ref prog) in
+      let prepared = R.Precompile.prepare prog in
+      let run path =
+        let machine = R.Machine.create () in
+        let t =
+          match path with
+          | `Fast -> R.Precompile.run_main (R.Precompile.executor ~machine prepared)
+          | `Instrumented ->
+              R.Precompile.run_main
+                (R.Precompile.executor ~hooks:(R.Interp.null_hooks ()) ~machine prepared)
+          | `Coarse ->
+              R.Precompile.run_main_coarse
+                (R.Precompile.executor ~hooks:(R.Interp.null_hooks ()) ~machine prepared)
+        in
+        (t, R.Machine.outputs machine)
+      in
+      let ref_out = R.Machine.outputs m_ref in
+      List.for_all
+        (fun path ->
+          let t, out = run path in
+          Int64.bits_of_float t = Int64.bits_of_float t_ref && out = ref_out)
+        [ `Fast; `Instrumented; `Coarse ])
+
 let prop_elision =
   QCheck.Test.make ~name:"random programs: pragma elision preserves sequential output"
     ~count:60
@@ -149,5 +186,6 @@ let suite =
     [
       QCheck_alcotest.to_alcotest ~long:false prop_pipeline_sound;
       QCheck_alcotest.to_alcotest ~long:false prop_pretty_roundtrip_behaviour;
+      QCheck_alcotest.to_alcotest ~long:false prop_prepared_differential;
       QCheck_alcotest.to_alcotest ~long:false prop_elision;
     ] )

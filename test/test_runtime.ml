@@ -226,6 +226,41 @@ let test_interp_fuel () =
   | exception R.Interp.Out_of_fuel -> ()
   | _ -> Alcotest.fail "infinite loop must exhaust fuel"
 
+(* Value.equal drives the interpreter's == / != : IEEE float semantics
+   (nan compares unequal to itself, unlike polymorphic (=)), structural
+   array comparison, and no cross-type coercion *)
+let test_value_equal () =
+  let open R.Value in
+  let eq what expected a b = check Alcotest.bool what expected (R.Value.equal a b) in
+  eq "ints" true (Vint 3) (Vint 3);
+  eq "nan <> nan (IEEE)" false (Vfloat Float.nan) (Vfloat Float.nan);
+  eq "0.0 = -0.0 (IEEE)" true (Vfloat 0.) (Vfloat (-0.));
+  eq "float arrays with nan" false
+    (Varray [| Vfloat Float.nan |])
+    (Varray [| Vfloat Float.nan |]);
+  eq "int arrays by content" true
+    (Varray [| Vint 1; Vint 2 |])
+    (Varray [| Vint 1; Vint 2 |]);
+  eq "arrays of different length" false (Varray [| Vint 1 |]) (Varray [||]);
+  eq "nested arrays" true
+    (Varray [| Varray [| Vint 1 |]; Vstring "x" |])
+    (Varray [| Varray [| Vint 1 |]; Vstring "x" |]);
+  eq "cross-type unequal" false (Vint 0) (Vfloat 0.);
+  eq "bools" false (Vbool true) (Vbool false);
+  (* the interpreter's == goes through Value.equal: nan == nan is false,
+     and !(nan == nan) is true, on real programs *)
+  let out, _ =
+    run_src
+      {|
+void main() {
+  float n = 0.0 / 0.0;
+  if (n == n) { print("eq"); } else { print("neq"); }
+  if (n != n) { print("selfneq"); } else { print("selfeq"); }
+}
+|}
+  in
+  check Alcotest.(list string) "nan through the interpreter" [ "neq"; "selfneq" ] out
+
 let test_interp_cost_positive () =
   let _, total = run_src "void main() { print(md5_hex(\"abc\")); }" in
   check Alcotest.bool "md5 costs more than its base" true
@@ -274,6 +309,7 @@ let suite =
       Alcotest.test_case "interp arrays" `Quick test_interp_arrays;
       Alcotest.test_case "interp traps" `Quick test_interp_traps;
       Alcotest.test_case "interp fuel" `Quick test_interp_fuel;
+      Alcotest.test_case "Value.equal semantics" `Quick test_value_equal;
       Alcotest.test_case "interp cost accounting" `Quick test_interp_cost_positive;
       Alcotest.test_case "profiler hottest loop" `Quick test_profile_hottest;
       qcheck prop_md5_shape;
