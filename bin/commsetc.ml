@@ -8,7 +8,14 @@
     - [run]       simulate plans on the virtual multicore and report
                   speedups and output fidelity;
     - [seq]       run the program sequentially and print its output;
-    - [table1]    the paper's Table 1 feature-comparison matrix. *)
+    - [trace]     flight-recorder trace + metrics of a full evaluation
+                  (Chrome trace-event JSON, loadable in Perfetto);
+    - [table1]    the paper's Table 1 feature-comparison matrix.
+
+    Observability hooks that work on $(i,every) subcommand:
+    [COMMSET_TRACE=path] enables the flight recorder for the whole
+    invocation and writes a Chrome trace at exit; [COMMSET_LOG=level]
+    sets the default log level. *)
 
 open Cmdliner
 module P = Commset_pipeline.Pipeline
@@ -18,6 +25,7 @@ module T = Commset_transforms
 module R = Commset_runtime
 module V = Commset_verify
 module Diag = Commset_support.Diag
+module Obs = Commset_obs
 
 let load ~workload ~variant ~file : string * string * (R.Machine.t -> unit) =
   match (workload, file) with
@@ -53,9 +61,9 @@ let load ~workload ~variant ~file : string * string * (R.Machine.t -> unit) =
       Fmt.epr "exactly one of WORKLOAD or --file is required@.";
       exit 2
 
-let setup_logs verbose =
+let setup_logs level =
   Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+  Logs.set_level (Some level)
 
 let with_diag f =
   try f () with
@@ -85,10 +93,20 @@ let file_arg =
 let threads_arg =
   Arg.(value & opt int 8 & info [ "threads"; "t" ] ~docv:"N" ~doc:"Thread count (1-8).")
 
-let verbose_arg =
+let log_level_arg =
+  let conv_level =
+    Arg.enum [ ("debug", Logs.Debug); ("info", Logs.Info); ("warn", Logs.Warning) ]
+  in
   Arg.(
-    value & flag
-    & info [ "verbose"; "v" ] ~doc:"Report the parallelization workflow stages (Figure 5).")
+    value
+    & opt conv_level Logs.Warning
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~env:(Cmd.Env.info "COMMSET_LOG" ~doc:"Default log level.")
+        ~doc:
+          "Log verbosity: $(b,debug), $(b,info) or $(b,warn). $(b,info) reports the \
+           parallelization workflow stages (Figure 5); $(b,debug) additionally traces \
+           the domain pool ($(b,commset.pool)), the simulator ($(b,commset.sim)) and \
+           the annotation verifier ($(b,commset.verify)).")
 
 (* ---- subcommands ---- *)
 
@@ -103,7 +121,8 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the bundled evaluation workloads") Term.(const run $ const ())
 
 let check_cmd =
-  let run workload variant file =
+  let run workload variant file level =
+    setup_logs level;
     with_diag (fun () ->
         let name, src, setup = load ~workload ~variant ~file in
         let c = P.compile ~name ~setup src in
@@ -130,10 +149,11 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Frontend, metadata and well-formedness checks")
-    Term.(const run $ workload_arg $ variant_arg $ file_arg)
+    Term.(const run $ workload_arg $ variant_arg $ file_arg $ log_level_arg)
 
 let pdg_cmd =
-  let run workload variant file =
+  let run workload variant file level =
+    setup_logs level;
     with_diag (fun () ->
         let name, src, setup = load ~workload ~variant ~file in
         let c = P.compile ~name ~setup src in
@@ -142,10 +162,11 @@ let pdg_cmd =
   in
   Cmd.v
     (Cmd.info "pdg" ~doc:"Print the annotated PDG of the hottest loop")
-    Term.(const run $ workload_arg $ variant_arg $ file_arg)
+    Term.(const run $ workload_arg $ variant_arg $ file_arg $ log_level_arg)
 
 let plans_cmd =
-  let run workload variant file threads =
+  let run workload variant file threads level =
+    setup_logs level;
     with_diag (fun () ->
         let name, src, setup = load ~workload ~variant ~file in
         let c = P.compile ~name ~setup src in
@@ -153,11 +174,11 @@ let plans_cmd =
   in
   Cmd.v
     (Cmd.info "plans" ~doc:"List the parallelization plans")
-    Term.(const run $ workload_arg $ variant_arg $ file_arg $ threads_arg)
+    Term.(const run $ workload_arg $ variant_arg $ file_arg $ threads_arg $ log_level_arg)
 
 let run_cmd =
-  let run workload variant file threads timeline verbose =
-    setup_logs verbose;
+  let run workload variant file threads timeline level =
+    setup_logs level;
     with_diag (fun () ->
         let name, src, setup = load ~workload ~variant ~file in
         let c = P.compile ~name ~setup src in
@@ -190,10 +211,11 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Simulate every plan on the virtual multicore")
     Term.(
       const run $ workload_arg $ variant_arg $ file_arg $ threads_arg $ timeline_arg
-      $ verbose_arg)
+      $ log_level_arg)
 
 let seq_cmd =
-  let run workload variant file =
+  let run workload variant file level =
+    setup_logs level;
     with_diag (fun () ->
         let name, src, setup = load ~workload ~variant ~file in
         let ast = Commset_lang.Parser.parse_program ~file:name src in
@@ -208,10 +230,11 @@ let seq_cmd =
   in
   Cmd.v
     (Cmd.info "seq" ~doc:"Run the program sequentially and print its output")
-    Term.(const run $ workload_arg $ variant_arg $ file_arg)
+    Term.(const run $ workload_arg $ variant_arg $ file_arg $ log_level_arg)
 
 let explain_cmd =
-  let run workload variant file =
+  let run workload variant file level =
+    setup_logs level;
     with_diag (fun () ->
         let name, src, setup = load ~workload ~variant ~file in
         let c = P.compile ~name ~setup src in
@@ -222,10 +245,11 @@ let explain_cmd =
        ~doc:
          "Report the loop-carried dependences that still inhibit DOALL, at source \
           level, with annotation hints (the feedback step of the paper's workflow)")
-    Term.(const run $ workload_arg $ variant_arg $ file_arg)
+    Term.(const run $ workload_arg $ variant_arg $ file_arg $ log_level_arg)
 
 let sweep_cmd =
-  let run workload variant file =
+  let run workload variant file level =
+    setup_logs level;
     with_diag (fun () ->
         let name, src, setup = load ~workload ~variant ~file in
         let c = P.compile ~name ~setup src in
@@ -240,13 +264,13 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Speedup-vs-threads chart for every plan family (Figure 6 style)")
-    Term.(const run $ workload_arg $ variant_arg $ file_arg)
+    Term.(const run $ workload_arg $ variant_arg $ file_arg $ log_level_arg)
 
 let lint_cmd =
   (* exit codes: 0 all clean, 1 warnings only, 2 any error (a refuted
      annotation, an impure predicate, or a failure to compile at all) *)
-  let run workload variant file format strict verbose =
-    setup_logs verbose;
+  let run workload variant file format strict level =
+    setup_logs level;
     let fail (d : Diag.diagnostic) =
       (match format with
       | `Text -> Fmt.epr "%s@." (Diag.to_string d)
@@ -294,7 +318,7 @@ let lint_cmd =
           every member pair, and the annotation lint passes (CS001-CS007)")
     Term.(
       const run $ workload_arg $ variant_arg $ file_arg $ format_arg $ strict_arg
-      $ verbose_arg)
+      $ log_level_arg)
 
 let table1_cmd =
   let run () = print_endline (Commset_report.Table1.render ()) in
@@ -302,9 +326,145 @@ let table1_cmd =
     (Cmd.info "table1" ~doc:"Print the paper's Table 1 feature matrix")
     Term.(const run $ const ())
 
+(* ---- flight-recorder trace ---- *)
+
+let write_file path contents =
+  try
+    let oc = open_out_bin path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+  with Sys_error reason ->
+    Fmt.epr "cannot write '%s': %s@." path reason;
+    exit 2
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error reason ->
+    Fmt.epr "cannot read '%s': %s@." path reason;
+    exit 2
+
+let trace_cmd =
+  let run workload variant file threads out metrics_out validate level =
+    setup_logs level;
+    match validate with
+    | Some path -> (
+        (* validation-only mode, for CI and for checking saved traces *)
+        match Obs.Json_strict.validate_chrome_trace (read_file path) with
+        | Ok n -> Fmt.pr "%s: valid Chrome trace (%d events)@." path n
+        | Error e ->
+            Fmt.epr "%s: INVALID trace: %s@." path e;
+            exit 2)
+    | None ->
+        with_diag (fun () ->
+            let name, src, setup = load ~workload ~variant ~file in
+            Obs.Metrics.reset ();
+            Obs.Recorder.reset ();
+            Obs.Recorder.set_enabled true;
+            let c = P.compile ~name ~setup src in
+            let runs = P.evaluate c ~threads in
+            let best =
+              match runs with
+              | [] -> None
+              | r :: _ -> Some (P.simulate ~record_timeline:true c r.P.plan)
+            in
+            Obs.Recorder.set_enabled false;
+            (* pid 0: real time (recorder spans); pid 1: the best plan's
+               virtual-clock timeline from the simulator *)
+            let events =
+              Obs.Export.of_recorder ~pid:0 (Obs.Recorder.dump ())
+              @
+              match best with
+              | Some r ->
+                  Obs.Export.of_sim_timelines ~pid:1 ~name:r.P.plan.T.Plan.label
+                    r.P.timelines
+              | None -> []
+            in
+            let json = Obs.Export.chrome_json events in
+            (* never ship a trace we would reject ourselves *)
+            let n_events =
+              match Obs.Json_strict.validate_chrome_trace json with
+              | Ok n -> n
+              | Error e ->
+                  Fmt.epr "internal: generated trace failed validation: %s@." e;
+                  exit 3
+            in
+            write_file out json;
+            Fmt.pr "%s: wrote %d trace event(s) to %s@." name n_events out;
+            (match best with
+            | Some r ->
+                Fmt.pr "  best plan: %s (%.2fx, %s)@." r.P.plan.T.Plan.label r.P.speedup
+                  (P.fidelity_to_string r.P.fidelity)
+            | None -> ());
+            let dropped = Obs.Recorder.dropped_total () in
+            if dropped > 0 then
+              Fmt.pr "  warning: %d span(s) dropped (raise COMMSET_TRACE_BUF)@." dropped;
+            match metrics_out with
+            | Some path ->
+                write_file path (Obs.Metrics.to_json ());
+                Fmt.pr "  metrics -> %s@." path
+            | None -> ())
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Where to write the Chrome trace JSON.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE" ~doc:"Also dump the metrics registry as JSON.")
+  in
+  let validate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check" ] ~docv:"FILE"
+          ~doc:
+            "Validate an existing trace file against the strict trace-event parser and \
+             exit (no compilation).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Compile and evaluate a workload with the flight recorder on, then write a \
+          Chrome trace-event JSON (loadable in Perfetto or about://tracing) and \
+          optionally a metrics dump")
+    Term.(
+      const run $ workload_arg $ variant_arg $ file_arg $ threads_arg $ out_arg
+      $ metrics_arg $ validate_arg $ log_level_arg)
+
+(* [COMMSET_TRACE=path]: enable the flight recorder for the whole
+   invocation, whatever the subcommand, and write the trace at exit
+   (including the [exit 1] of a diagnostic). *)
+let install_trace_env_hook () =
+  match Sys.getenv_opt "COMMSET_TRACE" with
+  | None | Some "" -> ()
+  | Some path ->
+      Obs.Recorder.set_enabled true;
+      at_exit (fun () ->
+          Obs.Recorder.set_enabled false;
+          let json =
+            Obs.Export.chrome_json (Obs.Export.of_recorder ~pid:0 (Obs.Recorder.dump ()))
+          in
+          match Obs.Json_strict.validate_chrome_trace json with
+          | Ok _ -> (
+              try
+                let oc = open_out_bin path in
+                output_string oc json;
+                close_out_noerr oc
+              with Sys_error reason ->
+                Fmt.epr "COMMSET_TRACE: cannot write '%s': %s@." path reason)
+          | Error e -> Fmt.epr "COMMSET_TRACE: internal: trace failed validation: %s@." e)
+
 let () =
   let doc = "the COMMSET implicit-parallelism compiler (PLDI 2011 reproduction)" in
   let info = Cmd.info "commsetc" ~version:"1.0.0" ~doc in
+  install_trace_env_hook ();
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; check_cmd; pdg_cmd; plans_cmd; run_cmd; seq_cmd; explain_cmd; sweep_cmd; lint_cmd; table1_cmd ]))
+       (Cmd.group info [ list_cmd; check_cmd; pdg_cmd; plans_cmd; run_cmd; seq_cmd; explain_cmd; sweep_cmd; lint_cmd; trace_cmd; table1_cmd ]))

@@ -1,0 +1,166 @@
+(** Chrome trace-event exporters; see the interface. *)
+
+type arg = Astr of string | Aint of int | Afloat of float
+
+type event =
+  | Complete of {
+      pid : int;
+      tid : int;
+      name : string;
+      cat : string;
+      ts : float;
+      dur : float;
+      args : (string * arg) list;
+    }
+  | Instant of {
+      pid : int;
+      tid : int;
+      name : string;
+      cat : string;
+      ts : float;
+      args : (string * arg) list;
+    }
+  | Counter of { pid : int; tid : int; name : string; ts : float; series : (string * float) list }
+  | Process_name of { pid : int; name : string }
+  | Thread_name of { pid : int; tid : int; name : string }
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let of_recorder ?(pid = 0) (spans : Recorder.span list) : event list =
+  match spans with
+  | [] -> []
+  | _ ->
+      let base = List.fold_left (fun acc s -> min acc s.Recorder.t0_ns) infinity spans in
+      let doms = List.sort_uniq compare (List.map (fun s -> s.Recorder.dom) spans) in
+      Process_name { pid; name = "real time (monotonic clock)" }
+      :: List.map (fun d -> Thread_name { pid; tid = d; name = Printf.sprintf "domain %d" d }) doms
+      @ List.map
+          (fun (s : Recorder.span) ->
+            Complete
+              {
+                pid;
+                tid = s.Recorder.dom;
+                name = s.Recorder.name;
+                cat = (if s.Recorder.cat = "" then "span" else s.Recorder.cat);
+                ts = (s.Recorder.t0_ns -. base) /. 1e3;
+                dur = (s.Recorder.t1_ns -. s.Recorder.t0_ns) /. 1e3;
+                args = [ ("id", Aint s.Recorder.sid); ("depth", Aint s.Recorder.depth) ];
+              })
+          spans
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let of_sim_timelines ~pid ~name (timelines : (float * float * string) list array) : event list
+    =
+  let events = ref [] in
+  Array.iteri
+    (fun tid intervals ->
+      events := Thread_name { pid; tid; name = Printf.sprintf "sim thread %d" tid } :: !events;
+      List.iter
+        (fun (start, stop, tag) ->
+          let cat =
+            if has_prefix ~prefix:"wait:" tag then "wait"
+            else if has_prefix ~prefix:"abort:" tag then "abort"
+            else "sim"
+          in
+          events :=
+            Complete { pid; tid; name = tag; cat; ts = start; dur = stop -. start; args = [] }
+            :: !events)
+        intervals)
+    timelines;
+  Process_name { pid; name = Printf.sprintf "virtual clock: %s" name } :: List.rev !events
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let add_escaped buf s = Buffer.add_string buf (Metrics.json_escape s)
+
+(* trace-event timestamps: plain decimal, never scientific notation *)
+let add_us buf v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" v)
+  else Buffer.add_string buf (Printf.sprintf "%.3f" v)
+
+let add_arg buf (k, a) =
+  Buffer.add_char buf '"';
+  add_escaped buf k;
+  Buffer.add_string buf "\": ";
+  match a with
+  | Astr s ->
+      Buffer.add_char buf '"';
+      add_escaped buf s;
+      Buffer.add_char buf '"'
+  | Aint n -> Buffer.add_string buf (string_of_int n)
+  | Afloat v -> add_us buf v
+
+let add_args buf = function
+  | [] -> ()
+  | args ->
+      Buffer.add_string buf ", \"args\": { ";
+      List.iteri
+        (fun i a ->
+          if i > 0 then Buffer.add_string buf ", ";
+          add_arg buf a)
+        args;
+      Buffer.add_string buf " }"
+
+let add_common buf ~ph ~pid ~tid ~name ~cat ~ts =
+  Buffer.add_string buf (Printf.sprintf "{ \"ph\": \"%s\", \"pid\": %d, \"tid\": %d" ph pid tid);
+  (match name with
+  | Some n ->
+      Buffer.add_string buf ", \"name\": \"";
+      add_escaped buf n;
+      Buffer.add_char buf '"'
+  | None -> ());
+  (match cat with
+  | Some c ->
+      Buffer.add_string buf ", \"cat\": \"";
+      add_escaped buf c;
+      Buffer.add_char buf '"'
+  | None -> ());
+  match ts with
+  | Some t ->
+      Buffer.add_string buf ", \"ts\": ";
+      add_us buf t
+  | None -> ()
+
+let add_event buf = function
+  | Complete { pid; tid; name; cat; ts; dur; args } ->
+      add_common buf ~ph:"X" ~pid ~tid ~name:(Some name) ~cat:(Some cat) ~ts:(Some ts);
+      Buffer.add_string buf ", \"dur\": ";
+      add_us buf (Float.max 0. dur);
+      add_args buf args;
+      Buffer.add_string buf " }"
+  | Instant { pid; tid; name; cat; ts; args } ->
+      add_common buf ~ph:"i" ~pid ~tid ~name:(Some name) ~cat:(Some cat) ~ts:(Some ts);
+      Buffer.add_string buf ", \"s\": \"t\"";
+      add_args buf args;
+      Buffer.add_string buf " }"
+  | Counter { pid; tid; name; ts; series } ->
+      add_common buf ~ph:"C" ~pid ~tid ~name:(Some name) ~cat:None ~ts:(Some ts);
+      add_args buf (List.map (fun (k, v) -> (k, Afloat v)) series);
+      Buffer.add_string buf " }"
+  | Process_name { pid; name } ->
+      add_common buf ~ph:"M" ~pid ~tid:0 ~name:(Some "process_name") ~cat:None ~ts:None;
+      add_args buf [ ("name", Astr name) ];
+      Buffer.add_string buf " }"
+  | Thread_name { pid; tid; name } ->
+      add_common buf ~ph:"M" ~pid ~tid ~name:(Some "thread_name") ~cat:None ~ts:None;
+      add_args buf [ ("name", Astr name) ];
+      Buffer.add_string buf " }"
+
+let chrome_json (events : event list) : string =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{ \"traceEvents\": [";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n";
+      add_event buf ev)
+    events;
+  Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\" }\n";
+  Buffer.contents buf

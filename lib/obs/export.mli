@@ -1,0 +1,53 @@
+(** Exporters: Chrome trace-event JSON (loadable in Perfetto /
+    [about://tracing]) built from recorder spans and from the
+    simulator's virtual-clock timelines, plus pass-throughs for the
+    metrics dumps.
+
+    Track layout convention: real-time (monotonic clock) tracks live on
+    one pid per process — pid 0 "real time", one tid per recording
+    domain — while each simulated execution gets its own pid whose tids
+    are the virtual threads. Virtual cycles are mapped 1:1 onto
+    trace-event microseconds, so the paper-style execution schedules
+    render with the same tooling as the real-time profile. *)
+
+type arg = Astr of string | Aint of int | Afloat of float
+
+type event =
+  | Complete of {
+      pid : int;
+      tid : int;
+      name : string;
+      cat : string;
+      ts : float;  (** µs *)
+      dur : float;  (** µs *)
+      args : (string * arg) list;
+    }
+  | Instant of {
+      pid : int;
+      tid : int;
+      name : string;
+      cat : string;
+      ts : float;
+      args : (string * arg) list;
+    }
+  | Counter of { pid : int; tid : int; name : string; ts : float; series : (string * float) list }
+  | Process_name of { pid : int; name : string }
+  | Thread_name of { pid : int; tid : int; name : string }
+
+(** Recorder spans as complete events on [pid] (default 0), one tid per
+    recording domain, timestamps rebased so the earliest span starts at
+    0 µs. Emits process/thread name metadata. *)
+val of_recorder : ?pid:int -> Recorder.span list -> event list
+
+(** A simulated execution's per-thread timelines — [(start, stop, tag)]
+    intervals in virtual cycles, as produced by [Sim.run] with
+    [record_timeline] — as one process of complete events. Tags
+    [wait:...] and [abort:...] are exported under the [wait] / [abort]
+    categories so lock waits and transaction retries are visually
+    distinct from compute. *)
+val of_sim_timelines :
+  pid:int -> name:string -> (float * float * string) list array -> event list
+
+(** The full trace document: [{"traceEvents": [...], "displayTimeUnit":
+    "ms"}]. Guaranteed to satisfy {!Json_strict.validate_chrome_trace}. *)
+val chrome_json : event list -> string

@@ -1,0 +1,31 @@
+(** A strict JSON parser (RFC 8259 grammar, no extensions) and a
+    Chrome trace-event validator over it.
+
+    Strictness: no trailing commas, no comments, no [NaN]/[Infinity],
+    no unquoted keys, duplicate keys within one object rejected, the
+    whole input must be consumed. This is the in-repo acceptance gate
+    for everything the exporters emit — if Perfetto or [about://tracing]
+    would choke, so does this parser, in CI. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** in source order; keys unique *)
+
+val parse : string -> (t, string) result
+
+(** Member lookup on an [Obj]; [None] on other constructors. *)
+val member : string -> t -> t option
+
+(** [validate_chrome_trace s] parses [s] strictly and checks it is a
+    Chrome trace-event JSON object: a top-level object with a
+    ["traceEvents"] array; every event an object with a one-character
+    ["ph"] among [B E X i I C M], numeric ["pid"]/["tid"], a numeric
+    ["ts"] (except metadata events), a non-negative ["dur"] on [X]
+    events, a string ["name"] (except [E] events, where it is optional),
+    and balanced [B]/[E] nesting per [(pid, tid)] track. Returns the
+    number of events on success. *)
+val validate_chrome_trace : string -> (int, string) result

@@ -1,0 +1,197 @@
+(** Metrics registry; see the interface for the contract. *)
+
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
+
+type histogram = {
+  h_buckets : int Atomic.t array;  (** 64 log₂ buckets *)
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+}
+
+type metric =
+  | Mcounter of counter
+  | Mgauge of gauge
+  | Mhist of histogram
+
+let registry : (string, metric * string) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let find_or_create name doc make classify =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (m, _) -> (
+          match classify m with
+          | Some v -> v
+          | None -> invalid_arg ("Metrics: '" ^ name ^ "' registered with another kind"))
+      | None ->
+          let v, m = make () in
+          Hashtbl.replace registry name (m, doc);
+          v)
+
+let counter ?(doc = "") name : counter =
+  find_or_create name doc
+    (fun () ->
+      let c = Atomic.make 0 in
+      (c, Mcounter c))
+    (function Mcounter c -> Some c | _ -> None)
+
+let incr c = ignore (Atomic.fetch_and_add c 1)
+let add c n = ignore (Atomic.fetch_and_add c n)
+let value c = Atomic.get c
+
+let gauge ?(doc = "") name : gauge =
+  find_or_create name doc
+    (fun () ->
+      let g = Atomic.make 0. in
+      (g, Mgauge g))
+    (function Mgauge g -> Some g | _ -> None)
+
+let rec gauge_add g v =
+  let cur = Atomic.get g in
+  if not (Atomic.compare_and_set g cur (cur +. v)) then gauge_add g v
+
+let gauge_set g v = Atomic.set g v
+let gauge_value g = Atomic.get g
+
+let n_buckets = 64
+
+let histogram ?(doc = "") name : histogram =
+  find_or_create name doc
+    (fun () ->
+      let h =
+        {
+          h_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0.;
+        }
+      in
+      (h, Mhist h))
+    (function Mhist h -> Some h | _ -> None)
+
+(* bucket i covers [2^(i-32), 2^(i-31)): frexp v = (m, e) with v = m·2^e,
+   0.5 <= m < 1, so the bucket index is e + 31 *)
+let bucket_of v =
+  if v <= 0. then 0
+  else
+    let _, e = Float.frexp v in
+    max 0 (min (n_buckets - 1) (e + 31))
+
+let observe h v =
+  ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of v) 1);
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  gauge_add h.h_sum v
+
+let hist_count h = Atomic.get h.h_count
+let hist_sum h = Atomic.get h.h_sum
+
+(* ------------------------------------------------------------------ *)
+(* Dumps                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_entries () =
+  Mutex.lock registry_lock;
+  let entries = Hashtbl.fold (fun name (m, doc) acc -> (name, m, doc) :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) entries
+
+let snapshot () =
+  List.concat_map
+    (fun (name, m, _) ->
+      match m with
+      | Mcounter c -> [ (name, float_of_int (Atomic.get c)) ]
+      | Mgauge g -> [ (name, Atomic.get g) ]
+      | Mhist h ->
+          [
+            (name ^ ".count", float_of_int (Atomic.get h.h_count));
+            (name ^ ".sum", Atomic.get h.h_sum);
+          ])
+    (sorted_entries ())
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* a float rendered as a syntactically valid JSON number *)
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6f" v
+
+let to_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{ \"metrics\": [";
+  List.iteri
+    (fun i (name, m, doc) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n  { \"name\": \"";
+      Buffer.add_string buf (json_escape name);
+      Buffer.add_string buf "\"";
+      if doc <> "" then begin
+        Buffer.add_string buf ", \"doc\": \"";
+        Buffer.add_string buf (json_escape doc);
+        Buffer.add_string buf "\""
+      end;
+      (match m with
+      | Mcounter c ->
+          Buffer.add_string buf
+            (Printf.sprintf ", \"kind\": \"counter\", \"value\": %d" (Atomic.get c))
+      | Mgauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf ", \"kind\": \"gauge\", \"value\": %s" (json_float (Atomic.get g)))
+      | Mhist h ->
+          Buffer.add_string buf
+            (Printf.sprintf ", \"kind\": \"histogram\", \"count\": %d, \"sum\": %s"
+               (Atomic.get h.h_count)
+               (json_float (Atomic.get h.h_sum)));
+          Buffer.add_string buf ", \"buckets\": { ";
+          let first = ref true in
+          Array.iteri
+            (fun i b ->
+              let n = Atomic.get b in
+              if n > 0 then begin
+                if not !first then Buffer.add_string buf ", ";
+                first := false;
+                Buffer.add_string buf (Printf.sprintf "\"%d\": %d" (i - 32) n)
+              end)
+            h.h_buckets;
+          Buffer.add_string buf " }");
+      Buffer.add_string buf " }")
+    (sorted_entries ());
+  Buffer.add_string buf "\n] }\n";
+  Buffer.contents buf
+
+let to_text () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%-40s %s\n" name (json_float v)))
+    (snapshot ());
+  Buffer.contents buf
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter
+    (fun _ (m, _) ->
+      match m with
+      | Mcounter c -> Atomic.set c 0
+      | Mgauge g -> Atomic.set g 0.
+      | Mhist h ->
+          Array.iter (fun b -> Atomic.set b 0) h.h_buckets;
+          Atomic.set h.h_count 0;
+          Atomic.set h.h_sum 0.)
+    registry;
+  Mutex.unlock registry_lock

@@ -23,6 +23,7 @@ module Dep_analysis = Commset_core.Dep_analysis
 module T = Commset_transforms
 module R = Commset_runtime
 module V = Commset_verify
+module Recorder = Commset_obs.Recorder
 open Commset_support
 
 type setup = R.Machine.t -> unit
@@ -161,22 +162,35 @@ module Log = (val Logs.src_log src_log : Logs.LOG)
     Figure 5's workflow). *)
 let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) ?(verify = false)
     (source : string) : t =
+  Recorder.with_span ~cat:"compile" "pipeline.compile" @@ fun () ->
+  (* each Figure-5 stage gets its own flight-recorder span so traces
+     show where compile time goes; [stage] is a no-op when disabled *)
+  let stage n f = Recorder.with_span ~cat:"compile" n f in
   let lookup = R.Builtins.lookup_spec in
   Log.info (fun m -> m "[%s] frontend: parsing and type checking" name);
-  let ast = Parser.parse_program ~file:name source in
-  let tcenv = Tc.check ~externs:R.Builtins.extern_sigs ast in
+  let ast, tcenv =
+    stage "compile.parse" @@ fun () ->
+    let ast = Parser.parse_program ~file:name source in
+    (ast, Tc.check ~externs:R.Builtins.extern_sigs ast)
+  in
   Log.info (fun m -> m "[%s] lowering to IR" name);
-  let prog = Lower.lower_program ast in
+  let prog = stage "compile.lower" (fun () -> Lower.lower_program ast) in
   Log.info (fun m -> m "[%s] effect analysis over %d function(s)" name
       (List.length prog.Ir.func_order));
-  let effects = A.Effects.analyze lookup prog in
+  let effects = stage "compile.effects" (fun () -> A.Effects.analyze lookup prog) in
   Log.info (fun m -> m "[%s] COMMSET metadata manager and well-formedness checks" name);
-  let md = Metadata.build prog tcenv effects in
-  let commset_graph = Wellformed.check md ~lookup in
+  let md, commset_graph =
+    stage "compile.metadata" @@ fun () ->
+    let md = Metadata.build prog tcenv effects in
+    (md, Wellformed.check md ~lookup)
+  in
   Log.info (fun m -> m "[%s] preparing the program for execution" name);
-  let prepared = R.Precompile.prepare prog in
+  let prepared = stage "compile.prepare" (fun () -> R.Precompile.prepare prog) in
   Log.info (fun m -> m "[%s] profiling to select the hottest loop" name);
-  let profile = R.Profile.analyze ~machine:(fresh_machine setup ()) ~prepared prog in
+  let profile =
+    stage "compile.profile" (fun () ->
+        R.Profile.analyze ~machine:(fresh_machine setup ()) ~prepared prog)
+  in
   let hottest =
     match R.Profile.hottest profile with
     | Some h -> h
@@ -187,15 +201,18 @@ let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) ?(verify = fals
         hottest.R.Profile.lr_header
         (100. *. hottest.R.Profile.lr_fraction));
   let target, trace =
-    build_target prog effects lookup md ~fname:hottest.R.Profile.lr_func
-      ~header:hottest.R.Profile.lr_header ~setup ~prepared
+    stage "compile.pdg" (fun () ->
+        build_target prog effects lookup md ~fname:hottest.R.Profile.lr_func
+          ~header:hottest.R.Profile.lr_header ~setup ~prepared)
   in
   Log.info (fun m ->
       m "[%s] PDG built (%d nodes, %d edges); Algorithm 1: %d uco, %d ico" name
         (Array.length target.pdg.Pdg.nodes)
         (List.length target.pdg.Pdg.edges)
         target.n_uco target.n_ico);
-  let sync = T.Sync.compute md target.pdg trace target.priv in
+  let sync =
+    stage "compile.sync" (fun () -> T.Sync.compute md target.pdg trace target.priv)
+  in
   Log.info (fun m -> m "[%s] synchronization engine: %d node(s) compiler-locked" name
       (Hashtbl.length sync.T.Sync.node_locks));
   let sync_none = T.Sync.none md in
@@ -204,8 +221,9 @@ let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) ?(verify = fals
     else begin
       Log.info (fun m -> m "[%s] commutativity sanitizer: differencing + replay" name);
       let report =
-        V.Verify.run ~prepared ~md ~target_fname:target.func.Ir.fname ~loop:target.loop
-          ~induction:target.induction ~setup ()
+        stage "compile.verify" (fun () ->
+            V.Verify.run ~prepared ~md ~target_fname:target.func.Ir.fname ~loop:target.loop
+              ~induction:target.induction ~setup ())
       in
       Log.info (fun m ->
           m "[%s] sanitizer verdicts: %d proved, %d unknown, %d refuted" name
@@ -215,6 +233,7 @@ let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) ?(verify = fals
     end
   in
   let plan_ctx_of pdg =
+    stage "compile.planctx" @@ fun () ->
     {
       reductions = Commset_pdg.Reduction.detect pdg;
       scc = Scc.compute pdg ~edges:(Pdg.effective_edges pdg);
@@ -251,6 +270,7 @@ let compile ?(name = "<program>") ?(setup : setup = fun _ -> ()) ?(verify = fals
     compile-time {!plan_ctx}, so a sweep over thread counts only pays
     for the schedulers themselves. *)
 let plans t ~threads : T.Plan.t list =
+  Recorder.with_span ~cat:"pipeline" "pipeline.plans" @@ fun () ->
   let comm =
     let pdg = t.target.pdg in
     let { reductions; scc } = t.plan_ctx_comm in
@@ -280,6 +300,7 @@ let check_outputs t (sim_outputs : (float * string) list) : output_fidelity =
   else Mismatch
 
 let simulate ?(record_timeline = false) t (plan : T.Plan.t) : run =
+  Recorder.with_span ~cat:"pipeline" "pipeline.simulate" @@ fun () ->
   let pdg = if plan.T.Plan.uses_commset then t.target.pdg else t.target.pdg_plain in
   let result, makespan = T.Emit.simulate ~record_timeline ~plan ~pdg ~trace:t.trace () in
   {
@@ -297,6 +318,7 @@ let simulate ?(record_timeline = false) t (plan : T.Plan.t) : run =
     the sort key and the deterministic plan order make the result
     identical to the sequential path. *)
 let evaluate ?record_timeline t ~threads : run list =
+  Recorder.with_span ~cat:"pipeline" "pipeline.evaluate" @@ fun () ->
   Pool.parmap (simulate ?record_timeline t) (plans t ~threads)
   |> List.sort (fun a b -> compare b.speedup a.speedup)
 
@@ -310,6 +332,7 @@ let best ?record_timeline t ~threads : run option =
     anyway), so no configuration is ever simulated twice. *)
 let sweep ?(min_threads = 1) ?(precomputed = []) t ~max_threads :
     (string * (int * float) list) list =
+  Recorder.with_span ~cat:"pipeline" "pipeline.sweep" @@ fun () ->
   let counts = List.init (max 0 (max_threads - min_threads + 1)) (fun i -> min_threads + i) in
   let runs_per_count =
     Pool.parmap

@@ -38,6 +38,17 @@
 module Ir = Commset_ir.Ir
 module Ast = Commset_lang.Ast
 open Commset_support
+module Metrics = Commset_obs.Metrics
+
+(* "instructions retired" falls out of the existing fuel accounting —
+   fuel is decremented once per block entry and once per instruction, so
+   [initial fuel - remaining fuel] counts steps with zero added cost on
+   the per-instruction hot path; totals are flushed once per run *)
+let m_steps =
+  Metrics.counter ~doc:"interpreter steps retired (block entries + instructions)"
+    "interp.steps"
+
+let m_exec_runs = Metrics.counter ~doc:"prepared-program runs" "interp.runs"
 
 (* ------------------------------------------------------------------ *)
 (* Prepared form                                                       *)
@@ -381,6 +392,7 @@ type exec = {
   ex_prepared : t;
   ex_state : state;
   ex_hooks : Interp.hooks option;
+  ex_fuel0 : int;  (** initial fuel, for the steps-retired accessor *)
 }
 
 let executor ?hooks ?(fuel = Interp.default_fuel) ?(machine = Machine.create ()) (p : t) :
@@ -401,10 +413,11 @@ let executor ?hooks ?(fuel = Interp.default_fuel) ?(machine = Machine.create ())
          fun s ->
            Machine.default_emit machine s;
            h.Interp.on_output s));
-  { ex_prepared = p; ex_state = st; ex_hooks = hooks }
+  { ex_prepared = p; ex_state = st; ex_hooks = hooks; ex_fuel0 = fuel }
 
 let machine ex = ex.ex_state.st_machine
 let total_cost ex = ex.ex_state.st_total
+let steps ex = ex.ex_fuel0 - ex.ex_state.st_fuel
 
 (** Live global bindings, as the reference's globals hashtable would
     hold them (declared globals plus any undeclared names created by an
@@ -643,9 +656,14 @@ let run_main (ex : exec) : float =
   | None -> Diag.error "program has no 'main' function"
   | Some mainf ->
       let st = ex.ex_state in
-      (match ex.ex_hooks with
-      | None -> ignore (f_exec_call st mainf [||] [||])
-      | Some h -> ignore (i_exec_func st h mainf []));
+      let fuel_before = st.st_fuel in
+      Metrics.incr m_exec_runs;
+      Fun.protect
+        ~finally:(fun () -> Metrics.add m_steps (fuel_before - st.st_fuel))
+        (fun () ->
+          match ex.ex_hooks with
+          | None -> ignore (f_exec_call st mainf [||] [||])
+          | Some h -> ignore (i_exec_func st h mainf []));
       st.st_total
 
 (** Like {!run_main}, but an executor with hooks runs on the coarse
@@ -658,7 +676,12 @@ let run_main_coarse (ex : exec) : float =
   | None -> Diag.error "program has no 'main' function"
   | Some mainf ->
       let st = ex.ex_state in
-      (match ex.ex_hooks with
-      | None -> ignore (f_exec_call st mainf [||] [||])
-      | Some h -> ignore (c_exec_call st h mainf [||] [||]));
+      let fuel_before = st.st_fuel in
+      Metrics.incr m_exec_runs;
+      Fun.protect
+        ~finally:(fun () -> Metrics.add m_steps (fuel_before - st.st_fuel))
+        (fun () ->
+          match ex.ex_hooks with
+          | None -> ignore (f_exec_call st mainf [||] [||])
+          | Some h -> ignore (c_exec_call st h mainf [||] [||]));
       st.st_total

@@ -40,6 +40,11 @@ val run_main_coarse : exec -> float
 val machine : exec -> Machine.t
 val total_cost : exec -> float
 
+(** Interpreter steps retired so far by this executor (block entries +
+    instructions), derived from fuel accounting at zero hot-path cost.
+    Also accumulated into the [interp.steps] metric once per run. *)
+val steps : exec -> int
+
 (** Live global bindings after (or during) a run, as the reference
     interpreter's globals hashtable would hold them — declared globals
     plus any undeclared names created by an executed store. *)

@@ -21,6 +21,27 @@
     the [List.mem] product the naive formulation implies. *)
 
 open Commset_support
+module Metrics = Commset_obs.Metrics
+
+let src_log = Logs.Src.create "commset.sim" ~doc:"Discrete-event multicore simulator"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+let m_runs = Metrics.counter ~doc:"simulations executed" "sim.runs"
+
+let m_lock_contended =
+  Metrics.counter ~doc:"contended lock acquires across runs" "sim.lock_contended"
+
+let m_tx_aborts = Metrics.counter ~doc:"transaction aborts across runs" "sim.tx_aborts"
+let m_commits = Metrics.counter ~doc:"transaction commits across runs" "sim.commits"
+
+let m_lock_wait =
+  Metrics.counter ~doc:"virtual cycles spent blocked on locks (rounded per run)"
+    "sim.lock_wait_cycles"
+
+let m_queue_wait =
+  Metrics.counter ~doc:"virtual cycles spent blocked on queues (rounded per run)"
+    "sim.queue_wait_cycles"
 
 type lock_spec = { lflavor : Costmodel.lock_flavor; lname : string }
 
@@ -147,6 +168,8 @@ type result = {
   timelines : (float * float * string) list array;
   lock_contended : int;
   tx_aborts : int;
+  lock_wait : float;  (** total virtual cycles threads spent blocked on locks *)
+  queue_wait : float;  (** total virtual cycles threads spent blocked on queues *)
 }
 
 type t = {
@@ -157,6 +180,9 @@ type t = {
   mutable commits : Commit_index.t;
   mutable pruned_to : float;  (** commits at or before this time are gone *)
   mutable tx_aborts : int;
+  mutable n_commits : int;
+  mutable lock_wait : float;
+  mutable queue_wait : float;
   spec_commutes : (spec_info -> spec_info -> bool) option;
       (** runtime commutativity check for speculative transactions: when
           both transactions carry [spec_info] and this returns [true],
@@ -195,6 +221,9 @@ let create ?(record_timeline = false) ?spec_commutes ~locks ~n_queues (seg_lists
     commits = Commit_index.empty;
     pruned_to = neg_infinity;
     tx_aborts = 0;
+    n_commits = 0;
+    lock_wait = 0.;
+    queue_wait = 0.;
     spec_commutes;
     record_timeline;
   }
@@ -245,6 +274,9 @@ let step t th =
           max waiter.time
             (th.time +. Costmodel.handoff_penalty lock.spec.lflavor ~n_waiters)
         in
+        t.lock_wait <- t.lock_wait +. (grant -. waiter.time);
+        if t.record_timeline then
+          note_interval t waiter waiter.time grant ("wait:" ^ lock.spec.lname);
         waiter.time <- grant;
         waiter.blocked <- false;
         waiter.pc <- waiter.pc + 1 (* past its Acquire *)
@@ -260,7 +292,11 @@ let step t th =
             queue.waiting_consumer <- None;
             let consumer = t.threads.(c) in
             consumer.blocked <- false;
-            consumer.time <- max consumer.time th.time
+            let wake = max consumer.time th.time in
+            t.queue_wait <- t.queue_wait +. (wake -. consumer.time);
+            if t.record_timeline then
+              note_interval t consumer consumer.time wake ("wait:q" ^ string_of_int q);
+            consumer.time <- wake
         | None -> ()
       end
       else begin
@@ -278,7 +314,11 @@ let step t th =
             queue.waiting_producer <- None;
             let producer = t.threads.(p) in
             producer.blocked <- false;
-            producer.time <- max producer.time th.time
+            let wake = max producer.time th.time in
+            t.queue_wait <- t.queue_wait +. (wake -. producer.time);
+            if t.record_timeline then
+              note_interval t producer producer.time wake ("wait:q" ^ string_of_int q);
+            producer.time <- wake
         | None -> ()
       end
       else begin
@@ -300,14 +340,18 @@ let step t th =
         then begin
           t.tx_aborts <- t.tx_aborts + 1;
           th.busy <- th.busy +. cost;
+          (* each aborted window is its own timeline interval so retried
+             transactions show up as distinct [abort:] slices in traces *)
+          if t.record_timeline then note_interval t th start stop ("abort:" ^ tag);
           attempt (tries + 1) (stop +. Costmodel.tx_abort_penalty)
         end
-        else stop
+        else (start, stop)
       in
-      let stop = attempt 0 th.time in
-      note_interval t th th.time stop tag;
+      let start, stop = attempt 0 th.time in
+      note_interval t th start stop tag;
       th.time <- stop;
       th.busy <- th.busy +. cost;
+      t.n_commits <- t.n_commits + 1;
       t.commits <-
         Commit_index.add_sets t.commits ~time:stop ~thread:th.tid ~rset ~wset ~spec;
       List.iter (fun s -> t.emitted <- (stop, s) :: t.emitted) outputs;
@@ -344,11 +388,29 @@ let run t : result =
         else continue_ := false
   done;
   let makespan = Array.fold_left (fun acc th -> max acc th.time) 0. t.threads in
+  let lock_contended =
+    Array.fold_left (fun acc l -> acc + l.contended_acquires) 0 t.locks
+  in
+  Metrics.incr m_runs;
+  Metrics.add m_lock_contended lock_contended;
+  Metrics.add m_tx_aborts t.tx_aborts;
+  Metrics.add m_commits t.n_commits;
+  (* wait totals are rounded to whole cycles per run so the aggregate is
+     an integer sum and therefore identical for any COMMSET_JOBS *)
+  Metrics.add m_lock_wait (int_of_float (t.lock_wait +. 0.5));
+  Metrics.add m_queue_wait (int_of_float (t.queue_wait +. 0.5));
+  Log.debug (fun m ->
+      m
+        "run: makespan %.0f, %d contended acquire(s), %d abort(s), %d commit(s), lock wait \
+         %.0f, queue wait %.0f"
+        makespan lock_contended t.tx_aborts t.n_commits t.lock_wait t.queue_wait);
   {
     makespan;
     outputs = List.sort compare (List.rev t.emitted);
     thread_busy = Array.map (fun th -> th.busy) t.threads;
     timelines = Array.map (fun th -> List.rev th.intervals) t.threads;
-    lock_contended = Array.fold_left (fun acc l -> acc + l.contended_acquires) 0 t.locks;
+    lock_contended;
     tx_aborts = t.tx_aborts;
+    lock_wait = t.lock_wait;
+    queue_wait = t.queue_wait;
   }

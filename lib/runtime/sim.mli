@@ -91,6 +91,10 @@ type result = {
   timelines : (float * float * string) list array;
   lock_contended : int;
   tx_aborts : int;
+  lock_wait : float;
+      (** total virtual cycles threads spent blocked waiting for locks *)
+  queue_wait : float;
+      (** total virtual cycles threads spent blocked on full/empty queues *)
 }
 
 (** [create ~locks ~n_queues seg_lists] builds a machine with one thread

@@ -10,7 +10,38 @@
     noise, and short-lived domains keep the module free of
     shutdown/teardown protocol. Nested calls see an exhausted budget and
     simply run inline, which bounds the total number of live domains by
-    the budget regardless of nesting depth. *)
+    the budget regardless of nesting depth.
+
+    Observability: every [parmap] feeds the [pool.*] metrics (calls,
+    tasks, chunks, spawned workers, CAS retries on the token budget,
+    busy/idle seconds), and when the flight recorder is enabled each
+    participating domain wraps its claim loop in a [pool.worker] span
+    with one [pool.chunk] span per claimed run of indices — which is
+    what gives the Chrome trace its per-domain worker tracks. The
+    [commset.pool] log source reports fan-out decisions at debug
+    level. *)
+
+module Recorder = Commset_obs.Recorder
+module Metrics = Commset_obs.Metrics
+module Clock = Commset_obs.Clock
+
+let src_log = Logs.Src.create "commset.pool" ~doc:"Domain-pool fan-out"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+let m_parmaps = Metrics.counter ~doc:"parmap calls" "pool.parmap_calls"
+let m_tasks = Metrics.counter ~doc:"items executed by parmap" "pool.tasks_executed"
+let m_chunks = Metrics.counter ~doc:"index chunks claimed" "pool.chunks_claimed"
+let m_inline = Metrics.counter ~doc:"parmaps degraded to sequential" "pool.inline_maps"
+let m_spawned = Metrics.counter ~doc:"worker domains spawned" "pool.workers_spawned"
+
+let m_cas_retries =
+  Metrics.counter ~doc:"CAS retries acquiring worker tokens" "pool.token_cas_retries"
+
+let g_busy = Metrics.gauge ~doc:"seconds spent in claim loops" "pool.worker_busy_s"
+
+let g_idle =
+  Metrics.gauge ~doc:"coordinator seconds waiting for workers to join" "pool.join_idle_s"
 
 let default_jobs () =
   match Sys.getenv_opt "COMMSET_JOBS" with
@@ -58,20 +89,31 @@ let rec acquire want =
     else
       let take = min want cur in
       if Atomic.compare_and_set tokens cur (cur - take) then take
-      else acquire want
+      else begin
+        Metrics.incr m_cas_retries;
+        acquire want
+      end
 
 let release n = if n > 0 then ignore (Atomic.fetch_and_add tokens n)
 
 let parmap_ordered (f : int -> 'a -> 'b) (xs : 'a list) : 'b list =
   let _ = init_if_needed () in
+  Metrics.incr m_parmaps;
   match xs with
   | [] -> []
-  | [ x ] -> [ f 0 x ]
+  | [ x ] ->
+      Metrics.incr m_tasks;
+      [ f 0 x ]
   | _ ->
       let items = Array.of_list xs in
       let n = Array.length items in
       let extra = acquire (min (jobs () - 1) (n - 1)) in
-      if extra = 0 then List.mapi f xs
+      if extra = 0 then begin
+        Metrics.incr m_inline;
+        Metrics.add m_tasks n;
+        Log.debug (fun m -> m "parmap: %d item(s) inline (budget exhausted or jobs=1)" n);
+        List.mapi f xs
+      end
       else
         Fun.protect
           ~finally:(fun () -> release extra)
@@ -93,24 +135,41 @@ let parmap_ordered (f : int -> 'a -> 'b) (xs : 'a list) : 'b list =
               Array.make n None
             in
             let next = Atomic.make 0 in
+            Log.debug (fun m ->
+                m "parmap: %d item(s) over %d worker(s), chunk size %d" n (extra + 1) chunk);
+            Metrics.add m_spawned extra;
             let rec work () =
               let start = Atomic.fetch_and_add next chunk in
               if start < n then begin
                 let stop = min n (start + chunk) in
-                for i = start to stop - 1 do
-                  match f i (Array.unsafe_get items i) with
-                  | v ->
-                      Array.unsafe_set results i (Obj.repr v);
-                      Bytes.unsafe_set written i '\001'
-                  | exception e ->
-                      errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
-                done;
+                Metrics.incr m_chunks;
+                Metrics.add m_tasks (stop - start);
+                Recorder.with_span ~cat:"pool" "pool.chunk" (fun () ->
+                    for i = start to stop - 1 do
+                      match f i (Array.unsafe_get items i) with
+                      | v ->
+                          Array.unsafe_set results i (Obj.repr v);
+                          Bytes.unsafe_set written i '\001'
+                      | exception e ->
+                          errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+                    done);
                 work ()
               end
             in
-            let domains = List.init extra (fun _ -> Domain.spawn work) in
-            work ();
+            (* every participating domain — spawned workers and the
+               coordinator alike — runs the claim loop under a
+               [pool.worker] span and accounts its busy seconds *)
+            let worker () =
+              let t0 = Clock.now_ns () in
+              Fun.protect
+                ~finally:(fun () -> Metrics.gauge_add g_busy ((Clock.now_ns () -. t0) /. 1e9))
+                (fun () -> Recorder.with_span ~cat:"pool" "pool.worker" work)
+            in
+            let domains = List.init extra (fun _ -> Domain.spawn worker) in
+            worker ();
+            let t_join = Clock.now_ns () in
             List.iter Domain.join domains;
+            Metrics.gauge_add g_idle ((Clock.now_ns () -. t_join) /. 1e9);
             (* deterministic failure: re-raise for the lowest input index,
                the item a sequential map would have failed on first *)
             Array.iter

@@ -5,6 +5,7 @@ let () =
     [
       Test_support.suite;
       Test_pool.suite;
+      Test_obs.suite;
       Test_lang.suite;
       Test_ir.suite;
       Test_analysis.suite;
