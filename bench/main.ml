@@ -323,7 +323,79 @@ let json_of_overhead ro =
     ro.ro_off_s ro.ro_on_s ro.ro_wall_ratio ro.ro_span_cost_ns ro.ro_spans_per_eval
     ro.ro_frac spans
 
-let bench_wall_clock ~quick ~overhead =
+(* ------------------------------------------------------------------ *)
+(* Real-execution leg: measured speedups beside predicted              *)
+(* ------------------------------------------------------------------ *)
+
+type measured = {
+  me_workload : string;
+  me_plan : string;
+  me_predicted : float;  (** the simulator's speedup estimate *)
+  me_measured : float;  (** wall-clock speedup on real domains *)
+  me_fidelity : P.output_fidelity;
+}
+
+(** For every workload, execute its best executable DOALL plan and its
+    best executable pipeline plan on real domains (the Commset_exec
+    backend) and pair the measured wall-clock speedup with the
+    simulator's prediction. Reported, not gated: on boxes without spare
+    cores the measured numbers mostly say how much synchronization
+    costs when everything shares one core. *)
+let bench_real_execution evals : int * measured list =
+  let jobs = max 2 (Pool.default_jobs ()) in
+  let cores = Domain.recommended_domain_count () in
+  section (Printf.sprintf "Real execution: predicted vs measured speedups (jobs=%d)" jobs);
+  if cores < 2 then
+    Printf.printf
+      "  note: only %d core(s) available; measured speedups cannot exceed 1x here\n"
+      cores;
+  let rows =
+    List.concat_map
+      (fun be ->
+        let c = be.Report.Evaluation.be_primary.Report.Evaluation.v_comp in
+        (* [evaluate] sorts by predicted speedup, so the first executable
+           run of each family is that family's best *)
+        let runs = P.evaluate c ~threads:jobs in
+        let executable (r : P.run) =
+          Result.is_ok (Commset_exec.Exec.supported r.P.plan)
+        in
+        let is_doall (r : P.run) = r.P.plan.T.Plan.shape = T.Plan.Sdoall in
+        let pick pred = List.find_opt (fun r -> executable r && pred r) runs in
+        List.filter_map Fun.id [ pick is_doall; pick (fun r -> not (is_doall r)) ]
+        |> List.map (fun (r : P.run) ->
+               let x = P.run_parallel c r.P.plan in
+               {
+                 me_workload = c.P.name;
+                 me_plan = r.P.plan.T.Plan.label;
+                 me_predicted = x.P.xpredicted;
+                 me_measured = x.P.xstats.Commset_exec.Exec.x_measured_speedup;
+                 me_fidelity = x.P.xfidelity;
+               }))
+      evals
+  in
+  List.iter
+    (fun m ->
+      Printf.printf "  %-10s %-48s predicted %5.2fx  measured %5.2fx  %s\n"
+        m.me_workload m.me_plan m.me_predicted m.me_measured
+        (P.fidelity_to_string m.me_fidelity))
+    rows;
+  (jobs, rows)
+
+let json_of_measured (jobs, rows) =
+  let entries =
+    rows
+    |> List.map (fun m ->
+           Printf.sprintf
+             {|{ "workload": "%s", "plan": "%s", "predicted_speedup": %.3f, "measured_speedup": %.3f, "verdict": "%s" }|}
+             m.me_workload (String.escaped m.me_plan) m.me_predicted m.me_measured
+             (P.fidelity_to_string m.me_fidelity))
+    |> String.concat ",\n    "
+  in
+  Printf.sprintf {|{ "jobs": %d, "plans": [
+    %s
+  ] }|} jobs entries
+
+let bench_wall_clock ~quick ~overhead ~measured =
   section "Pipeline wall-clock: sequential vs parallel";
   let seq = measure_stages ~sweep:(not quick) ~jobs:1 in
   (* Pool.default_jobs honors COMMSET_JOBS; Domain.recommended_domain_count
@@ -375,6 +447,7 @@ let bench_wall_clock ~quick ~overhead =
   "parallel": %s,
   "parallel_speedup": %s,
   "identical_tables": %s,
+  "measured": %s,
   "recorder": %s
 }
 |}
@@ -382,7 +455,7 @@ let bench_wall_clock ~quick ~overhead =
     (match par with Some (p, _, _) -> json_of_stages p | None -> "null")
     (match par with Some (_, s, _) -> Printf.sprintf "%.3f" s | None -> "null")
     (match par with Some (_, _, i) -> string_of_bool i | None -> "null")
-    (json_of_overhead overhead);
+    (json_of_measured measured) (json_of_overhead overhead);
   close_out oc;
   Printf.printf "  wrote BENCH_commset.json\n"
 
@@ -462,5 +535,6 @@ let () =
   Printf.printf "Geomean best non-COMMSET speedup on 8 threads: %.2fx (paper: 1.5x)\n"
     (Report.Evaluation.geomean noncomm_speedups);
 
+  let measured = bench_real_execution evals in
   let overhead = bench_recorder_overhead md5_comp in
-  bench_wall_clock ~quick ~overhead
+  bench_wall_clock ~quick ~overhead ~measured

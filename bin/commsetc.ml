@@ -6,7 +6,9 @@
     - [pdg]       the annotated PDG of the hottest loop (Figure 2 style);
     - [plans]     the parallelization plans the transforms produce;
     - [run]       simulate plans on the virtual multicore and report
-                  speedups and output fidelity;
+                  speedups and output fidelity — or, with [--jobs N],
+                  execute them on N real OCaml domains with an
+                  output-equivalence check against the sequential run;
     - [seq]       run the program sequentially and print its output;
     - [trace]     flight-recorder trace + metrics of a full evaluation
                   (Chrome trace-event JSON, loadable in Perfetto);
@@ -176,42 +178,129 @@ let plans_cmd =
     (Cmd.info "plans" ~doc:"List the parallelization plans")
     Term.(const run $ workload_arg $ variant_arg $ file_arg $ threads_arg $ log_level_arg)
 
+(* case-insensitive substring match for --plan label selectors *)
+let contains_ci ~sub s =
+  let sub = String.lowercase_ascii sub and s = String.lowercase_ascii s in
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let plan_matches sel (p : T.Plan.t) =
+  match String.lowercase_ascii sel with
+  | "all" -> true
+  | "doall" -> p.T.Plan.shape = T.Plan.Sdoall
+  | "dswp" -> (
+      match p.T.Plan.shape with
+      | T.Plan.Sdswp _ -> not (T.Plan.is_psdswp p)
+      | T.Plan.Sdoall -> false)
+  | "psdswp" | "ps-dswp" -> T.Plan.is_psdswp p
+  | sel -> contains_ci ~sub:sel p.T.Plan.label
+
+let exec_real c ~jobs ~plan_sel ~strict =
+  let all = P.executable_plans c ~threads:jobs in
+  let selected = List.filter (plan_matches plan_sel) all in
+  if selected = [] then (
+    Fmt.epr "no executable plan matches --plan=%s at %d job(s)@." plan_sel jobs;
+    Fmt.epr "executable plans:@.";
+    List.iter (fun (p : T.Plan.t) -> Fmt.epr "  %s@." p.T.Plan.label) all;
+    exit (if strict then 1 else 0));
+  Fmt.pr "real execution on %d domain(s) (%d core(s) available):@." jobs
+    (Domain.recommended_domain_count ());
+  Fmt.pr "  %-52s %9s %9s  %s@." "plan" "predicted" "measured" "outputs";
+  let mismatches =
+    List.fold_left
+      (fun bad plan ->
+        let x = P.run_parallel c plan in
+        let s = x.P.xstats in
+        Fmt.pr "  %-52s %8.2fx %8.2fx  %s  [%.1f ms seq, %.1f ms par]@."
+          s.Commset_exec.Exec.x_label x.P.xpredicted
+          s.Commset_exec.Exec.x_measured_speedup
+          (P.fidelity_to_string x.P.xfidelity)
+          (s.Commset_exec.Exec.x_wall_seq_s *. 1e3)
+          (s.Commset_exec.Exec.x_wall_par_s *. 1e3);
+        if x.P.xfidelity = P.Mismatch then bad + 1 else bad)
+      0 selected
+  in
+  if mismatches > 0 then (
+    Fmt.epr "%d plan(s) FAILED output equivalence@." mismatches;
+    exit 1)
+  else if strict then
+    Fmt.pr "all %d plan(s) match the sequential reference@." (List.length selected)
+
 let run_cmd =
-  let run workload variant file threads timeline level =
+  let run workload variant file threads jobs plan_sel strict timeline level =
     setup_logs level;
     with_diag (fun () ->
         let name, src, setup = load ~workload ~variant ~file in
         let c = P.compile ~name ~setup src in
-        Fmt.pr "%s: sequential baseline %.0f cycles over %d iterations@." name
-          c.P.trace.R.Trace.seq_total
-          (R.Trace.n_iterations c.P.trace);
-        List.iter
-          (fun (r : P.run) ->
-            let extras =
-              (if r.P.lock_contended > 0 then
-                 [ Printf.sprintf "%d contended acquires" r.P.lock_contended ]
-               else [])
-              @
-              if r.P.tx_aborts > 0 then [ Printf.sprintf "%d tx aborts" r.P.tx_aborts ]
-              else []
-            in
-            Fmt.pr "  %-52s %5.2fx  %s%s@." r.P.plan.T.Plan.label r.P.speedup
-              (P.fidelity_to_string r.P.fidelity)
-              (if extras = [] then "" else "  [" ^ String.concat ", " extras ^ "]"))
-          (P.evaluate c ~threads);
-        if timeline then
-          match P.best ~record_timeline:true c ~threads with
-          | Some r -> Fmt.pr "@.%s@." (Commset_report.Evaluation.render_timeline r)
-          | None -> ())
+        match jobs with
+        | Some jobs ->
+            if jobs < 1 then (
+              Fmt.epr "--jobs must be at least 1@.";
+              exit 2);
+            exec_real c ~jobs ~plan_sel ~strict
+        | None ->
+            Fmt.pr "%s: sequential baseline %.0f cycles over %d iterations@." name
+              c.P.trace.R.Trace.seq_total
+              (R.Trace.n_iterations c.P.trace);
+            List.iter
+              (fun (r : P.run) ->
+                let extras =
+                  (if r.P.lock_contended > 0 then
+                     [ Printf.sprintf "%d contended acquires" r.P.lock_contended ]
+                   else [])
+                  @
+                  if r.P.tx_aborts > 0 then
+                    [ Printf.sprintf "%d tx aborts" r.P.tx_aborts ]
+                  else []
+                in
+                Fmt.pr "  %-52s %5.2fx  %s%s@." r.P.plan.T.Plan.label r.P.speedup
+                  (P.fidelity_to_string r.P.fidelity)
+                  (if extras = [] then "" else "  [" ^ String.concat ", " extras ^ "]"))
+              (P.evaluate c ~threads);
+            if timeline then (
+              match P.best ~record_timeline:true c ~threads with
+              | Some r -> Fmt.pr "@.%s@." (Commset_report.Evaluation.render_timeline r)
+              | None -> ()))
   in
   let timeline_arg =
     Arg.(value & flag & info [ "timeline" ] ~doc:"Print the best plan's thread timeline.")
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Execute the plans on $(docv) real OCaml domains instead of simulating \
+             them, with a mandatory output-equivalence check against the sequential \
+             reference.")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "plan" ] ~docv:"SEL"
+          ~doc:
+            "With --jobs: which plans to execute — $(b,doall), $(b,dswp), \
+             $(b,psdswp), $(b,all), or a case-insensitive label substring.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "With --jobs: exit non-zero when no plan matches; mismatches always exit \
+             non-zero.")
+  in
   Cmd.v
-    (Cmd.info "run" ~doc:"Simulate every plan on the virtual multicore")
+    (Cmd.info "run"
+       ~doc:
+         "Evaluate every plan: simulate on the virtual multicore, or with --jobs \
+          execute on real OCaml domains")
     Term.(
-      const run $ workload_arg $ variant_arg $ file_arg $ threads_arg $ timeline_arg
-      $ log_level_arg)
+      const run $ workload_arg $ variant_arg $ file_arg $ threads_arg $ jobs_arg
+      $ plan_arg $ strict_arg $ timeline_arg $ log_level_arg)
 
 let seq_cmd =
   let run workload variant file level =

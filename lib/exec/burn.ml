@@ -1,0 +1,66 @@
+(** Calibrated cycle-burner; see the interface. *)
+
+module Clock = Commset_obs.Clock
+module Costmodel = Commset_runtime.Costmodel
+
+(* xorshift mix over a local int: no memory traffic, no allocation, and
+   Sys.opaque_identity keeps the loop from being folded away *)
+let kernel seed n =
+  let x = ref seed in
+  for _ = 1 to n do
+    x := !x lxor (!x lsl 13);
+    x := !x lxor (!x lsr 7);
+    x := !x lxor (!x lsl 17)
+  done;
+  !x
+
+(* 0 = not yet calibrated *)
+let rate_cell = Atomic.make 0.0
+
+let iters_per_ns () =
+  let r = Atomic.get rate_cell in
+  if r > 0. then r
+  else begin
+    (* a few milliseconds of kernel, timed on the monotonic clock; the
+       max of two reps guards against a preemption mid-measurement
+       understating the rate *)
+    let n = 1 lsl 22 in
+    let rep () =
+      let t0 = Clock.now_ns () in
+      ignore (Sys.opaque_identity (kernel (Sys.opaque_identity 0x2545F4914F6CDD1D) n));
+      float_of_int n /. Float.max 1.0 (Clock.now_ns () -. t0)
+    in
+    let r = Float.max (rep ()) (rep ()) in
+    Atomic.set rate_cell r;
+    r
+  end
+
+type t = {
+  ns_per_cycle : float;
+  rate : float;  (** kernel iterations per nanosecond *)
+  mutable debt_ns : float;
+  mutable sink : int;  (** consumes kernel results *)
+}
+
+(* batch debts below ~64 ns: calling the kernel for a handful of
+   iterations would measure call overhead, not work *)
+let batch_ns = 64.
+
+let create () =
+  let ns = Costmodel.exec_ns_per_cycle () in
+  {
+    ns_per_cycle = ns;
+    rate = (if ns > 0. then iters_per_ns () else 0.);
+    debt_ns = 0.;
+    sink = 0;
+  }
+
+let burn t cycles =
+  if t.ns_per_cycle > 0. && cycles > 0. then begin
+    t.debt_ns <- t.debt_ns +. (cycles *. t.ns_per_cycle);
+    if t.debt_ns >= batch_ns then begin
+      let iters = int_of_float (t.debt_ns *. t.rate) in
+      t.debt_ns <- t.debt_ns -. (float_of_int iters /. t.rate);
+      t.sink <- t.sink lxor kernel (t.sink lor 1) iters
+    end
+  end

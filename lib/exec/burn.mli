@@ -1,0 +1,28 @@
+(** Calibrated CPU work: turns a member's simulated cycle count into
+    real computation so a plan's schedule runs on real domains with the
+    same relative work distribution the simulator priced.
+
+    One simulated cycle is realized as
+    {!Commset_runtime.Costmodel.exec_ns_per_cycle} nanoseconds of a
+    deterministic integer xorshift kernel; the kernel's rate is measured
+    once per process. A per-thread accumulator carries fractional debts
+    so sub-threshold costs (single instructions) are batched instead of
+    rounded away — total burned work tracks total charged cycles to
+    within one batch.
+
+    With the scale set to [0.] burning is a no-op: the executor then
+    exercises only its synchronization and ordering machinery, which is
+    what the differential tests want (maximum interleaving stress, no
+    wall-clock cost). *)
+
+(** Kernel iterations per nanosecond, measured once per process (lazy). *)
+val iters_per_ns : unit -> float
+
+(** Per-thread burner (not thread-safe; create one per domain). *)
+type t
+
+val create : unit -> t
+
+(** [burn t cycles] performs [cycles * exec_ns_per_cycle] nanoseconds of
+    CPU work, batching fractional remainders. *)
+val burn : t -> float -> unit

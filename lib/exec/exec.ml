@@ -1,0 +1,220 @@
+(** The real multicore execution backend; see the interface for the
+    architecture and DESIGN.md §13 for the predicted-vs-measured
+    methodology. *)
+
+module Plan = Commset_transforms.Plan
+module Sync = Commset_transforms.Sync
+module Emit = Commset_transforms.Emit
+module Pdg = Commset_pdg.Pdg
+module R = Commset_runtime
+module Sim = Commset_runtime.Sim
+module Costmodel = Commset_runtime.Costmodel
+module Recorder = Commset_obs.Recorder
+module Metrics = Commset_obs.Metrics
+module Clock = Commset_obs.Clock
+module Diag = Commset_support.Diag
+
+let src_log = Logs.Src.create "commset.exec" ~doc:"Real multicore execution backend"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+let m_runs = Metrics.counter ~doc:"real-backend plan executions" "exec.runs"
+
+let m_contended =
+  Metrics.counter ~doc:"real contended lock acquires" "exec.lock_contended"
+
+let m_full_waits =
+  Metrics.counter ~doc:"blocking episodes on full SPSC queues" "exec.queue_full_waits"
+
+let m_empty_waits =
+  Metrics.counter ~doc:"blocking episodes on empty SPSC queues" "exec.queue_empty_waits"
+
+let g_wall_par = Metrics.gauge ~doc:"parallel-leg seconds (last run)" "exec.wall_par_s"
+let g_wall_seq = Metrics.gauge ~doc:"sequential-leg seconds (last run)" "exec.wall_seq_s"
+
+type stats = {
+  x_label : string;
+  x_threads : int;
+  x_wall_seq_s : float;
+  x_wall_par_s : float;
+  x_measured_speedup : float;
+  x_verdict : Equiv.verdict;
+  x_lock_contended : int;
+  x_queue_full_waits : int;
+  x_queue_empty_waits : int;
+  x_outputs : string list;
+}
+
+let supported (plan : Plan.t) =
+  match plan.Plan.variant with
+  | Plan.Tm ->
+      Error "TM plans run as software transactions, which only the simulator models"
+  | Plan.Spec ->
+      Error
+        "speculative plans need the simulator's runtime conflict detection and rollback"
+  | Plan.Mutex | Plan.Spin | Plan.Lib -> Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Sequential legs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** The equivalence reference: a fresh sequential execution of the
+    prepared program on a fresh machine (not merely the recorded trace —
+    the reference the user cares about is what the sequential program
+    actually prints today). *)
+let seq_reference ~(prepared : R.Precompile.t) ~setup : string list =
+  Recorder.with_span ~cat:"exec" "exec.seq_reference" @@ fun () ->
+  let machine = R.Machine.create () in
+  setup machine;
+  ignore (R.Precompile.run_main (R.Precompile.executor ~machine prepared));
+  R.Machine.outputs machine
+
+(** The measured baseline: the whole program's charged cycles burned on
+    one domain with no synchronization — the same work realization the
+    parallel leg uses, so the ratio of the two walls is a like-for-like
+    speedup. *)
+let seq_calibrated_leg (trace : R.Trace.t) : float =
+  Recorder.with_span ~cat:"exec" "exec.seq_leg" @@ fun () ->
+  let b = Burn.create () in
+  let t0 = Clock.now_ns () in
+  Burn.burn b trace.R.Trace.other_cost;
+  Array.iter
+    (fun it ->
+      List.iter
+        (fun (e : R.Trace.node_exec) ->
+          List.iter
+            (fun atom ->
+              let c = R.Trace.atom_cost atom in
+              if c > 0. then Burn.burn b c)
+            (R.Trace.exec_atoms e))
+        (R.Trace.iteration_execs it))
+    trace.R.Trace.iterations;
+  (Clock.now_ns () -. t0) /. 1e9
+
+(* ------------------------------------------------------------------ *)
+(* Parallel leg                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type worker_stats = { mutable w_full : int; mutable w_empty : int }
+
+let run_segments ~(locks : Locks.t) ~(queues : int Spsc.t array) (segs : Sim.seg list)
+    (outs : (float * string) list ref) (ws : worker_stats) =
+  let b = Burn.create () in
+  List.iter
+    (fun (seg : Sim.seg) ->
+      match seg with
+      | Sim.Compute { cost; _ } -> Burn.burn b cost
+      | Sim.Acquire i -> Locks.acquire locks i
+      | Sim.Release i -> Locks.release locks i
+      | Sim.Push q ->
+          Spsc.push ~on_wait:(fun () -> ws.w_full <- ws.w_full + 1) queues.(q) 1
+      | Sim.Pop q ->
+          ignore (Spsc.pop ~on_wait:(fun () -> ws.w_empty <- ws.w_empty + 1) queues.(q))
+      | Sim.Emit s -> outs := (Clock.now_ns (), s) :: !outs
+      | Sim.Tx _ ->
+          (* [supported] already rejected TM/Spec plans *)
+          Diag.error "internal: transactional segment reached the real backend")
+    segs
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : R.Trace.t) ~(sync : Sync.t)
+    ~(prepared : R.Precompile.t) ~setup () : stats =
+  (match supported plan with
+  | Ok () -> ()
+  | Error why ->
+      Diag.error ~code:"CS014" "plan '%s' cannot run on the real backend: %s"
+        plan.Plan.label why);
+  Recorder.with_span ~cat:"exec" "exec.run" @@ fun () ->
+  Metrics.incr m_runs;
+  let reference = seq_reference ~prepared ~setup in
+  (* both are sequential runs of the same deterministic program; a
+     divergence means the compilation artifacts are out of sync *)
+  if not (List.equal String.equal reference trace.R.Trace.seq_outputs) then
+    Diag.error
+      "internal: fresh sequential reference diverged from the recorded trace of '%s'"
+      plan.Plan.label;
+  let emitted = Emit.emit ~plan ~pdg ~trace in
+  let n_threads = Array.length emitted.Emit.seg_lists in
+  Log.debug (fun m ->
+      m "plan '%s': %d thread(s), %d lock(s), %d queue(s)" plan.Plan.label n_threads
+        (Array.length emitted.Emit.locks)
+        emitted.Emit.n_queues);
+  let wall_seq_s = seq_calibrated_leg trace in
+  let locks = Locks.create emitted.Emit.locks in
+  let queues =
+    Array.init emitted.Emit.n_queues (fun _ ->
+        Spsc.create ~capacity:(Atomic.get Costmodel.queue_capacity))
+  in
+  let outputs_per : (float * string) list ref array =
+    Array.init n_threads (fun _ -> ref [])
+  in
+  let wstats = Array.init n_threads (fun _ -> { w_full = 0; w_empty = 0 }) in
+  (* start barrier: workers spawn, check in, and wait for [go], so domain
+     spawn latency stays outside the timed window *)
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let worker ti () =
+    Recorder.with_span ~cat:"exec" "exec.worker" @@ fun () ->
+    Atomic.incr ready;
+    let b = Spin.backoff () in
+    while not (Atomic.get go) do
+      Spin.once b
+    done;
+    run_segments ~locks ~queues emitted.Emit.seg_lists.(ti) outputs_per.(ti) wstats.(ti)
+  in
+  let domains = Array.init (n_threads - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  let b = Spin.backoff () in
+  while Atomic.get ready < n_threads - 1 do
+    Spin.once b
+  done;
+  let t0 = Clock.now_ns () in
+  (* the serial non-loop part of the program runs on the coordinator,
+     exactly as [makespan + other_cost] prices it in the simulator *)
+  let burn0 = Burn.create () in
+  Burn.burn burn0 trace.R.Trace.other_cost;
+  Atomic.set go true;
+  worker 0 ();
+  Array.iter Domain.join domains;
+  let wall_par_s = (Clock.now_ns () -. t0) /. 1e9 in
+  (* merge the per-domain output logs on the shared monotonic clock:
+     causally ordered emits (same lock, or up/downstream of a queue
+     token) carry ordered timestamps *)
+  let merged =
+    Array.to_list outputs_per
+    |> List.concat_map (fun r -> List.rev !r)
+    |> List.stable_sort (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+    |> List.map snd
+  in
+  let actual =
+    trace.R.Trace.outputs_before @ merged @ trace.R.Trace.outputs_after
+  in
+  let verdict =
+    Equiv.check ~commutative:(Equiv.commutative_outputs ~sync ~trace) ~reference ~actual
+  in
+  let full = Array.fold_left (fun acc w -> acc + w.w_full) 0 wstats in
+  let empty = Array.fold_left (fun acc w -> acc + w.w_empty) 0 wstats in
+  let contended = Locks.contended_total locks in
+  Metrics.add m_contended contended;
+  Metrics.add m_full_waits full;
+  Metrics.add m_empty_waits empty;
+  Metrics.gauge_set g_wall_par wall_par_s;
+  Metrics.gauge_set g_wall_seq wall_seq_s;
+  Log.info (fun m ->
+      m "plan '%s': %.3f ms sequential, %.3f ms on %d domain(s), %s" plan.Plan.label
+        (wall_seq_s *. 1e3) (wall_par_s *. 1e3) n_threads
+        (Equiv.verdict_to_string verdict));
+  {
+    x_label = plan.Plan.label;
+    x_threads = n_threads;
+    x_wall_seq_s = wall_seq_s;
+    x_wall_par_s = wall_par_s;
+    x_measured_speedup = wall_seq_s /. Float.max 1e-9 wall_par_s;
+    x_verdict = verdict;
+    x_lock_contended = contended;
+    x_queue_full_waits = full;
+    x_queue_empty_waits = empty;
+    x_outputs = actual;
+  }

@@ -1,0 +1,72 @@
+(** The real multicore execution backend: runs a parallelization plan on
+    actual OCaml 5 domains instead of the discrete-event simulator.
+
+    The executor reuses the emitter's per-thread segment lists — the
+    same multi-threaded code generation the simulator prices — and
+    realizes every segment for real: [Compute] becomes calibrated CPU
+    work ({!Burn}), [Acquire]/[Release] become ranked per-commset locks
+    ({!Locks}, deadlock-free because the emitter orders acquisitions by
+    global commset rank), [Push]/[Pop] become bounded lock-free SPSC
+    queues ({!Spsc}) sized by the simulator's own
+    [Costmodel.queue_capacity], and [Emit] appends to a per-domain
+    output log stamped with the monotonic clock. NOSYNC commsets and
+    single-stage placements never emitted locks in the first place, so
+    their fast path is inherited; Lib-variant plans only realize the
+    short library-internal sections.
+
+    Every run performs a mandatory output-equivalence check: a fresh
+    sequential execution of the prepared program is the reference, and
+    the merged parallel output must match it exactly — up to multiset
+    order for outputs the commset annotations declare commutative
+    ({!Equiv}).
+
+    TM and speculative plans are rejected ({!supported}): software
+    transactions exist only in the simulator's optimistic model; there
+    is no STM to run them on.
+
+    Observability: the run, the sequential reference, the calibrated
+    sequential leg and every worker are wrapped in flight-recorder spans
+    (category ["exec"]), so an enabled recorder puts each worker domain
+    on its own real-time Perfetto track next to the simulator's
+    virtual-clock tracks; the [exec.*] metrics record runs, contended
+    acquires and queue waits (these are real concurrency measurements
+    and carry no cross-run determinism promise). *)
+
+module Plan = Commset_transforms.Plan
+module Sync = Commset_transforms.Sync
+module Pdg = Commset_pdg.Pdg
+module R = Commset_runtime
+
+type stats = {
+  x_label : string;  (** the executed plan's label *)
+  x_threads : int;  (** domains the plan's segment lists occupied *)
+  x_wall_seq_s : float;
+      (** calibrated sequential leg: same cycle-burning realization, one
+          domain, no synchronization *)
+  x_wall_par_s : float;  (** parallel leg, spawn/join barriers excluded *)
+  x_measured_speedup : float;  (** [x_wall_seq_s /. x_wall_par_s] *)
+  x_verdict : Equiv.verdict;
+  x_lock_contended : int;
+  x_queue_full_waits : int;  (** blocking episodes on full queues *)
+  x_queue_empty_waits : int;  (** blocking episodes on empty queues *)
+  x_outputs : string list;  (** the parallel run's full output stream *)
+}
+
+(** Can this plan run on the real backend? [Error reason] for TM and
+    speculative variants. *)
+val supported : Plan.t -> (unit, string) result
+
+(** Execute [plan] on real domains. Raises a CS014 {!Diag.Error} for
+    unsupported plans and an internal error if the fresh sequential
+    reference diverges from the recorded trace. [pdg], [trace] and
+    [sync] must come from the same compilation as [prepared]; [setup]
+    prepares the reference run's fresh machine. *)
+val run :
+  plan:Plan.t ->
+  pdg:Pdg.t ->
+  trace:R.Trace.t ->
+  sync:Sync.t ->
+  prepared:R.Precompile.t ->
+  setup:(R.Machine.t -> unit) ->
+  unit ->
+  stats

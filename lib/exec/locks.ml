@@ -1,0 +1,36 @@
+(** Real locks for the emitter's lock registry; see the interface. *)
+
+module Sim = Commset_runtime.Sim
+module Costmodel = Commset_runtime.Costmodel
+
+type impl = Lmutex of Mutex.t | Lspin of Spin.lock
+
+type t = { impls : impl array; contended : int Atomic.t array }
+
+let create (specs : Sim.lock_spec array) =
+  {
+    impls =
+      Array.map
+        (fun (s : Sim.lock_spec) ->
+          match s.Sim.lflavor with
+          | Costmodel.Mutex | Costmodel.Libsafe -> Lmutex (Mutex.create ())
+          | Costmodel.Spin -> Lspin (Spin.lock_create ()))
+        specs;
+    contended = Array.init (Array.length specs) (fun _ -> Atomic.make 0);
+  }
+
+let count t = Array.length t.impls
+
+let acquire t i =
+  match t.impls.(i) with
+  | Lmutex m ->
+      if not (Mutex.try_lock m) then begin
+        Atomic.incr t.contended.(i);
+        Mutex.lock m
+      end
+  | Lspin l -> Spin.acquire ~on_contend:(fun () -> Atomic.incr t.contended.(i)) l
+
+let release t i =
+  match t.impls.(i) with Lmutex m -> Mutex.unlock m | Lspin l -> Spin.release l
+
+let contended_total t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.contended

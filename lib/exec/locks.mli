@@ -1,0 +1,29 @@
+(** Realization of the synchronization engine's lock assignment (§4.6)
+    on real OS/atomic primitives: one lock object per {!Sim.lock_spec}
+    the emitter registered.
+
+    Flavor mapping: [Mutex] and [Libsafe] specs become [Mutex.t] (futex
+    fast path uncontended, OS-blocking under contention — exactly the
+    behaviour the cost model charges them for); [Spin] specs become
+    test-and-test-and-set spin locks.
+
+    Deadlock freedom is inherited, not re-established: every segment
+    list acquires a node's commset locks in global rank order (the
+    emitter lays them out that way from [Sync.locks_of]), so the locks
+    here never need ordering logic of their own. *)
+
+module Sim = Commset_runtime.Sim
+
+type t
+
+val create : Sim.lock_spec array -> t
+
+(** Number of realized locks. *)
+val count : t -> int
+
+val acquire : t -> int -> unit
+val release : t -> int -> unit
+
+(** Total acquires that found the lock held (all locks, all domains) —
+    the measured counterpart of the simulator's [lock_contended]. *)
+val contended_total : t -> int

@@ -1,0 +1,37 @@
+(** Busy-wait primitives; see the interface for the tuning rationale. *)
+
+let spin_rounds = 200
+
+(* yielding quantum once the spin budget is spent: long enough that a
+   preempted partner gets scheduled, short enough to stay responsive *)
+let yield_s = 50e-6
+
+type backoff = { mutable rounds : int }
+
+let backoff () = { rounds = 0 }
+
+let once b =
+  if b.rounds < spin_rounds then begin
+    Domain.cpu_relax ();
+    b.rounds <- b.rounds + 1
+  end
+  else Unix.sleepf yield_s
+
+type lock = { flag : bool Atomic.t }
+
+let lock_create () = { flag = Atomic.make false }
+
+(* test-and-test-and-set: the plain read keeps the cache line shared
+   while the lock is held; only a free-looking lock pays the RMW *)
+let try_acquire l = (not (Atomic.get l.flag)) && Atomic.compare_and_set l.flag false true
+
+let acquire ?(on_contend = fun () -> ()) l =
+  if not (try_acquire l) then begin
+    on_contend ();
+    let b = backoff () in
+    while not (try_acquire l) do
+      once b
+    done
+  end
+
+let release l = Atomic.set l.flag false

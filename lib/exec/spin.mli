@@ -1,0 +1,39 @@
+(** Busy-wait primitives for the real multicore backend: an adaptive
+    backoff and a test-and-test-and-set spin lock.
+
+    Both are tuned for the two machines we actually run on. On a
+    multicore box a waiter stays on the CPU ({!Domain.cpu_relax}) for a
+    couple hundred rounds — the expected wait for a short critical
+    section or a draining queue slot is well under a microsecond. On an
+    oversubscribed or single-core box the partner domain cannot run
+    until the OS preempts us, so after the spin budget the waiter yields
+    its timeslice with a short [nanosleep]; without that fallback a
+    producer blocked on a full queue would burn its entire quantum
+    spinning against a consumer that is not running. *)
+
+(** Spin rounds before a waiter starts yielding to the OS scheduler. *)
+val spin_rounds : int
+
+(** One waiter's backoff state; create one per blocking episode. *)
+type backoff
+
+val backoff : unit -> backoff
+
+(** One backoff step: {!Domain.cpu_relax} for the first {!spin_rounds}
+    calls, a short sleep afterwards. *)
+val once : backoff -> unit
+
+(** Test-and-test-and-set spin lock over a [bool Atomic.t]. *)
+type lock
+
+val lock_create : unit -> lock
+
+(** Non-blocking acquire attempt. *)
+val try_acquire : lock -> bool
+
+(** Blocking acquire; [on_contend] fires once per episode in which the
+    first attempt failed (the real counterpart of the simulator's
+    contended-acquire statistic). *)
+val acquire : ?on_contend:(unit -> unit) -> lock -> unit
+
+val release : lock -> unit

@@ -1,0 +1,67 @@
+(** Bounded lock-free SPSC ring; see the interface for the memory-model
+    argument. Indices grow without wrapping (63-bit counters cannot
+    overflow in any real run); the slot of index [i] is [i mod capacity]. *)
+
+type 'a t = {
+  buf : 'a option array;
+  cap : int;
+  head : int Atomic.t;  (** next index to pop; written only by the consumer *)
+  tail : int Atomic.t;  (** next index to push; written only by the producer *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+  {
+    buf = Array.make capacity None;
+    cap = capacity;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.cap
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let try_push t x =
+  let tl = Atomic.get t.tail in
+  if tl - Atomic.get t.head >= t.cap then false
+  else begin
+    t.buf.(tl mod t.cap) <- Some x;
+    Atomic.set t.tail (tl + 1);
+    true
+  end
+
+let try_pop t =
+  let hd = Atomic.get t.head in
+  if Atomic.get t.tail - hd <= 0 then None
+  else begin
+    let slot = hd mod t.cap in
+    let v = t.buf.(slot) in
+    (* drop the reference so a queued value does not outlive its pop *)
+    t.buf.(slot) <- None;
+    Atomic.set t.head (hd + 1);
+    v
+  end
+
+let push ?(on_wait = fun () -> ()) t x =
+  if not (try_push t x) then begin
+    on_wait ();
+    let b = Spin.backoff () in
+    while not (try_push t x) do
+      Spin.once b
+    done
+  end
+
+let pop ?(on_wait = fun () -> ()) t =
+  match try_pop t with
+  | Some v -> v
+  | None ->
+      on_wait ();
+      let b = Spin.backoff () in
+      let rec wait () =
+        match try_pop t with
+        | Some v -> v
+        | None ->
+            Spin.once b;
+            wait ()
+      in
+      wait ()

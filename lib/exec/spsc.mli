@@ -1,0 +1,37 @@
+(** Bounded lock-free single-producer single-consumer queue: the real
+    realization of the simulator's inter-stage pipeline channels (§4.5).
+
+    The emitter creates one queue per communicating (producer thread,
+    consumer thread) pair, so single-producer/single-consumer is
+    guaranteed by construction and the queue needs no RMW operations at
+    all: the producer owns [tail], the consumer owns [head], and each
+    side only ever {e reads} the other's index. Publication is safe
+    under the OCaml 5 memory model because the plain slot write is
+    ordered before the atomic index store, and the peer's atomic index
+    load is ordered before its plain slot read.
+
+    Capacity is taken by callers from {!Commset_runtime.Costmodel}'s
+    [queue_capacity] so the real backend blocks exactly where the
+    simulator predicts back-pressure. *)
+
+type 'a t
+
+(** [create ~capacity] builds an empty queue; [capacity >= 1]. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+(** Items currently queued (exact only from the producer or consumer). *)
+val length : 'a t -> int
+
+(** Producer side. [try_push] returns [false] on a full queue; [push]
+    blocks (adaptive backoff), firing [on_wait] once per blocking
+    episode. *)
+val try_push : 'a t -> 'a -> bool
+
+val push : ?on_wait:(unit -> unit) -> 'a t -> 'a -> unit
+
+(** Consumer side, symmetric with the producer's. *)
+val try_pop : 'a t -> 'a option
+
+val pop : ?on_wait:(unit -> unit) -> 'a t -> 'a

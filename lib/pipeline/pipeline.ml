@@ -325,6 +325,45 @@ let evaluate ?record_timeline t ~threads : run list =
 let best ?record_timeline t ~threads : run option =
   match evaluate ?record_timeline t ~threads with [] -> None | r :: _ -> Some r
 
+(* ------------------------------------------------------------------ *)
+(* Real execution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type exec_run = {
+  xplan : T.Plan.t;
+  xpredicted : float;  (** the simulator's speedup prediction for the same plan *)
+  xstats : Commset_exec.Exec.stats;
+  xfidelity : output_fidelity;
+}
+
+(** Plans at [threads] the real backend can execute (TM and speculative
+    plans stay simulator-only). *)
+let executable_plans t ~threads : T.Plan.t list =
+  List.filter
+    (fun p -> Result.is_ok (Commset_exec.Exec.supported p))
+    (plans t ~threads)
+
+(** Execute a plan on real domains (Commset_exec) next to one simulation
+    of the same plan, so predicted and measured speedups arrive as a
+    pair. The executor's mandatory output-equivalence verdict is mapped
+    onto the simulator's {!output_fidelity} scale. *)
+let run_parallel t (plan : T.Plan.t) : exec_run =
+  Recorder.with_span ~cat:"pipeline" "pipeline.run_parallel" @@ fun () ->
+  let predicted = (simulate t plan).speedup in
+  let pdg = if plan.T.Plan.uses_commset then t.target.pdg else t.target.pdg_plain in
+  let sync = if plan.T.Plan.uses_commset then t.sync else t.sync_none in
+  let xstats =
+    Commset_exec.Exec.run ~plan ~pdg ~trace:t.trace ~sync ~prepared:t.prepared
+      ~setup:t.setup ()
+  in
+  let xfidelity =
+    match xstats.Commset_exec.Exec.x_verdict with
+    | Commset_exec.Equiv.Exact -> Exact
+    | Commset_exec.Equiv.Commutative_equal -> Multiset_equal
+    | Commset_exec.Equiv.Mismatch -> Mismatch
+  in
+  { xplan = plan; xpredicted = predicted; xstats; xfidelity }
+
 (** Speedup curves: series name -> (threads, speedup) points, for thread
     counts min_threads..max_threads. Thread counts are evaluated on the
     domain pool; [precomputed] supplies run lists for thread counts that

@@ -101,6 +101,23 @@ val evaluate : ?record_timeline:bool -> t -> threads:int -> run list
 
 val best : ?record_timeline:bool -> t -> threads:int -> run option
 
+(** One plan executed on real OCaml domains (the {!Commset_exec}
+    backend) beside one simulation of the same plan. *)
+type exec_run = {
+  xplan : T.Plan.t;
+  xpredicted : float;  (** the simulator's speedup prediction *)
+  xstats : Commset_exec.Exec.stats;
+  xfidelity : output_fidelity;  (** the executor's equivalence verdict *)
+}
+
+(** Plans at [threads] the real backend can execute; TM and speculative
+    plans are simulator-only. *)
+val executable_plans : t -> threads:int -> T.Plan.t list
+
+(** Execute a plan on real domains with the mandatory output-equivalence
+    check; raises a CS014 {!Diag.Error} on unsupported plans. *)
+val run_parallel : t -> T.Plan.t -> exec_run
+
 (** Speedup curves: series name -> (threads, speedup) points.
     [precomputed] supplies already-evaluated run lists per thread count
     (e.g. the 8-thread runs from {!evaluate}) so those configurations are

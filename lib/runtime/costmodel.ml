@@ -51,13 +51,15 @@ let mutex_wakeup = Atomic.make 2800.0
 let spin_handoff_base = Atomic.make 50.0
 let spin_handoff_per_waiter = Atomic.make 45.0
 
+let libsafe_handoff = 45.0
+
 let handoff_penalty flavor ~n_waiters =
   match flavor with
   | Mutex -> Atomic.get mutex_wakeup
   | Spin ->
       Atomic.get spin_handoff_base
       +. (Atomic.get spin_handoff_per_waiter *. float_of_int (max 0 (n_waiters - 1)))
-  | Libsafe -> 45.0
+  | Libsafe -> libsafe_handoff
 
 (* --- transactions ------------------------------------------------------ *)
 
@@ -78,6 +80,42 @@ let queue_pop_cost = 35.0
 
 (** Bounded queue capacity (tokens); tunable for the ablation benchmarks. *)
 let queue_capacity = Atomic.make 32
+
+(* --- real-execution realization ---------------------------------------- *)
+
+(** The real multicore executor ([lib/exec]) realizes the same plan the
+    simulator prices: it takes its bounded-queue capacity from
+    {!queue_capacity}, its lock flavors from {!lock_flavor}, and converts
+    simulated cycles of member work into calibrated real CPU time at
+    {!exec_ns_per_cycle} nanoseconds per cycle. Keeping every one of
+    those parameters in this module is what makes the predicted-vs-
+    measured comparison in the bench harness an apples-to-apples one: the
+    two backends cannot silently drift apart on queue sizes or the
+    meaning of a "cycle". *)
+
+(* negative = not yet initialised from the environment *)
+let exec_ns_per_cycle_cell = Atomic.make (-1.0)
+
+let exec_ns_per_cycle () =
+  let v = Atomic.get exec_ns_per_cycle_cell in
+  if v >= 0. then v
+  else
+    let v =
+      match Sys.getenv_opt "COMMSET_EXEC_NS_PER_CYCLE" with
+      | None | Some "" -> 1.0
+      | Some s -> (
+          match float_of_string_opt (String.trim s) with
+          | Some f when f >= 0. && Float.is_finite f -> f
+          | _ ->
+              Commset_support.Diag.error ~code:"CS013"
+                "invalid COMMSET_EXEC_NS_PER_CYCLE value '%s': expected a \
+                 non-negative number of nanoseconds per simulated cycle"
+                s)
+    in
+    Atomic.set exec_ns_per_cycle_cell v;
+    v
+
+let set_exec_ns_per_cycle v = Atomic.set exec_ns_per_cycle_cell (Float.max 0. v)
 
 (* --- builtin cost helpers ---------------------------------------------- *)
 

@@ -26,6 +26,9 @@ val mutex_wakeup : float Atomic.t
 val spin_handoff_base : float Atomic.t
 val spin_handoff_per_waiter : float Atomic.t
 
+(** Handoff latency of a library-internal critical section. *)
+val libsafe_handoff : float
+
 (** Extra latency before a blocked thread obtains a released lock. *)
 val handoff_penalty : lock_flavor -> n_waiters:int -> float
 
@@ -42,6 +45,18 @@ val tx_instrumentation_factor : float Atomic.t
 val queue_push_cost : float
 val queue_pop_cost : float
 val queue_capacity : int Atomic.t
+
+(* real-execution realization (shared with the Commset_exec backend) *)
+
+(** Nanoseconds of real CPU work per simulated cycle used by the real
+    multicore executor; the simulator's cycle counts and the executor's
+    wall-clock measurements meet through this one constant (DESIGN §13).
+    Initialized from [COMMSET_EXEC_NS_PER_CYCLE] (default 1.0) on first
+    read; a malformed value raises a CS013 {!Commset_support.Diag.Error}. *)
+val exec_ns_per_cycle : unit -> float
+
+(** Override the scale (tests and the bench harness). *)
+val set_exec_ns_per_cycle : float -> unit
 
 (* builtin cost helpers *)
 val per_byte : float

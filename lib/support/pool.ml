@@ -45,11 +45,17 @@ let g_idle =
 
 let default_jobs () =
   match Sys.getenv_opt "COMMSET_JOBS" with
+  | None | Some "" -> Domain.recommended_domain_count ()
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some n when n >= 1 -> n
-      | _ -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+      | _ ->
+          (* a typo'd COMMSET_JOBS must not silently run on a default
+             pool size: the user asked for a specific width *)
+          Diag.error ~code:"CS013"
+            "invalid COMMSET_JOBS value '%s': expected a positive integer number \
+             of domains"
+            s)
 
 (* 0 = not yet initialised from the environment *)
 let jobs_setting = Atomic.make 0

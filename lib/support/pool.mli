@@ -18,7 +18,9 @@
     like sequential code (same order of side effects included). *)
 
 (** Pool size from the environment: [COMMSET_JOBS] if set to a positive
-    integer, else {!Domain.recommended_domain_count}. *)
+    integer, else {!Domain.recommended_domain_count}. A set-but-malformed
+    [COMMSET_JOBS] (non-integer, zero or negative) raises a CS013
+    {!Diag.Error} instead of silently falling back to the default. *)
 val default_jobs : unit -> int
 
 (** The pool size currently in force (lazily initialised from

@@ -22,4 +22,5 @@ let () =
       Test_precompile.suite;
       Test_builtins.suite;
       Test_analysis_props.suite;
+      Test_exec.suite;
     ]

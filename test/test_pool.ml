@@ -158,9 +158,38 @@ let test_parallel_table2_deterministic () =
   let par = table 4 in
   check Alcotest.string "Table 2 byte-identical" seq par
 
+(* ---- COMMSET_JOBS validation ---- *)
+
+let test_jobs_env_validation () =
+  let with_env v f =
+    let old = Sys.getenv_opt "COMMSET_JOBS" in
+    Unix.putenv "COMMSET_JOBS" v;
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "COMMSET_JOBS" (Option.value ~default:"" old))
+      f
+  in
+  with_env "3" (fun () ->
+      check Alcotest.int "well-formed value honored" 3 (Pool.default_jobs ()));
+  with_env "" (fun () ->
+      check Alcotest.bool "empty value falls back to the machine" true
+        (Pool.default_jobs () >= 1));
+  List.iter
+    (fun bad ->
+      with_env bad (fun () ->
+          match Pool.default_jobs () with
+          | _ -> Alcotest.fail (Printf.sprintf "accepted COMMSET_JOBS=%S" bad)
+          | exception Diag.Error d ->
+              check
+                Alcotest.(option string)
+                (Printf.sprintf "CS013 for %S" bad)
+                (Some "CS013") d.Diag.code))
+    [ "zero"; "0"; "-2"; "2.5"; "8 threads" ]
+
 let suite =
   ( "pool",
     [
+      Alcotest.test_case "malformed COMMSET_JOBS is a diagnostic" `Quick
+        test_jobs_env_validation;
       Alcotest.test_case "parmap preserves order" `Quick test_parmap_order;
       Alcotest.test_case "parmap_ordered indices" `Quick test_parmap_ordered;
       Alcotest.test_case "lowest-index exception wins" `Quick test_parmap_exception;
