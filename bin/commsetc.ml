@@ -196,7 +196,7 @@ let plan_matches sel (p : T.Plan.t) =
   | "psdswp" | "ps-dswp" -> T.Plan.is_psdswp p
   | sel -> contains_ci ~sub:sel p.T.Plan.label
 
-let exec_real c ~jobs ~plan_sel ~strict =
+let exec_real c ~engine ~jobs ~plan_sel ~strict =
   let all = P.executable_plans c ~threads:jobs in
   let selected = List.filter (plan_matches plan_sel) all in
   if selected = [] then (
@@ -204,18 +204,23 @@ let exec_real c ~jobs ~plan_sel ~strict =
     Fmt.epr "executable plans:@.";
     List.iter (fun (p : T.Plan.t) -> Fmt.epr "  %s@." p.T.Plan.label) all;
     exit (if strict then 1 else 0));
-  Fmt.pr "real execution on %d domain(s) (%d core(s) available):@." jobs
-    (Domain.recommended_domain_count ());
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr "real execution on %d domain(s), engine %s (%d core(s) available):@." jobs
+    (Commset_exec.Exec.engine_name engine)
+    cores;
+  if cores < 2 then
+    Fmt.pr "  note: single core available — measured speedups are not meaningful@.";
   Fmt.pr "  %-52s %9s %9s  %s@." "plan" "predicted" "measured" "outputs";
   let mismatches =
     List.fold_left
       (fun bad plan ->
-        let x = P.run_parallel c plan in
+        let x = P.run_parallel ~engine ~jobs c plan in
         let s = x.P.xstats in
-        Fmt.pr "  %-52s %8.2fx %8.2fx  %s  [%.1f ms seq, %.1f ms par]@."
+        Fmt.pr "  %-52s %8.2fx %8.2fx  %s  [%s, %.1f ms seq, %.1f ms par]@."
           s.Commset_exec.Exec.x_label x.P.xpredicted
           s.Commset_exec.Exec.x_measured_speedup
           (P.fidelity_to_string x.P.xfidelity)
+          s.Commset_exec.Exec.x_engine
           (s.Commset_exec.Exec.x_wall_seq_s *. 1e3)
           (s.Commset_exec.Exec.x_wall_par_s *. 1e3);
         if x.P.xfidelity = P.Mismatch then bad + 1 else bad)
@@ -228,17 +233,38 @@ let exec_real c ~jobs ~plan_sel ~strict =
     Fmt.pr "all %d plan(s) match the sequential reference@." (List.length selected)
 
 let run_cmd =
-  let run workload variant file threads jobs plan_sel strict timeline level =
+  let run workload variant file threads jobs engine plan_sel strict timeline level =
     setup_logs level;
     with_diag (fun () ->
         let name, src, setup = load ~workload ~variant ~file in
         let c = P.compile ~name ~setup src in
+        let engine =
+          Option.map
+            (fun e ->
+              match Commset_exec.Exec.engine_of_string e with
+              | Some e -> e
+              | None ->
+                  Fmt.epr "--engine must be $(b,real) or $(b,burn), not %s@." e;
+                  exit 2)
+            engine
+        in
+        (* --engine without --jobs still means "execute for real":
+           auto-size the worker-domain count from the machine. *)
+        let jobs =
+          match (jobs, engine) with
+          | (Some _ as j), _ -> j
+          | None, Some _ -> Some (Commset_exec.Exec.default_jobs ())
+          | None, None -> None
+        in
         match jobs with
         | Some jobs ->
             if jobs < 1 then (
               Fmt.epr "--jobs must be at least 1@.";
               exit 2);
-            exec_real c ~jobs ~plan_sel ~strict
+            let engine =
+              Option.value engine ~default:Commset_exec.Exec.Real_engine
+            in
+            exec_real c ~engine ~jobs ~plan_sel ~strict
         | None ->
             Fmt.pr "%s: sequential baseline %.0f cycles over %d iterations@." name
               c.P.trace.R.Trace.seq_total
@@ -274,7 +300,19 @@ let run_cmd =
           ~doc:
             "Execute the plans on $(docv) real OCaml domains instead of simulating \
              them, with a mandatory output-equivalence check against the sequential \
-             reference.")
+             reference. Defaults to the machine's available cores minus one when \
+             --engine is given without $(docv).")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Execution engine for real runs: $(b,real) (run the prepared program \
+             itself on domains; the default) or $(b,burn) (replay the emitted \
+             per-thread schedule as calibrated cycle burns). Implies real \
+             execution even without --jobs.")
   in
   let plan_arg =
     Arg.(
@@ -300,7 +338,7 @@ let run_cmd =
           execute on real OCaml domains")
     Term.(
       const run $ workload_arg $ variant_arg $ file_arg $ threads_arg $ jobs_arg
-      $ plan_arg $ strict_arg $ timeline_arg $ log_level_arg)
+      $ engine_arg $ plan_arg $ strict_arg $ timeline_arg $ log_level_arg)
 
 let seq_cmd =
   let run workload variant file level =

@@ -86,3 +86,30 @@ val conflict_locs : rw -> rw -> LocSet.t
 val pp_source : Format.formatter -> source -> unit
 val pp_location : Format.formatter -> location -> unit
 val pp_rw : Format.formatter -> rw -> unit
+
+(** {2 Commutative-update classes}
+
+    Families of order-free update builtins: any interleaving of the
+    writers reaches the same final state {e provided} the updates are
+    ultimately applied in a single well-defined order — which is what
+    the real-execution engine's per-domain buffering with an
+    iteration-ordered lazy merge guarantees. *)
+
+type update_family = {
+  uf_name : string;
+  uf_writers : string list;  (** order-free state updates returning unit *)
+  uf_readers : string list;  (** observers of the accumulated state *)
+}
+
+val update_families : update_family list
+
+(** Extern (builtin) calls reachable from [body], transitively through
+    user-defined callees: [(callee, has_dst)] pairs. *)
+val loop_extern_calls :
+  Ir.program -> Ir.func -> Ir.label list -> (string * bool) list
+
+(** Writers safe to buffer per-domain and replay at loop exit: every
+    family with at least one writer call in the loop, no same-family
+    reader in the loop, and no writer call using its result. *)
+val bufferable_updates :
+  Ir.program -> Ir.func -> Ir.label list -> (string, unit) Hashtbl.t

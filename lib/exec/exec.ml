@@ -1,5 +1,5 @@
 (** The real multicore execution backend; see the interface for the
-    architecture and DESIGN.md §13 for the predicted-vs-measured
+    architecture and DESIGN.md §13–14 for the predicted-vs-measured
     methodology. *)
 
 module Plan = Commset_transforms.Plan
@@ -32,8 +32,18 @@ let m_empty_waits =
 let g_wall_par = Metrics.gauge ~doc:"parallel-leg seconds (last run)" "exec.wall_par_s"
 let g_wall_seq = Metrics.gauge ~doc:"sequential-leg seconds (last run)" "exec.wall_seq_s"
 
+type engine = Burn_engine | Real_engine
+
+let engine_name = function Burn_engine -> "burn" | Real_engine -> "real"
+
+let engine_of_string = function
+  | "burn" -> Some Burn_engine
+  | "real" -> Some Real_engine
+  | _ -> None
+
 type stats = {
   x_label : string;
+  x_engine : string;
   x_threads : int;
   x_wall_seq_s : float;
   x_wall_par_s : float;
@@ -42,6 +52,11 @@ type stats = {
   x_lock_contended : int;
   x_queue_full_waits : int;
   x_queue_empty_waits : int;
+  x_iterations : int;
+  x_frontier_waits : int;
+  x_buffered_updates : int;
+  x_steps : int;
+  x_merge_s : float;
   x_outputs : string list;
 }
 
@@ -54,6 +69,8 @@ let supported (plan : Plan.t) =
         "speculative plans need the simulator's runtime conflict detection and rollback"
   | Plan.Mutex | Plan.Spin | Plan.Lib -> Ok ()
 
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
 (* ------------------------------------------------------------------ *)
 (* Sequential legs                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -61,18 +78,23 @@ let supported (plan : Plan.t) =
 (** The equivalence reference: a fresh sequential execution of the
     prepared program on a fresh machine (not merely the recorded trace —
     the reference the user cares about is what the sequential program
-    actually prints today). *)
-let seq_reference ~(prepared : R.Precompile.t) ~setup : string list =
+    actually prints today). With [~timed:true] the run also burns its
+    charged cycles at the executor's scale, making its wall time the
+    like-for-like baseline for the real engine's parallel leg. *)
+let seq_reference ~timed ~(prepared : R.Precompile.t) ~setup : string list * float =
   Recorder.with_span ~cat:"exec" "exec.seq_reference" @@ fun () ->
   let machine = R.Machine.create () in
   setup machine;
-  ignore (R.Precompile.run_main (R.Precompile.executor ~machine prepared));
-  R.Machine.outputs machine
+  let t0 = Clock.now_ns () in
+  let total = R.Precompile.run_main (R.Precompile.executor ~machine prepared) in
+  if timed && Costmodel.exec_ns_per_cycle () > 0. then Burn.burn (Burn.create ()) total;
+  let wall = (Clock.now_ns () -. t0) /. 1e9 in
+  (R.Machine.outputs machine, wall)
 
-(** The measured baseline: the whole program's charged cycles burned on
-    one domain with no synchronization — the same work realization the
-    parallel leg uses, so the ratio of the two walls is a like-for-like
-    speedup. *)
+(** The burn engine's measured baseline: the whole program's charged
+    cycles burned on one domain with no synchronization — the same work
+    realization its parallel leg uses, so the ratio of the two walls is
+    a like-for-like speedup. *)
 let seq_calibrated_leg (trace : R.Trace.t) : float =
   Recorder.with_span ~cat:"exec" "exec.seq_leg" @@ fun () ->
   let b = Burn.create () in
@@ -92,7 +114,7 @@ let seq_calibrated_leg (trace : R.Trace.t) : float =
   (Clock.now_ns () -. t0) /. 1e9
 
 (* ------------------------------------------------------------------ *)
-(* Parallel leg                                                        *)
+(* Burn engine: calibrated replay of the emitted segment lists          *)
 (* ------------------------------------------------------------------ *)
 
 type worker_stats = { mutable w_full : int; mutable w_empty : int }
@@ -116,30 +138,12 @@ let run_segments ~(locks : Locks.t) ~(queues : int Spsc.t array) (segs : Sim.seg
           Diag.error "internal: transactional segment reached the real backend")
     segs
 
-(* ------------------------------------------------------------------ *)
-(* Entry point                                                         *)
-(* ------------------------------------------------------------------ *)
-
-let run ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : R.Trace.t) ~(sync : Sync.t)
-    ~(prepared : R.Precompile.t) ~setup () : stats =
-  (match supported plan with
-  | Ok () -> ()
-  | Error why ->
-      Diag.error ~code:"CS014" "plan '%s' cannot run on the real backend: %s"
-        plan.Plan.label why);
-  Recorder.with_span ~cat:"exec" "exec.run" @@ fun () ->
-  Metrics.incr m_runs;
-  let reference = seq_reference ~prepared ~setup in
-  (* both are sequential runs of the same deterministic program; a
-     divergence means the compilation artifacts are out of sync *)
-  if not (List.equal String.equal reference trace.R.Trace.seq_outputs) then
-    Diag.error
-      "internal: fresh sequential reference diverged from the recorded trace of '%s'"
-      plan.Plan.label;
-  let emitted = Emit.emit ~plan ~pdg ~trace in
+let run_burn ~(plan : Plan.t) ~(trace : R.Trace.t) ~(emitted : Emit.t) () :
+    string list * float * float * int * int * int =
   let n_threads = Array.length emitted.Emit.seg_lists in
   Log.debug (fun m ->
-      m "plan '%s': %d thread(s), %d lock(s), %d queue(s)" plan.Plan.label n_threads
+      m "plan '%s' (burn): %d thread(s), %d lock(s), %d queue(s)" plan.Plan.label
+        n_threads
         (Array.length emitted.Emit.locks)
         emitted.Emit.n_queues);
   let wall_seq_s = seq_calibrated_leg trace in
@@ -191,30 +195,116 @@ let run ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : R.Trace.t) ~(sync : Sync.t)
   let actual =
     trace.R.Trace.outputs_before @ merged @ trace.R.Trace.outputs_after
   in
-  let verdict =
-    Equiv.check ~commutative:(Equiv.commutative_outputs ~sync ~trace) ~reference ~actual
-  in
   let full = Array.fold_left (fun acc w -> acc + w.w_full) 0 wstats in
   let empty = Array.fold_left (fun acc w -> acc + w.w_empty) 0 wstats in
   let contended = Locks.contended_total locks in
-  Metrics.add m_contended contended;
-  Metrics.add m_full_waits full;
-  Metrics.add m_empty_waits empty;
-  Metrics.gauge_set g_wall_par wall_par_s;
-  Metrics.gauge_set g_wall_seq wall_seq_s;
+  (actual, wall_seq_s, wall_par_s, contended, full, empty)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(engine = Real_engine) ?jobs ~(plan : Plan.t) ~(pdg : Pdg.t)
+    ~(trace : R.Trace.t) ~(sync : Sync.t) ~(prepared : R.Precompile.t) ~setup () :
+    stats =
+  (match supported plan with
+  | Ok () -> ()
+  | Error why ->
+      Diag.error ~code:"CS014" "plan '%s' cannot run on the real backend: %s"
+        plan.Plan.label why);
+  Recorder.with_span ~cat:"exec" "exec.run" @@ fun () ->
+  Metrics.incr m_runs;
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let reference, seq_timed_wall =
+    seq_reference ~timed:(engine = Real_engine) ~prepared ~setup
+  in
+  (* both are sequential runs of the same deterministic program; a
+     divergence means the compilation artifacts are out of sync *)
+  if not (List.equal String.equal reference trace.R.Trace.seq_outputs) then
+    Diag.error
+      "internal: fresh sequential reference diverged from the recorded trace of '%s'"
+      plan.Plan.label;
+  let emitted = Emit.emit ~plan ~pdg ~trace in
+  let real_result =
+    match engine with
+    | Burn_engine -> None
+    | Real_engine -> (
+        match Realexec.run ~plan ~pdg ~trace ~emitted ~prepared ~setup ~jobs () with
+        | Ok r -> Some r
+        | Error why ->
+            Log.warn (fun m ->
+                m "plan '%s': real engine refused the target loop (%s); %s"
+                  plan.Plan.label why "falling back to calibrated burns");
+            None)
+  in
+  let stats =
+    match real_result with
+    | Some r ->
+        let wall_seq_s = seq_timed_wall in
+        let wall_par_s = r.Realexec.r_wall_par_s in
+        let verdict =
+          Equiv.check
+            ~commutative:(Equiv.commutative_outputs ~sync ~trace)
+            ~reference ~actual:r.Realexec.r_outputs
+        in
+        (if r.Realexec.r_iterations <> R.Trace.n_iterations trace then
+           Log.warn (fun m ->
+               m "plan '%s': dispatched %d iteration(s), trace recorded %d"
+                 plan.Plan.label r.Realexec.r_iterations (R.Trace.n_iterations trace)));
+        {
+          x_label = plan.Plan.label;
+          x_engine = "real";
+          x_threads = jobs;
+          x_wall_seq_s = wall_seq_s;
+          x_wall_par_s = wall_par_s;
+          x_measured_speedup = wall_seq_s /. Float.max 1e-9 wall_par_s;
+          x_verdict = verdict;
+          x_lock_contended = r.Realexec.r_lock_contended;
+          x_queue_full_waits = r.Realexec.r_queue_full_waits;
+          x_queue_empty_waits = r.Realexec.r_queue_empty_waits;
+          x_iterations = r.Realexec.r_iterations;
+          x_frontier_waits = r.Realexec.r_frontier_waits;
+          x_buffered_updates = r.Realexec.r_buffered;
+          x_steps = r.Realexec.r_steps;
+          x_merge_s = r.Realexec.r_merge_s;
+          x_outputs = r.Realexec.r_outputs;
+        }
+    | None ->
+        let actual, wall_seq_s, wall_par_s, contended, full, empty =
+          run_burn ~plan ~trace ~emitted ()
+        in
+        let verdict =
+          Equiv.check
+            ~commutative:(Equiv.commutative_outputs ~sync ~trace)
+            ~reference ~actual
+        in
+        {
+          x_label = plan.Plan.label;
+          x_engine = "burn";
+          x_threads = Array.length emitted.Emit.seg_lists;
+          x_wall_seq_s = wall_seq_s;
+          x_wall_par_s = wall_par_s;
+          x_measured_speedup = wall_seq_s /. Float.max 1e-9 wall_par_s;
+          x_verdict = verdict;
+          x_lock_contended = contended;
+          x_queue_full_waits = full;
+          x_queue_empty_waits = empty;
+          x_iterations = R.Trace.n_iterations trace;
+          x_frontier_waits = 0;
+          x_buffered_updates = 0;
+          x_steps = 0;
+          x_merge_s = 0.;
+          x_outputs = actual;
+        }
+  in
+  Metrics.add m_contended stats.x_lock_contended;
+  Metrics.add m_full_waits stats.x_queue_full_waits;
+  Metrics.add m_empty_waits stats.x_queue_empty_waits;
+  Metrics.gauge_set g_wall_par stats.x_wall_par_s;
+  Metrics.gauge_set g_wall_seq stats.x_wall_seq_s;
   Log.info (fun m ->
-      m "plan '%s': %.3f ms sequential, %.3f ms on %d domain(s), %s" plan.Plan.label
-        (wall_seq_s *. 1e3) (wall_par_s *. 1e3) n_threads
-        (Equiv.verdict_to_string verdict));
-  {
-    x_label = plan.Plan.label;
-    x_threads = n_threads;
-    x_wall_seq_s = wall_seq_s;
-    x_wall_par_s = wall_par_s;
-    x_measured_speedup = wall_seq_s /. Float.max 1e-9 wall_par_s;
-    x_verdict = verdict;
-    x_lock_contended = contended;
-    x_queue_full_waits = full;
-    x_queue_empty_waits = empty;
-    x_outputs = actual;
-  }
+      m "plan '%s' (%s): %.3f ms sequential, %.3f ms on %d domain(s), %s"
+        plan.Plan.label stats.x_engine (stats.x_wall_seq_s *. 1e3)
+        (stats.x_wall_par_s *. 1e3) stats.x_threads
+        (Equiv.verdict_to_string stats.x_verdict));
+  stats

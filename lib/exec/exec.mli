@@ -1,54 +1,78 @@
 (** The real multicore execution backend: runs a parallelization plan on
-    actual OCaml 5 domains instead of the discrete-event simulator.
+    actual OCaml 5 domains instead of the discrete-event simulator, in
+    one of two engines.
 
-    The executor reuses the emitter's per-thread segment lists — the
-    same multi-threaded code generation the simulator prices — and
-    realizes every segment for real: [Compute] becomes calibrated CPU
-    work ({!Burn}), [Acquire]/[Release] become ranked per-commset locks
-    ({!Locks}, deadlock-free because the emitter orders acquisitions by
-    global commset rank), [Push]/[Pop] become bounded lock-free SPSC
-    queues ({!Spsc}) sized by the simulator's own
-    [Costmodel.queue_capacity], and [Emit] appends to a per-domain
-    output log stamped with the monotonic clock. NOSYNC commsets and
-    single-stage placements never emitted locks in the first place, so
-    their fast path is inherited; Lib-variant plans only realize the
-    short library-internal sections.
+    {b Real engine} (default): executes the prepared program itself —
+    the coordinator domain runs the whole program and dispatches every
+    target-loop iteration's live register file to worker domains, which
+    execute the full iteration body against the shared machine, with
+    commset locks, an iteration frontier for value-carrying dependences,
+    per-domain buffering of order-free updates, and calibrated CPU work
+    realizing the cost model's cycles ({!Realexec}). When
+    {!Commset_runtime.Precompile.plan_real} rejects the loop shape, the
+    run falls back to the burn engine and says so in [x_engine].
+
+    {b Burn engine} ([Burn_engine]): replays the emitter's per-thread
+    segment lists — the multi-threaded code generation the simulator
+    prices — as calibrated cycle-burning ({!Burn}), ranked per-commset
+    locks ({!Locks}) and bounded SPSC queues ({!Spsc}). Loop work is
+    trace replay, not program execution.
 
     Every run performs a mandatory output-equivalence check: a fresh
     sequential execution of the prepared program is the reference, and
-    the merged parallel output must match it exactly — up to multiset
-    order for outputs the commset annotations declare commutative
-    ({!Equiv}).
+    the parallel output must match it exactly — up to multiset order for
+    outputs the commset annotations declare commutative ({!Equiv}).
 
     TM and speculative plans are rejected ({!supported}): software
     transactions exist only in the simulator's optimistic model; there
     is no STM to run them on.
 
-    Observability: the run, the sequential reference, the calibrated
-    sequential leg and every worker are wrapped in flight-recorder spans
-    (category ["exec"]), so an enabled recorder puts each worker domain
-    on its own real-time Perfetto track next to the simulator's
-    virtual-clock tracks; the [exec.*] metrics record runs, contended
-    acquires and queue waits (these are real concurrency measurements
-    and carry no cross-run determinism promise). *)
+    Observability: the run, the sequential reference and every worker
+    are wrapped in flight-recorder spans (category ["exec"]); the
+    [exec.*] metrics record runs, contended acquires, queue and frontier
+    waits, buffered updates, worker instructions retired and merge-phase
+    timings (real concurrency measurements, no cross-run determinism
+    promise). *)
 
 module Plan = Commset_transforms.Plan
 module Sync = Commset_transforms.Sync
 module Pdg = Commset_pdg.Pdg
 module R = Commset_runtime
 
+(** Which realization executes the plan's target loop. *)
+type engine = Burn_engine | Real_engine
+
+val engine_name : engine -> string
+
+(** ["real"] / ["burn"] (the CLI flag values). *)
+val engine_of_string : string -> engine option
+
+(** Worker-domain count to use when the caller does not pin one:
+    [Domain.recommended_domain_count () - 1] (one domain is the
+    coordinator), at least 1. *)
+val default_jobs : unit -> int
+
 type stats = {
   x_label : string;  (** the executed plan's label *)
-  x_threads : int;  (** domains the plan's segment lists occupied *)
+  x_engine : string;
+      (** engine that actually ran: ["real"] or ["burn"] (after a
+          fallback this differs from the requested engine) *)
+  x_threads : int;  (** worker domains occupied *)
   x_wall_seq_s : float;
-      (** calibrated sequential leg: same cycle-burning realization, one
-          domain, no synchronization *)
+      (** sequential leg: for the real engine a timed fresh sequential
+          run (execution + calibrated work); for the burn engine the
+          calibrated cycle replay on one domain *)
   x_wall_par_s : float;  (** parallel leg, spawn/join barriers excluded *)
   x_measured_speedup : float;  (** [x_wall_seq_s /. x_wall_par_s] *)
   x_verdict : Equiv.verdict;
   x_lock_contended : int;
-  x_queue_full_waits : int;  (** blocking episodes on full queues *)
-  x_queue_empty_waits : int;  (** blocking episodes on empty queues *)
+  x_queue_full_waits : int;  (** blocking episodes on full queues/rings *)
+  x_queue_empty_waits : int;  (** blocking episodes on empty queues/rings *)
+  x_iterations : int;  (** loop iterations executed/replayed *)
+  x_frontier_waits : int;  (** real engine: frontier blocking episodes *)
+  x_buffered_updates : int;  (** real engine: updates buffered per-domain *)
+  x_steps : int;  (** real engine: instructions retired, all domains *)
+  x_merge_s : float;  (** real engine: merge-phase seconds *)
   x_outputs : string list;  (** the parallel run's full output stream *)
 }
 
@@ -56,12 +80,16 @@ type stats = {
     speculative variants. *)
 val supported : Plan.t -> (unit, string) result
 
-(** Execute [plan] on real domains. Raises a CS014 {!Diag.Error} for
-    unsupported plans and an internal error if the fresh sequential
-    reference diverges from the recorded trace. [pdg], [trace] and
-    [sync] must come from the same compilation as [prepared]; [setup]
-    prepares the reference run's fresh machine. *)
+(** Execute [plan] on real domains. [engine] defaults to [Real_engine];
+    [jobs] (worker domains, real engine only) defaults to
+    {!default_jobs}. Raises a CS014 {!Diag.Error} for unsupported plans
+    and an internal error if the fresh sequential reference diverges
+    from the recorded trace. [pdg], [trace] and [sync] must come from
+    the same compilation as [prepared]; [setup] prepares each fresh
+    machine. *)
 val run :
+  ?engine:engine ->
+  ?jobs:int ->
   plan:Plan.t ->
   pdg:Pdg.t ->
   trace:R.Trace.t ->

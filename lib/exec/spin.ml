@@ -1,21 +1,23 @@
 (** Busy-wait primitives; see the interface for the tuning rationale. *)
 
-let spin_rounds = 200
+module Costmodel = Commset_runtime.Costmodel
+
+let spin_rounds () = Costmodel.exec_spin_rounds ()
 
 (* yielding quantum once the spin budget is spent: long enough that a
    preempted partner gets scheduled, short enough to stay responsive *)
-let yield_s = 50e-6
+let yield_s () = Costmodel.exec_spin_sleep_s ()
 
-type backoff = { mutable rounds : int }
+type backoff = { mutable rounds : int; limit : int; sleep_s : float }
 
-let backoff () = { rounds = 0 }
+let backoff () = { rounds = 0; limit = spin_rounds (); sleep_s = yield_s () }
 
 let once b =
-  if b.rounds < spin_rounds then begin
+  if b.rounds < b.limit then begin
     Domain.cpu_relax ();
     b.rounds <- b.rounds + 1
   end
-  else Unix.sleepf yield_s
+  else Unix.sleepf b.sleep_s
 
 type lock = { flag : bool Atomic.t }
 

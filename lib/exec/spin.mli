@@ -11,8 +11,11 @@
     producer blocked on a full queue would burn its entire quantum
     spinning against a consumer that is not running. *)
 
-(** Spin rounds before a waiter starts yielding to the OS scheduler. *)
-val spin_rounds : int
+(** Spin rounds before a waiter starts yielding to the OS scheduler —
+    read from {!Commset_runtime.Costmodel.exec_spin_rounds}, so the
+    [COMMSET_SPIN_ROUNDS] / [COMMSET_SPIN_SLEEP_US] environment knobs
+    tune the backoff without a recompile. *)
+val spin_rounds : unit -> int
 
 (** One waiter's backoff state; create one per blocking episode. *)
 type backoff

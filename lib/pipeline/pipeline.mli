@@ -115,8 +115,12 @@ type exec_run = {
 val executable_plans : t -> threads:int -> T.Plan.t list
 
 (** Execute a plan on real domains with the mandatory output-equivalence
-    check; raises a CS014 {!Diag.Error} on unsupported plans. *)
-val run_parallel : t -> T.Plan.t -> exec_run
+    check; raises a CS014 {!Diag.Error} on unsupported plans. [engine]
+    selects the realization (default: real program execution with burn
+    fallback); [jobs] pins the real engine's worker-domain count
+    (default: {!Commset_exec.Exec.default_jobs}). *)
+val run_parallel :
+  ?engine:Commset_exec.Exec.engine -> ?jobs:int -> t -> T.Plan.t -> exec_run
 
 (** Speedup curves: series name -> (threads, speedup) points.
     [precomputed] supplies already-evaluated run lists per thread count

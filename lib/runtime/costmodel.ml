@@ -117,6 +117,59 @@ let exec_ns_per_cycle () =
 
 let set_exec_ns_per_cycle v = Atomic.set exec_ns_per_cycle_cell (Float.max 0. v)
 
+(* Busy-wait tuning for the executor's adaptive backoff (Commset_exec.Spin)
+   lives here, next to the simulator's handoff constants, so retuning the
+   real backend never requires a recompile: COMMSET_SPIN_ROUNDS and
+   COMMSET_SPIN_SLEEP_US override the defaults (200 rounds of cpu_relax,
+   then 50us yielding sleeps). *)
+
+let exec_spin_rounds_cell = Atomic.make (-1)
+
+let exec_spin_rounds () =
+  let v = Atomic.get exec_spin_rounds_cell in
+  if v >= 0 then v
+  else
+    let v =
+      match Sys.getenv_opt "COMMSET_SPIN_ROUNDS" with
+      | None | Some "" -> 200
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n >= 0 -> n
+          | _ ->
+              Commset_support.Diag.error ~code:"CS013"
+                "invalid COMMSET_SPIN_ROUNDS value '%s': expected a \
+                 non-negative iteration count"
+                s)
+    in
+    Atomic.set exec_spin_rounds_cell v;
+    v
+
+let set_exec_spin_rounds n = Atomic.set exec_spin_rounds_cell (max 0 n)
+
+(* negative = not yet initialised from the environment *)
+let exec_spin_sleep_cell = Atomic.make (-1.0)
+
+let exec_spin_sleep_s () =
+  let v = Atomic.get exec_spin_sleep_cell in
+  if v >= 0. then v
+  else
+    let v =
+      match Sys.getenv_opt "COMMSET_SPIN_SLEEP_US" with
+      | None | Some "" -> 50e-6
+      | Some s -> (
+          match float_of_string_opt (String.trim s) with
+          | Some f when f >= 0. && Float.is_finite f -> f *. 1e-6
+          | _ ->
+              Commset_support.Diag.error ~code:"CS013"
+                "invalid COMMSET_SPIN_SLEEP_US value '%s': expected a \
+                 non-negative number of microseconds"
+                s)
+    in
+    Atomic.set exec_spin_sleep_cell v;
+    v
+
+let set_exec_spin_sleep_us us = Atomic.set exec_spin_sleep_cell (Float.max 0. (us *. 1e-6))
+
 (* --- builtin cost helpers ---------------------------------------------- *)
 
 let per_byte = 0.3

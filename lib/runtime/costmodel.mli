@@ -58,6 +58,21 @@ val exec_ns_per_cycle : unit -> float
 (** Override the scale (tests and the bench harness). *)
 val set_exec_ns_per_cycle : float -> unit
 
+(** Spin rounds the executor's adaptive backoff burns with
+    [Domain.cpu_relax] before it starts yielding to the OS scheduler.
+    Initialized from [COMMSET_SPIN_ROUNDS] (default 200) on first read;
+    malformed values raise a CS013 {!Commset_support.Diag.Error}. *)
+val exec_spin_rounds : unit -> int
+
+val set_exec_spin_rounds : int -> unit
+
+(** Yielding quantum (seconds) once the spin budget is spent. Initialized
+    from [COMMSET_SPIN_SLEEP_US] (microseconds, default 50) on first
+    read; malformed values raise a CS013 {!Commset_support.Diag.Error}. *)
+val exec_spin_sleep_s : unit -> float
+
+val set_exec_spin_sleep_us : float -> unit
+
 (* builtin cost helpers *)
 val per_byte : float
 val md5_cost_per_byte : float

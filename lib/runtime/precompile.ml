@@ -666,6 +666,454 @@ let run_main (ex : exec) : float =
           | Some h -> ignore (i_exec_func st h mainf []));
       st.st_total
 
+(* ------------------------------------------------------------------ *)
+(* Real-execution support                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The real multicore backend (lib/exec) splits one prepared program
+   between a coordinator domain and worker domains. The coordinator runs
+   the whole program but, inside the target loop, executes only the
+   "backbone": the backward slice of the loop-control condition (the
+   induction arithmetic, plus read-only builtins like [graph_next] that
+   feed a loop-carried control register). At each header entry where the
+   loop continues it hands the live register file to [on_iter]; workers
+   then execute the full iteration body — every skipped instruction —
+   against the shared machine and global slots. The functions below are
+   deliberately conservative: [plan_real] rejects any loop shape whose
+   backbone cannot be proven to live entirely in the header and the
+   single latch block, and the caller falls back to another engine. *)
+
+type rtarget = {
+  rt_pf : pfunc;
+  rt_fname : string;
+  rt_header : int;
+  rt_body_entry : int;
+  rt_in_loop : bool array;  (** per block index of [rt_pf] *)
+  rt_spine : (int * bool array) list;
+      (** latch blocks the coordinator executes after dispatch, with a
+          per-instruction backbone mask *)
+  rt_backbone : int list;  (** iids the coordinator executes inside the loop *)
+}
+
+let rtarget_backbone rt = rt.rt_backbone
+let rtarget_nregs rt = rt.rt_pf.pf_nregs
+let rtarget_fname rt = rt.rt_fname
+
+let instr_def (i : Ir.instr) : int option =
+  match i.Ir.desc with
+  | Ir.Move (r, _) | Ir.Binop (_, _, r, _, _) | Ir.Unop (_, _, r, _)
+  | Ir.Load_global (r, _) | Ir.Load_index (r, _, _) ->
+      Some r
+  | Ir.Call { dst; _ } -> dst
+  | Ir.Store_global _ | Ir.Store_index _ -> None
+
+let instr_uses (i : Ir.instr) : int list =
+  let op acc = function Ir.Reg r -> r :: acc | Ir.Const _ -> acc in
+  match i.Ir.desc with
+  | Ir.Move (_, o) -> op [] o
+  | Ir.Binop (_, _, _, a, b) -> op (op [] a) b
+  | Ir.Unop (_, _, _, a) -> op [] a
+  | Ir.Load_global _ -> []
+  | Ir.Store_global (_, o) -> op [] o
+  | Ir.Load_index (_, a, ix) -> op (op [] a) ix
+  | Ir.Store_index (a, ix, v) -> op (op (op [] a) ix) v
+  | Ir.Call { args; _ } -> List.fold_left op [] args
+
+let plan_real (p : t) ~(fname : string) ~(header : Ir.label)
+    ~(latches : Ir.label list) ~(body : Ir.label list) : (rtarget, string) result =
+  let ( let* ) r f = Result.bind r f in
+  let* pf =
+    match Hashtbl.find_opt p.p_funcs fname with
+    | Some pf -> Ok pf
+    | None -> Error (Printf.sprintf "no function '%s'" fname)
+  in
+  let nblocks = Array.length pf.pf_blocks in
+  let idx_of = Hashtbl.create 16 in
+  Array.iteri (fun i (b : pblock) -> Hashtbl.replace idx_of b.pb_label i) pf.pf_blocks;
+  let* header_idx =
+    match Hashtbl.find_opt idx_of header with
+    | Some i -> Ok i
+    | None -> Error "header block not found"
+  in
+  let in_loop = Array.make nblocks false in
+  List.iter
+    (fun l -> match Hashtbl.find_opt idx_of l with Some i -> in_loop.(i) <- true | None -> ())
+    body;
+  let* latch_idx =
+    match latches with
+    | [ l ] -> (
+        match Hashtbl.find_opt idx_of l with
+        | Some i -> Ok i
+        | None -> Error "latch block not found")
+    | _ -> Error "loop has multiple latches"
+  in
+  (* the latch must fall through to the header unconditionally, so the
+     coordinator's spine is straight-line per iteration *)
+  let* () =
+    match pf.pf_blocks.(latch_idx).pb_term with
+    | Pjump j when j = header_idx -> Ok ()
+    | _ -> Error "latch does not jump unconditionally to the header"
+  in
+  let* cond =
+    match pf.pf_blocks.(header_idx).pb_term with
+    | Pbranch (c, t1, t2) ->
+        let inl i = i >= 0 && i < nblocks && in_loop.(i) in
+        if inl t1 && not (inl t2) then Ok (c, t1, t2)
+        else if inl t2 && not (inl t1) then Ok (c, t1, t2)
+        else Error "header branch does not separate loop body from exit"
+    | _ -> Error "header terminator is not a two-way branch"
+  in
+  let c, t1, t2 = cond in
+  let body_entry = if t1 >= 0 && t1 < nblocks && in_loop.(t1) then t1 else t2 in
+  (* backward slice of the loop condition over in-loop instructions *)
+  let loop_instrs =
+    let acc = ref [] in
+    Array.iteri
+      (fun bi (b : pblock) ->
+        if in_loop.(bi) then
+          Array.iter (fun (i : Ir.instr) -> acc := (bi, i) :: !acc) b.pb_irs)
+      pf.pf_blocks;
+    List.rev !acc
+  in
+  let needed = Hashtbl.create 16 in
+  Hashtbl.replace needed c ();
+  let backbone : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun ((_, i) : int * Ir.instr) ->
+        if not (Hashtbl.mem backbone i.Ir.iid) then
+          match instr_def i with
+          | Some r when Hashtbl.mem needed r ->
+              Hashtbl.replace backbone i.Ir.iid ();
+              List.iter
+                (fun u ->
+                  if not (Hashtbl.mem needed u) then begin
+                    Hashtbl.replace needed u ();
+                    changed := true
+                  end)
+                (instr_uses i);
+              changed := true
+          | _ -> ())
+      loop_instrs
+  done;
+  (* globals stored inside the loop, for the backbone purity check *)
+  let loop_stored_globals = Hashtbl.create 8 in
+  List.iter
+    (fun ((_, i) : int * Ir.instr) ->
+      match i.Ir.desc with
+      | Ir.Store_global (g, _) -> Hashtbl.replace loop_stored_globals g ()
+      | _ -> ())
+    loop_instrs;
+  let check_backbone_instr ((bi, i) : int * Ir.instr) : (unit, string) result =
+    if not (Hashtbl.mem backbone i.Ir.iid) then Ok ()
+    else if bi <> header_idx && bi <> latch_idx then
+      Error "loop-control slice escapes the header and latch blocks"
+    else
+      match i.Ir.desc with
+      | Ir.Load_global (_, g) when Hashtbl.mem loop_stored_globals g ->
+          Error "loop condition reads a global written in the loop body"
+      | Ir.Call { callee; _ } -> (
+          match Builtins.find callee with
+          | Some b when b.Builtins.spec.Commset_analysis.Effects.bs_writes = [] -> Ok ()
+          | Some _ -> Error "loop-control slice calls a machine-writing builtin"
+          | None -> Error "loop-control slice calls a user function")
+      | _ -> Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc bi -> Result.bind acc (fun () -> check_backbone_instr bi))
+      (Ok ()) loop_instrs
+  in
+  (* every header instruction must be backbone: workers never execute the
+     header, so anything else there would be lost *)
+  let* () =
+    if
+      Array.for_all
+        (fun (i : Ir.instr) -> Hashtbl.mem backbone i.Ir.iid)
+        pf.pf_blocks.(header_idx).pb_irs
+    then Ok ()
+    else Error "header block contains non-loop-control work"
+  in
+  (* live-out check: a register written by a skipped (non-backbone) loop
+     instruction must not be read after the loop — the coordinator's
+     copy would be stale *)
+  let skipped_defs = Hashtbl.create 16 in
+  List.iter
+    (fun ((_, i) : int * Ir.instr) ->
+      if not (Hashtbl.mem backbone i.Ir.iid) then
+        match instr_def i with Some r -> Hashtbl.replace skipped_defs r () | None -> ())
+    loop_instrs;
+  let live_out_violation = ref false in
+  Array.iteri
+    (fun bi (b : pblock) ->
+      if not in_loop.(bi) then begin
+        Array.iter
+          (fun (i : Ir.instr) ->
+            List.iter
+              (fun u -> if Hashtbl.mem skipped_defs u then live_out_violation := true)
+              (instr_uses i))
+          b.pb_irs;
+        match b.pb_term with
+        | Pbranch (r, _, _) | Pret_reg r ->
+            if Hashtbl.mem skipped_defs r then live_out_violation := true
+        | _ -> ()
+      end)
+    pf.pf_blocks;
+  let* () =
+    if !live_out_violation then
+      Error "a register written in the loop body is read after the loop"
+    else Ok ()
+  in
+  let spine =
+    if latch_idx = header_idx then []
+    else
+      [
+        ( latch_idx,
+          Array.map
+            (fun (i : Ir.instr) -> Hashtbl.mem backbone i.Ir.iid)
+            pf.pf_blocks.(latch_idx).pb_irs );
+      ]
+  in
+  Ok
+    {
+      rt_pf = pf;
+      rt_fname = fname;
+      rt_header = header_idx;
+      rt_body_entry = body_entry;
+      rt_in_loop = in_loop;
+      rt_spine = spine;
+      rt_backbone = Hashtbl.fold (fun iid () acc -> iid :: acc) backbone [];
+    }
+
+(* ---- coordinator ---------------------------------------------------- *)
+
+(* One block's instructions on the fast path, optionally masked; the
+   terminator is left to the caller. *)
+let x_block st (pf : pfunc) regs bidx (mask : bool array option) exec_call =
+  if st.st_fuel <= 0 then raise Interp.Out_of_fuel;
+  st.st_fuel <- st.st_fuel - 1;
+  if bidx < 0 then ignore (Ir.block pf.pf_ir (-1 - bidx));
+  let b = Array.unsafe_get pf.pf_blocks bidx in
+  let instrs = b.pb_instrs and costs = b.pb_costs in
+  for k = 0 to Array.length instrs - 1 do
+    let keep = match mask with None -> true | Some m -> m.(k) in
+    if keep then begin
+      if st.st_fuel <= 0 then raise Interp.Out_of_fuel;
+      st.st_fuel <- st.st_fuel - 1;
+      st.st_total <- st.st_total +. Array.unsafe_get costs k;
+      match Array.unsafe_get instrs k with
+      | Psimple f -> f st regs
+      | Pbuiltin { bi; bargs; bdst } ->
+          let v, cost =
+            bi.Builtins.impl st.st_machine (f_args bargs regs 0 (Array.length bargs))
+          in
+          st.st_total <- st.st_total +. cost;
+          if bdst >= 0 then regs.(bdst) <- v
+      | Pcall { ccallee; cargs; cdst; _ } ->
+          let v = exec_call st ccallee cargs regs in
+          if cdst >= 0 then regs.(cdst) <- v
+    end
+  done;
+  st.st_total <- st.st_total +. Costmodel.terminator_cost;
+  b.pb_term
+
+let run_main_real (ex : exec) (rt : rtarget) ~(on_iter : int -> Value.t array -> unit)
+    ~(on_loop_done : unit -> unit) : float =
+  match ex.ex_prepared.p_main with
+  | None -> Diag.error "program has no 'main' function"
+  | Some mainf ->
+      let st = ex.ex_state in
+      let fuel_before = st.st_fuel in
+      let iterc = ref 0 in
+      let rec x_exec_call st (callee : pfunc) (cargs : opf array) caller_regs : Value.t =
+        let regs = Array.make callee.pf_nregs (Value.Vint 0) in
+        let params = callee.pf_params in
+        let np = Array.length params in
+        if Array.length cargs < np then
+          Diag.error "runtime: missing argument %d of %s" (Array.length cargs)
+            callee.pf_ir.Ir.fname;
+        for i = 0 to np - 1 do
+          regs.(params.(i)) <- cargs.(i) caller_regs
+        done;
+        x_run st callee regs callee.pf_entry
+      and x_run st (pf : pfunc) regs bidx : Value.t =
+        if pf == rt.rt_pf && bidx = rt.rt_header then x_loop st pf regs
+        else
+          let term = x_block st pf regs bidx None x_exec_call in
+          x_term st pf regs term
+      and x_term st pf regs = function
+        | Pjump j -> x_run st pf regs j
+        | Pbranch (c, l1, l2) -> (
+            match regs.(c) with
+            | Value.Vbool true -> x_run st pf regs l1
+            | Value.Vbool false -> x_run st pf regs l2
+            | v ->
+                ignore (Value.to_bool ~what:"branch condition" v);
+                assert false)
+        | Pbranch_raise fop ->
+            ignore (Value.to_bool ~what:"branch condition" (fop regs));
+            assert false
+        | Pret_reg r -> regs.(r)
+        | Pret_const v -> v
+        | Pret_none -> Value.Vint 0
+      and x_loop st pf regs : Value.t =
+        let rec go () =
+          let term = x_block st pf regs rt.rt_header None x_exec_call in
+          let tgt =
+            match term with
+            | Pbranch (c, l1, l2) -> (
+                match regs.(c) with
+                | Value.Vbool true -> l1
+                | Value.Vbool false -> l2
+                | v ->
+                    ignore (Value.to_bool ~what:"branch condition" v);
+                    assert false)
+            | _ -> Diag.error "real-exec: header terminator changed shape"
+          in
+          if tgt = rt.rt_body_entry then begin
+            on_iter !iterc regs;
+            incr iterc;
+            List.iter
+              (fun (bidx, mask) -> ignore (x_block st pf regs bidx (Some mask) x_exec_call))
+              rt.rt_spine;
+            go ()
+          end
+          else begin
+            on_loop_done ();
+            x_run st pf regs tgt
+          end
+        in
+        go ()
+      in
+      Metrics.incr m_exec_runs;
+      Fun.protect
+        ~finally:(fun () -> Metrics.add m_steps (fuel_before - st.st_fuel))
+        (fun () -> ignore (x_exec_call st mainf [||] [||]));
+      st.st_total
+
+(* ---- workers -------------------------------------------------------- *)
+
+type wstate = state
+
+(** A worker's private execution state sharing the coordinator's machine
+    and global slots: global slot writes are word-sized [Value.t] stores,
+    so sharing the arrays is tear-free; coherence of the *values* is the
+    real backend's job (frontier ordering / commset locks). *)
+let worker_state (ex : exec) ~fuel : wstate =
+  {
+    st_machine = ex.ex_state.st_machine;
+    st_globals = ex.ex_state.st_globals;
+    st_gdefined = ex.ex_state.st_gdefined;
+    st_fuel = fuel;
+    st_total = 0.;
+  }
+
+let wstate_fuel_left (st : wstate) = st.st_fuel
+let wstate_total (st : wstate) = st.st_total
+
+let run_iteration (st : wstate) (rt : rtarget) ~(on_instr : Ir.instr -> unit)
+    ~(builtin : Builtins.t -> Value.t list -> has_dst:bool -> Value.t * float)
+    (regs : Value.t array) : unit =
+  let rec w_exec_call st (callee : pfunc) (cargs : opf array) caller_regs : Value.t =
+    let cregs = Array.make callee.pf_nregs (Value.Vint 0) in
+    let params = callee.pf_params in
+    let np = Array.length params in
+    if Array.length cargs < np then
+      Diag.error "runtime: missing argument %d of %s" (Array.length cargs)
+        callee.pf_ir.Ir.fname;
+    for i = 0 to np - 1 do
+      cregs.(params.(i)) <- cargs.(i) caller_regs
+    done;
+    w_nested st callee cregs callee.pf_entry
+  (* nested calls run whole functions: builtins stay intercepted, but
+     node tracking ([on_instr]) stays at target-function depth — callee
+     work belongs to the calling node *)
+  and w_nested st (pf : pfunc) regs bidx : Value.t =
+    if st.st_fuel <= 0 then raise Interp.Out_of_fuel;
+    st.st_fuel <- st.st_fuel - 1;
+    if bidx < 0 then ignore (Ir.block pf.pf_ir (-1 - bidx));
+    let b = Array.unsafe_get pf.pf_blocks bidx in
+    let instrs = b.pb_instrs and costs = b.pb_costs in
+    for k = 0 to Array.length instrs - 1 do
+      if st.st_fuel <= 0 then raise Interp.Out_of_fuel;
+      st.st_fuel <- st.st_fuel - 1;
+      st.st_total <- st.st_total +. Array.unsafe_get costs k;
+      match Array.unsafe_get instrs k with
+      | Psimple f -> f st regs
+      | Pbuiltin { bi; bargs; bdst } ->
+          let argv = f_args bargs regs 0 (Array.length bargs) in
+          let v, cost = builtin bi argv ~has_dst:(bdst >= 0) in
+          st.st_total <- st.st_total +. cost;
+          if bdst >= 0 then regs.(bdst) <- v
+      | Pcall { ccallee; cargs; cdst; _ } ->
+          let v = w_exec_call st ccallee cargs regs in
+          if cdst >= 0 then regs.(cdst) <- v
+    done;
+    st.st_total <- st.st_total +. Costmodel.terminator_cost;
+    match b.pb_term with
+    | Pjump j -> w_nested st pf regs j
+    | Pbranch (c, l1, l2) -> (
+        match regs.(c) with
+        | Value.Vbool true -> w_nested st pf regs l1
+        | Value.Vbool false -> w_nested st pf regs l2
+        | v ->
+            ignore (Value.to_bool ~what:"branch condition" v);
+            assert false)
+    | Pbranch_raise fop ->
+        ignore (Value.to_bool ~what:"branch condition" (fop regs));
+        assert false
+    | Pret_reg r -> regs.(r)
+    | Pret_const v -> v
+    | Pret_none -> Value.Vint 0
+  in
+  let pf = rt.rt_pf in
+  let nblocks = Array.length pf.pf_blocks in
+  let rec span bidx =
+    if st.st_fuel <= 0 then raise Interp.Out_of_fuel;
+    st.st_fuel <- st.st_fuel - 1;
+    let b = Array.unsafe_get pf.pf_blocks bidx in
+    let instrs = b.pb_instrs and costs = b.pb_costs and irs = b.pb_irs in
+    for k = 0 to Array.length instrs - 1 do
+      if st.st_fuel <= 0 then raise Interp.Out_of_fuel;
+      st.st_fuel <- st.st_fuel - 1;
+      st.st_total <- st.st_total +. Array.unsafe_get costs k;
+      on_instr (Array.unsafe_get irs k);
+      match Array.unsafe_get instrs k with
+      | Psimple f -> f st regs
+      | Pbuiltin { bi; bargs; bdst } ->
+          let argv = f_args bargs regs 0 (Array.length bargs) in
+          let v, cost = builtin bi argv ~has_dst:(bdst >= 0) in
+          st.st_total <- st.st_total +. cost;
+          if bdst >= 0 then regs.(bdst) <- v
+      | Pcall { ccallee; cargs; cdst; _ } ->
+          let v = w_exec_call st ccallee cargs regs in
+          if cdst >= 0 then regs.(cdst) <- v
+    done;
+    st.st_total <- st.st_total +. Costmodel.terminator_cost;
+    let continue_to tgt =
+      if tgt = rt.rt_header then ()
+      else if tgt >= 0 && tgt < nblocks && rt.rt_in_loop.(tgt) then span tgt
+      else Diag.error "real-exec: iteration escaped the target loop"
+    in
+    match b.pb_term with
+    | Pjump j -> continue_to j
+    | Pbranch (c, l1, l2) -> (
+        match regs.(c) with
+        | Value.Vbool true -> continue_to l1
+        | Value.Vbool false -> continue_to l2
+        | v ->
+            ignore (Value.to_bool ~what:"branch condition" v);
+            assert false)
+    | Pbranch_raise fop ->
+        ignore (Value.to_bool ~what:"branch condition" (fop regs));
+        assert false
+    | Pret_reg _ | Pret_const _ | Pret_none ->
+        Diag.error "real-exec: iteration returned out of the target loop"
+  in
+  span rt.rt_body_entry
+
 (** Like {!run_main}, but an executor with hooks runs on the coarse
     path: only [on_enter_func], [on_exit_func], [on_block] and
     [on_output] fire (per-instruction and actuals hooks are skipped),

@@ -49,3 +49,77 @@ val steps : exec -> int
     interpreter's globals hashtable would hold them — declared globals
     plus any undeclared names created by an executed store. *)
 val globals : exec -> (string * Value.t) list
+
+(** {2 Real-execution support}
+
+    The real multicore backend ([Commset_exec]) splits one prepared
+    program between a coordinator domain and worker domains: the
+    coordinator runs the whole program but executes only the target
+    loop's control backbone (the backward slice of the header condition,
+    confined to the header and the single latch block), handing the live
+    register file to [on_iter] at every continuing header entry; workers
+    then run the full iteration body against the shared machine and
+    global slots. *)
+
+(** A compiled real-execution plan for one target loop. *)
+type rtarget
+
+(** Validate the loop shape and compute the coordinator's backbone.
+    Returns [Error reason] when the loop cannot be split this way (the
+    caller falls back to another engine): multiple latches, a header
+    containing non-control work, a control slice escaping header+latch,
+    a machine-writing builtin or user call in the slice, or a register
+    written in the loop body and read after the loop. *)
+val plan_real :
+  t ->
+  fname:string ->
+  header:Commset_ir.Ir.label ->
+  latches:Commset_ir.Ir.label list ->
+  body:Commset_ir.Ir.label list ->
+  (rtarget, string) result
+
+(** Instruction iids the coordinator executes inside the loop. *)
+val rtarget_backbone : rtarget -> int list
+
+val rtarget_nregs : rtarget -> int
+val rtarget_fname : rtarget -> string
+
+(** Run [main()] with the target loop in dispatch mode (fast path only;
+    the executor's hooks are ignored). [on_iter k regs] fires at every
+    header entry that continues into the body — [regs] is the live
+    register file, valid only for the duration of the callback (copy it
+    to keep it). [on_loop_done] fires at every exit from the loop,
+    before the epilogue resumes. Returns total simulated cycles of the
+    coordinator's own work. *)
+val run_main_real :
+  exec ->
+  rtarget ->
+  on_iter:(int -> Value.t array -> unit) ->
+  on_loop_done:(unit -> unit) ->
+  float
+
+(** A worker's private execution state (own fuel and cycle counter)
+    sharing the executor's machine and global slot arrays. *)
+type wstate
+
+val worker_state : exec -> fuel:int -> wstate
+val wstate_fuel_left : wstate -> int
+
+(** Simulated cycles this worker has retired. *)
+val wstate_total : wstate -> float
+
+(** Execute one full iteration body, from the loop's body entry until a
+    terminator re-enters the header. [on_instr] fires before every
+    instruction at target-function depth (node tracking); [builtin]
+    replaces every builtin call at any depth — implementations usually
+    wrap [Builtins.impl] with locking, ordering, or buffering. [regs]
+    must be a private copy of the register file passed to [on_iter].
+    Raises a [Diag.Error] if the iteration returns or branches out of
+    the loop. *)
+val run_iteration :
+  wstate ->
+  rtarget ->
+  on_instr:(Commset_ir.Ir.instr -> unit) ->
+  builtin:(Builtins.t -> Value.t list -> has_dst:bool -> Value.t * float) ->
+  Value.t array ->
+  unit

@@ -23,4 +23,5 @@ let () =
       Test_builtins.suite;
       Test_analysis_props.suite;
       Test_exec.suite;
+      Test_realexec.suite;
     ]

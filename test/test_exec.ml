@@ -2,8 +2,10 @@
     FIFO/boundedness properties (including a two-domain stress), the
     commutativity-aware output-equivalence checker, concurrent use of
     one prepared program, unsupported-plan rejection, and the
-    differential suite — every workload, every executable plan, real
-    domains vs the sequential reference at jobs 1, 2 and 4. *)
+    differential suite — every workload, every executable plan, the
+    burn engine on real domains vs the sequential reference at jobs 1,
+    2 and 4 (the real engine's differential suite lives in
+    {!Test_realexec}). *)
 
 module P = Commset_pipeline.Pipeline
 module W = Commset_workloads.Workload
@@ -191,7 +193,7 @@ let exec_all_plans (w : W.t) () =
           true (plans <> []);
       List.iter
         (fun (plan : T.Plan.t) ->
-          let x = P.run_parallel c plan in
+          let x = P.run_parallel ~engine:Exec.Burn_engine c plan in
           if x.P.xfidelity = P.Mismatch then
             Alcotest.failf "%s: %s at %d job(s): output mismatch" w.W.wname
               plan.T.Plan.label jobs;
@@ -210,7 +212,7 @@ let differential_cases =
   List.map
     (fun w ->
       Alcotest.test_case
-        (Printf.sprintf "%s: real ≡ sequential at jobs 1/2/4" w.W.wname)
+        (Printf.sprintf "%s: burn ≡ sequential at jobs 1/2/4" w.W.wname)
         `Quick (exec_all_plans w))
     Registry.all
 
