@@ -414,7 +414,80 @@ let json_of_measured (jobs, rows) =
     %s
   ] }|} jobs entries
 
-let bench_wall_clock ~quick ~overhead ~measured =
+(* ------------------------------------------------------------------ *)
+(* Synthesis leg: commsetc suggest over the eight workloads            *)
+(* ------------------------------------------------------------------ *)
+
+module Synth = Commset_synth.Synth
+
+type synth_row = {
+  sy_workload : string;
+  sy_suggestions : int;
+  sy_recommended : int;
+  sy_baseline : float;  (** predicted speedup of the stripped program *)
+  sy_bundle : float;  (** predicted speedup with every verified suggestion *)
+  sy_hand : float option;  (** predicted speedup of the hand annotations *)
+  sy_best : float option;
+      (** predicted speedup of the best individual suggestion alone *)
+}
+
+(** Run the commutativity-condition synthesizer on the pragma-stripped
+    version of each workload and record how much of the hand
+    annotations' speedup the verified suggestions recover. *)
+let bench_synthesis () : synth_row list =
+  section "Annotation synthesis: suggest on the stripped workloads";
+  List.map
+    (fun name ->
+      let w = Option.get (Registry.find name) in
+      let r = Synth.suggest ~name ~setup:w.W.setup w.W.source in
+      let n = List.length r.Synth.r_suggestions in
+      let recommended =
+        List.length
+          (List.filter (fun s -> s.Synth.sg_recommended) r.Synth.r_suggestions)
+      in
+      let best =
+        List.fold_left
+          (fun acc (s : Synth.suggestion) ->
+            match (s.Synth.sg_speedup, acc) with
+            | Some x, Some y -> Some (Float.max x y)
+            | Some x, None -> Some x
+            | None, acc -> acc)
+          None r.Synth.r_suggestions
+      in
+      Printf.printf
+        "  %-10s %d suggestion(s), %d recommended   stripped %5.2fx  bundle %5.2fx%s%s\n%!"
+        name n recommended r.Synth.r_baseline r.Synth.r_bundle
+        (match r.Synth.r_hand with
+        | Some h -> Printf.sprintf "  hand %5.2fx" h
+        | None -> "")
+        (match best with
+        | Some b -> Printf.sprintf "  best alone %5.2fx" b
+        | None -> "");
+      {
+        sy_workload = name;
+        sy_suggestions = n;
+        sy_recommended = recommended;
+        sy_baseline = r.Synth.r_baseline;
+        sy_bundle = r.Synth.r_bundle;
+        sy_hand = r.Synth.r_hand;
+        sy_best = best;
+      })
+    [ "md5sum"; "url"; "geti"; "eclat"; "hmmer"; "em3d"; "kmeans"; "potrace" ]
+
+let json_of_synthesis rows =
+  let jopt = function Some f -> Printf.sprintf "%.3f" f | None -> "null" in
+  rows
+  |> List.map (fun s ->
+         Printf.sprintf
+           {|{ "workload": "%s", "suggestions": %d, "recommended": %d, "baseline_speedup": %.3f, "bundle_speedup": %.3f, "hand_speedup": %s, "best_suggestion_speedup": %s }|}
+           s.sy_workload s.sy_suggestions s.sy_recommended s.sy_baseline
+           s.sy_bundle (jopt s.sy_hand) (jopt s.sy_best))
+  |> String.concat ",\n    "
+  |> Printf.sprintf {|[
+    %s
+  ]|}
+
+let bench_wall_clock ~quick ~overhead ~measured ~synthesis =
   section "Pipeline wall-clock: sequential vs parallel";
   let seq = measure_stages ~sweep:(not quick) ~jobs:1 in
   (* Pool.default_jobs honors COMMSET_JOBS; Domain.recommended_domain_count
@@ -467,6 +540,7 @@ let bench_wall_clock ~quick ~overhead ~measured =
   "parallel_speedup": %s,
   "identical_tables": %s,
   "measured": %s,
+  "synthesis": %s,
   "recorder": %s
 }
 |}
@@ -474,7 +548,8 @@ let bench_wall_clock ~quick ~overhead ~measured =
     (match par with Some (p, _, _) -> json_of_stages p | None -> "null")
     (match par with Some (_, s, _) -> Printf.sprintf "%.3f" s | None -> "null")
     (match par with Some (_, _, i) -> string_of_bool i | None -> "null")
-    (json_of_measured measured) (json_of_overhead overhead);
+    (json_of_measured measured) (json_of_synthesis synthesis)
+    (json_of_overhead overhead);
   close_out oc;
   Printf.printf "  wrote BENCH_commset.json\n"
 
@@ -555,5 +630,6 @@ let () =
     (Report.Evaluation.geomean noncomm_speedups);
 
   let measured = bench_real_execution evals in
+  let synthesis = bench_synthesis () in
   let overhead = bench_recorder_overhead md5_comp in
-  bench_wall_clock ~quick ~overhead ~measured
+  bench_wall_clock ~quick ~overhead ~measured ~synthesis

@@ -565,6 +565,72 @@ let trace_cmd =
       const run $ workload_arg $ variant_arg $ file_arg $ threads_arg $ out_arg
       $ metrics_arg $ validate_arg $ log_level_arg)
 
+let suggest_cmd =
+  (* exit codes: 0 at least one suggestion was emitted, 1 the input
+     compiled but nothing could be proved (or --min-speedup suppressed
+     everything), 2 the input does not compile *)
+  let run workload variant file format min_speedup apply level =
+    setup_logs level;
+    let fail (d : Diag.diagnostic) =
+      Fmt.epr "%s@." (Diag.to_string d);
+      exit 2
+    in
+    let name, src, setup =
+      try load ~workload ~variant ~file with Diag.Error d -> fail d
+    in
+    let r =
+      try Commset_synth.Synth.suggest ~name ~setup ?min_speedup src
+      with Diag.Error d -> fail d
+    in
+    (match format with
+    | `Text -> print_string (Commset_report.Suggestions.render r)
+    | `Json -> print_endline (Commset_report.Suggestions.render_json r));
+    if apply && r.Commset_synth.Synth.r_suggestions <> [] then (
+      let base =
+        match file with
+        | Some path -> Filename.remove_extension path
+        | None -> String.map (fun c -> if c = '/' then '_' else c) name
+      in
+      let out = base ^ ".suggested.mc" in
+      write_file out r.Commset_synth.Synth.r_source;
+      Fmt.epr "wrote annotated program to %s@." out);
+    exit (if r.Commset_synth.Synth.r_suggestions <> [] then 0 else 1)
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let min_speedup_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:
+            "Suppress every suggestion when the verified bundle's predicted speedup at \
+             8 threads stays below $(docv).")
+  in
+  let apply_arg =
+    Arg.(
+      value & flag
+      & info [ "apply" ]
+          ~doc:
+            "Also write the stripped program with every suggestion installed to \
+             $(i,NAME).suggested.mc.")
+  in
+  Cmd.v
+    (Cmd.info "suggest"
+       ~doc:
+         "Synthesize COMMSET annotations for a plain miniC program: strip any existing \
+          pragmas, enumerate candidate members in the hottest loop, synthesize the \
+          weakest commutativity condition whose difference residue vanishes, and emit \
+          only suggestions the verifier re-proves (Proved-or-dropped), ranked by \
+          simulator-predicted speedup")
+    Term.(
+      const run $ workload_arg $ variant_arg $ file_arg $ format_arg $ min_speedup_arg
+      $ apply_arg $ log_level_arg)
+
 (* [COMMSET_TRACE=path]: enable the flight recorder for the whole
    invocation, whatever the subcommand, and write the trace at exit
    (including the [exit 1] of a diagnostic). *)
@@ -594,4 +660,4 @@ let () =
   install_trace_env_hook ();
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; check_cmd; pdg_cmd; plans_cmd; run_cmd; seq_cmd; explain_cmd; sweep_cmd; lint_cmd; trace_cmd; table1_cmd ]))
+       (Cmd.group info [ list_cmd; check_cmd; pdg_cmd; plans_cmd; run_cmd; seq_cmd; explain_cmd; sweep_cmd; lint_cmd; suggest_cmd; trace_cmd; table1_cmd ]))

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate `commsetc suggest --format=json` output against
+ci/suggest-schema.json (stdlib only — a small interpreter for the
+schema subset the file uses: type / required / properties / items /
+enum, with ["X", "null"] unions), then assert the rediscovery bar.
+
+Usage: check_suggest.py <schema.json> <output.json> [<min-bundle-speedup>]
+"""
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def validate(value, schema, path="$"):
+    errors = []
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            errors.append("%s: %r not in %r" % (path, value, schema["enum"]))
+        return errors
+    t = schema.get("type")
+    if t is not None:
+        allowed = t if isinstance(t, list) else [t]
+        py = tuple(TYPES[a] for a in allowed)
+        # bool is an int subclass in python; keep number/integer honest
+        if isinstance(value, bool) and "boolean" not in allowed:
+            errors.append("%s: expected %s, got boolean" % (path, allowed))
+            return errors
+        if not isinstance(value, py):
+            errors.append(
+                "%s: expected %s, got %s" % (path, allowed, type(value).__name__)
+            )
+            return errors
+    if isinstance(value, dict):
+        for k in schema.get("required", []):
+            if k not in value:
+                errors.append("%s: missing required key %r" % (path, k))
+        for k, sub in schema.get("properties", {}).items():
+            if k in value:
+                errors.extend(validate(value[k], sub, "%s.%s" % (path, k)))
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            errors.extend(validate(item, schema["items"], "%s[%d]" % (path, i)))
+    return errors
+
+
+def main():
+    schema_path, out_path = sys.argv[1], sys.argv[2]
+    floor = float(sys.argv[3]) if len(sys.argv) > 3 else None
+    with open(schema_path) as f:
+        schema = json.load(f)
+    with open(out_path) as f:
+        out = json.load(f)
+
+    errors = validate(out, schema)
+    if errors:
+        for e in errors:
+            print("schema violation: %s" % e, file=sys.stderr)
+        sys.exit("%s does not match %s" % (out_path, schema_path))
+    print("%s: schema ok" % out_path)
+
+    # the acceptance bar: every emitted suggestion went through the
+    # Proved-or-dropped gate, so no error-severity diagnostic may appear
+    bad = [d for d in out["diagnostics"] if d["severity"] == "error"]
+    if bad:
+        sys.exit("error diagnostics in suggest output: %s" % bad)
+
+    sp = out["speedup"]
+    recommended = [s for s in out["suggestions"] if s["recommended"]]
+    if floor is not None:
+        if sp["bundle"] < floor:
+            sys.exit(
+                "%s: verified bundle predicts %.2fx, expected >= %.2fx"
+                % (out["name"], sp["bundle"], floor)
+            )
+        if sp["bundle"] <= sp["baseline"]:
+            sys.exit(
+                "%s: bundle %.2fx does not beat the stripped baseline %.2fx"
+                % (out["name"], sp["bundle"], sp["baseline"])
+            )
+        if not recommended:
+            sys.exit("%s: no recommended suggestion" % out["name"])
+        if not any(s["pragmas"] for s in recommended):
+            sys.exit("%s: recommended suggestion has no pragma lines" % out["name"])
+        print(
+            "%s: rediscovery ok — baseline %.2fx, bundle %.2fx (floor %.2fx), "
+            "%d recommended suggestion(s)"
+            % (out["name"], sp["baseline"], sp["bundle"], floor, len(recommended))
+        )
+
+
+if __name__ == "__main__":
+    main()

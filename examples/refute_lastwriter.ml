@@ -59,4 +59,12 @@ let () =
     V.Lint.run_all { V.Lint.md = c.P.md; report = Some report; strict = false }
   in
   List.iter (fun d -> print_endline (Diag.to_string d)) diags;
+  (* the synthesizer is the flip side of the sanitizer: on the stripped
+     program it finds the same residues and refuses to claim anything *)
+  print_endline "=== What would the synthesizer suggest instead? ===";
+  let r =
+    Commset_synth.Synth.suggest ~name:"refute_lastwriter" ~rank_individual:false
+      source
+  in
+  print_string (Commset_report.Suggestions.render r);
   if V.Verdict.n_refuted report > 0 then exit 2

@@ -23,8 +23,16 @@ type sval =
   | Sbool of tribool
   | Sint of { iv_id : int; side : side; mul : int; add : int }
       (** [mul·IV(side) + add]; [mul = 0] encodes the constant [add];
-          [iv_id] identifies which basic IV (or invariant symbol) *)
+          [iv_id] identifies which basic IV (or invariant symbol).
+          Negative [iv_id]s below [-1] are pseudo-IVs: per-iteration
+          fresh values (e.g. allocation handles) that behave like an IV
+          for equality — equal within an iteration, distinct across. *)
   | Ssym of int * side  (** opaque value: equal only to itself on the same side *)
+  | Sinj of string * sval
+      (** [f(v)] for an injective [f] (e.g. [int_to_string], or
+          concatenation with a fixed prefix/suffix): equal iff the
+          descriptors match and the arguments are equal; arguments under
+          different descriptors stay incomparable *)
   | Stop  (** unknown *)
 
 let tri_not = function True -> False | False -> True | Maybe -> Maybe
@@ -53,8 +61,12 @@ let const_int n = Sint { iv_id = -1; side = Side1; mul = 0; add = n }
 let is_const = function Sint { mul = 0; add; _ } -> Some add | _ -> None
 
 (* equality of two symbolic ints under the iteration fact *)
-let int_eq fact a b =
+let rec int_eq fact a b =
   match (a, b) with
+  | Sinj (f, x), Sinj (g, y) ->
+      (* injectivity: f(x) = f(y) iff x = y; different descriptors are
+         incomparable (their images may still collide) *)
+      if f = g then int_eq fact x y else Maybe
   | Sint x, Sint y -> (
       match (is_const (Sint x), is_const (Sint y)) with
       | Some cx, Some cy -> if cx = cy then True else False

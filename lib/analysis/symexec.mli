@@ -14,8 +14,13 @@ type side = Side1 | Side2
 type sval =
   | Sbool of tribool
   | Sint of { iv_id : int; side : side; mul : int; add : int }
-      (** [mul·IV(side) + add]; [mul = 0] encodes the constant [add] *)
+      (** [mul·IV(side) + add]; [mul = 0] encodes the constant [add];
+          negative [iv_id]s below [-1] are pseudo-IVs for per-iteration
+          fresh values such as allocation handles *)
   | Ssym of int * side  (** opaque value, equal only to itself on the same side *)
+  | Sinj of string * sval
+      (** [f(v)] for an injective [f]: equal iff descriptors and
+          arguments are equal, incomparable across descriptors *)
   | Stop  (** unknown *)
 
 val tri_not : tribool -> tribool

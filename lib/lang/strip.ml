@@ -1,0 +1,50 @@
+(** Pragma removal at the AST level.
+
+    Eliding every COMMSET pragma from a program must leave a well-defined
+    sequential program (the paper's core design rule); this module
+    performs that elision structurally — global directives, block and
+    function annotations, and statement-position [enable] pragmas all
+    disappear, everything else is preserved — so tools can build the
+    unannotated twin of a program without re-lexing its source. The
+    textual [Workload.strip_pragmas] remains for raw sources; this is
+    the semantic counterpart used by the synthesizer. *)
+
+open Ast
+
+let rec strip_stmt s =
+  match s.sdesc with
+  | Pragma_stmt _ -> None
+  | If (c, b1, b2) ->
+      Some { s with sdesc = If (c, strip_block b1, Option.map strip_block b2) }
+  | While (c, b) -> Some { s with sdesc = While (c, strip_block b) }
+  | For (init, cond, step, b) ->
+      Some { s with sdesc = For (init, cond, step, strip_block b) }
+  | Block b -> Some { s with sdesc = Block (strip_block b) }
+  | Decl _ | Assign _ | Store _ | Expr _ | Return _ | Break | Continue -> Some s
+
+and strip_block b =
+  { b with stmts = List.filter_map strip_stmt b.stmts; annots = [] }
+
+let strip_fundecl f = { f with body = strip_block f.body; fannots = [] }
+
+let strip_topdecl = function
+  | Gfun f -> Gfun (strip_fundecl f)
+  | Gvar _ as g -> g
+
+let strip_program p =
+  { global_pragmas = []; decls = List.map strip_topdecl p.decls }
+
+(** Count the pragmas a strip would remove. *)
+let count_pragmas p =
+  let n = ref (List.length p.global_pragmas) in
+  List.iter
+    (function
+      | Gvar _ -> ()
+      | Gfun f ->
+          n := !n + List.length f.fannots;
+          iter_blocks (fun b -> n := !n + List.length b.annots) f.body;
+          iter_stmts
+            (fun s -> match s.sdesc with Pragma_stmt _ -> incr n | _ -> ())
+            f.body)
+    p.decls;
+  !n

@@ -1,0 +1,10 @@
+(** Structural removal of every COMMSET pragma from an AST, leaving the
+    sequential program the paper guarantees is always well-defined. *)
+
+val strip_stmt : Ast.stmt -> Ast.stmt option
+val strip_block : Ast.block -> Ast.block
+val strip_fundecl : Ast.fundecl -> Ast.fundecl
+val strip_program : Ast.program -> Ast.program
+
+(** Number of pragmas present (i.e. the count a strip would remove). *)
+val count_pragmas : Ast.program -> int

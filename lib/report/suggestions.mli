@@ -1,0 +1,13 @@
+(** Rendering of synthesized annotation suggestions ([commsetc suggest])
+    in plain text and as JSON for tooling. *)
+
+module Synth = Commset_synth.Synth
+
+(** Plain-text report: predicted-speedup summary, one block of
+    ready-to-paste pragma lines per suggestion (best first), and the
+    CS015/CS016 notes. *)
+val render : Synth.result -> string
+
+(** The whole suggestion outcome as one JSON object; the schema is
+    checked in CI against [ci/suggest-schema.json]. *)
+val render_json : Synth.result -> string

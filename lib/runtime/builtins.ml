@@ -174,8 +174,11 @@ let all : t list =
       (fun m a ->
         m.Machine.emit (sarg 0 a);
         (int_v 0, Costmodel.print_cost));
+    (* each call mints a distinct descriptor: the result is a fresh
+       handle ([allocates]), which lets the static differencer prove
+       per-iteration streams distinct *)
     b "fopen" [ Tstring ] Tint ~tm_safe:false
-      ~spec:(rw_spec ~reads:[ "io.fdtable" ] ~writes:[ "io.fdtable" ] ())
+      ~spec:(rw_spec ~reads:[ "io.fdtable" ] ~writes:[ "io.fdtable" ] ~allocates:true ())
       ~thread_safe:true
       (fun m a -> (int_v (Machine.fopen m (sarg 0 a)), Costmodel.file_open_cost));
     b "fclose" [ Tint ] Tvoid ~tm_safe:false

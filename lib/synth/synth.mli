@@ -1,0 +1,71 @@
+(** Commutativity-condition synthesis: invert the annotation verifier
+    into an annotation *suggester* for plain (pragma-free) miniC.
+
+    [suggest] strips every COMMSET pragma from the input, enumerates
+    candidate members in the hottest loop (existing bare blocks, wraps
+    of effectful statements, interface-level functions), probes every
+    candidate pair through the symbolic differencing engine to obtain
+    per-iteration-fact difference residues, synthesizes the weakest
+    predicate under which each residue vanishes ([true], or the
+    loop-induction-variable inequality [x1 != x2]), assembles mutually
+    commuting candidates into commsets, re-verifies the assembled
+    annotation bundle with the full verifier (static differencing plus
+    dynamic replay), and ranks what survives by simulator-predicted
+    speedup. Every emitted suggestion is Proved-or-dropped: a pair the
+    verifier cannot prove never reaches the output. *)
+
+module Ast = Commset_lang.Ast
+module Diag = Commset_support.Diag
+
+(** How a suggested member is anchored in the stripped source. *)
+type anchor =
+  | Ablock of int  (** an existing bare block, by 1-based source line *)
+  | Awrap of int  (** an effectful statement to wrap, by source line *)
+  | Adecl_split of int
+      (** a declaration whose initializer call moves into a new block *)
+  | Afun of string  (** interface-level membership of a function *)
+
+type member = {
+  m_anchor : anchor;
+  m_desc : string;  (** one-line description of the member body *)
+  m_refs : string list;  (** commset references to paste, e.g. ["GSET0(i)"; "SELF"] *)
+}
+
+(** One synthesized commset (or a bundle of SELF-only memberships). *)
+type suggestion = {
+  sg_set : string option;  (** [None] when only SELF memberships are emitted *)
+  sg_kind : Ast.set_kind;
+  sg_predicate : string option;  (** pretty predicate body over (x1)(x2) *)
+  sg_members : member list;
+  sg_pragmas : string list;  (** ready-to-paste pragma lines, global ones first *)
+  sg_speedup : float option;
+      (** predicted best speedup at 8 threads with only this suggestion
+          installed; [None] when individual ranking was skipped *)
+  sg_recommended : bool;  (** part of the best-performing verified bundle *)
+}
+
+type result = {
+  r_name : string;
+  r_baseline : float;  (** predicted best speedup of the stripped program *)
+  r_bundle : float;  (** predicted best speedup with every suggestion installed *)
+  r_hand : float option;
+      (** predicted best speedup of the original annotated input, when it
+          had any pragmas to strip *)
+  r_suggestions : suggestion list;
+  r_diags : Diag.diagnostic list;  (** CS015/CS016 notes *)
+  r_source : string;  (** the stripped source with every suggestion applied *)
+  r_stripped : string;  (** the stripped source the suggestions anchor into *)
+}
+
+(** Synthesize annotations for [source]. [rank_individual] additionally
+    compiles one variant per suggestion to predict its lone speedup
+    (slower; on by default). [min_speedup] suppresses every suggestion
+    when the verified bundle's predicted speedup stays below it.
+    Raises {!Diag.Error} when the input does not compile. *)
+val suggest :
+  ?name:string ->
+  ?setup:(Commset_runtime.Machine.t -> unit) ->
+  ?rank_individual:bool ->
+  ?min_speedup:float ->
+  string ->
+  result

@@ -7,30 +7,29 @@
     construction, last-writer-wins stores commute exactly when both
     orders leave the same final value — decided with {!Symexec.int_eq}
     over the induction-classified stored operands — and everything else
-    is conservatively unsure or, when the final values provably differ,
-    divergent. *)
+    is conservatively opaque or, when the final values provably differ,
+    divergent. Accesses carrying sub-resource *keys* (bitmap handles,
+    file descriptors, cache keys) short-circuit: instances touching
+    provably distinct keys touch disjoint state regardless of class.
+
+    The result is a {!Residue.t}: one atom per conflicting location,
+    preserving the full structure of the disagreement instead of a
+    single folded outcome. *)
 
 module S = Commset_analysis.Symexec
 module Effects = Commset_analysis.Effects
 
-(** One write of one member to one location, with the stored value when
-    it is symbolically known. *)
+(** One write of one member to one location, with the stored value and
+    sub-resource key when symbolically known. *)
 type write = {
   wloc : Effects.location;
   wclass : Summary.opclass;
   wvalue : S.sval option;
+  wkey : S.sval option;
 }
 
-type divergence = { dloc : Effects.location; dv1 : S.sval; dv2 : S.sval }
-
-(** Result of differencing the two orders over one iteration fact. *)
-type outcome =
-  | Commute of string  (** both orders provably reach equal stores *)
-  | Unsure of string  (** neither proved nor refuted *)
-  | Diverge of divergence  (** the final stores provably differ *)
-
-let outcome_rank = function Commute _ -> 0 | Unsure _ -> 1 | Diverge _ -> 2
-let join_outcome a b = if outcome_rank a >= outcome_rank b then a else b
+(** One read of one member, with its sub-resource key when known. *)
+type read = { rdloc : Effects.location; rdkey : S.sval option }
 
 let loc_str l = Format.asprintf "%a" Effects.pp_location l
 
@@ -44,6 +43,7 @@ let same_tag_class writes =
         | Summary.Alloc t -> Some (`Alloc, t)
         | Summary.Cursor t -> Some (`Cursor, t)
         | Summary.Rng -> Some (`Rng, "rng")
+        | Summary.Advance t -> Some (`Advance, t)
         | Summary.Overwrite -> Some (`Overwrite, "")
         | Summary.Opaque _ -> None
       in
@@ -54,87 +54,144 @@ let same_tag_class writes =
 
 (* Final value a sequence of last-writer-wins stores leaves at a
    location: the last write with a known value, or None. *)
-let final_value ws =
-  List.fold_left (fun _ w -> w.wvalue) None ws
+let final_value ws = List.fold_left (fun _ w -> w.wvalue) None ws
 
-(* Outcome at one location, given each member's writes to it and whether
-   the *other* member reads it. *)
-let diff_loc fact l ~w1 ~w2 ~r1 ~r2 : outcome =
+(* Are two key lists provably pairwise-distinct across the two sides? *)
+let keys_distinct fact keys1 keys2 =
+  keys1 <> [] && keys2 <> []
+  && List.for_all Option.is_some keys1
+  && List.for_all Option.is_some keys2
+  && List.for_all
+       (fun k1 ->
+         List.for_all
+           (fun k2 ->
+             match (k1, k2) with
+             | Some a, Some b -> S.int_eq fact a b = S.False
+             | _ -> false)
+           keys2)
+       keys1
+
+(* any write carries key information: the resource is partitioned *)
+let keyed ws = List.exists (fun w -> w.wkey <> None) ws
+
+(* Residue atom at one location, given each member's writes to it and
+   the partner's keyed reads of it. *)
+let diff_loc fact l ~w1 ~w2 ~r1 ~r2 : Residue.atom option =
+  let atom st detail = Some (Residue.atom ~loc:l st detail) in
   match (w1, w2) with
-  | [], [] -> Commute "no writes"
+  | [], [] -> None
   | _ :: _, [] | [], _ :: _ ->
-      if (w1 <> [] && r2) || (w2 <> [] && r1) then
-        Unsure
-          (Printf.sprintf
-             "read/write skew on %s: one member reads what the other writes"
-             (loc_str l))
-      else Commute "single writer, partner indifferent"
+      let writes, readers = if w1 <> [] then (w1, r2) else (w2, r1) in
+      if readers = [] then None (* single writer, partner indifferent *)
+      else
+        let wkeys = List.map (fun w -> w.wkey) writes
+        and rkeys = List.map (fun (r : read) -> r.rdkey) readers in
+        if keys_distinct fact wkeys rkeys then
+          atom Residue.Agree
+            (Printf.sprintf "writer and reader touch provably distinct %s keys"
+               (loc_str l))
+        else
+          atom Residue.Opaque
+            (Printf.sprintf
+               "read/write skew on %s: one member reads what the other writes"
+               (loc_str l))
   | _ -> (
-      match same_tag_class (w1 @ w2) with
-      | Some (`Accum, t) ->
-          Commute (Printf.sprintf "commutative accumulation (%s)" t)
-      | Some (`Multiset, t) ->
-          Commute (Printf.sprintf "append-only sink (%s), multiset semantics" t)
-      | Some (`Alloc, t) ->
-          Unsure
-            (Printf.sprintf
-               "allocation order permutes %s handles (commutes up to renaming)" t)
-      | Some (`Cursor, t) ->
-          Unsure
-            (Printf.sprintf
-               "shared %s cursor: positions commute, drawn values are exchanged" t)
-      | Some (`Rng, _) -> Unsure "random-stream draws are exchanged"
-      | Some (`Overwrite, _) -> (
-          (* In A;B the final value is B's last store; in B;A it is A's. *)
-          match (final_value w2, final_value w1) with
-          | Some vab, Some vba -> (
-              match S.int_eq fact vab vba with
-              | S.True -> Commute "both orders store the same final value"
-              | S.False -> Diverge { dloc = l; dv1 = vba; dv2 = vab }
-              | S.Maybe ->
-                  Unsure
-                    (Printf.sprintf "final value of %s depends on order"
-                       (loc_str l)))
-          | _ ->
-              Unsure
-                (Printf.sprintf "stored value at %s is not symbolically known"
-                   (loc_str l)))
-      | None ->
-          Unsure
-            (Printf.sprintf "writes of mixed operation classes on %s" (loc_str l)))
+      let k1 = List.map (fun w -> w.wkey) w1 and k2 = List.map (fun w -> w.wkey) w2 in
+      if keys_distinct fact k1 k2 then
+        atom Residue.Agree
+          (Printf.sprintf "instances write provably distinct %s keys" (loc_str l))
+      else
+        match same_tag_class (w1 @ w2) with
+        | Some (`Accum, t) ->
+            atom Residue.Agree (Printf.sprintf "commutative accumulation (%s)" t)
+        | Some (`Multiset, t) ->
+            atom Residue.Agree
+              (Printf.sprintf "append-only sink (%s), multiset semantics" t)
+        | Some (`Alloc, t) ->
+            atom Residue.Benign
+              (Printf.sprintf
+                 "allocation order permutes %s handles (commutes up to renaming)" t)
+        | Some (`Cursor, t) ->
+            if keyed (w1 @ w2) then
+              (* a partitioned cursor whose keys could not be separated:
+                 the instances may interleave draws from the same
+                 stream, which reorders the drawn data *)
+              atom Residue.Opaque
+                (Printf.sprintf
+                   "instances may advance the same %s cursor: drawn values would \
+                    interleave"
+                   t)
+            else
+              atom Residue.Benign
+                (Printf.sprintf
+                   "shared %s cursor: positions commute, drawn values are exchanged"
+                   t)
+        | Some (`Rng, _) -> atom Residue.Benign "random-stream draws are exchanged"
+        | Some (`Advance, t) ->
+            atom Residue.Benign
+              (Printf.sprintf
+                 "each instance applies the same deterministic update (%s): both \
+                  orders leave the twice-advanced state, results are exchanged"
+                 t)
+        | Some (`Overwrite, _) -> (
+            (* In A;B the final value is B's last store; in B;A it is A's. *)
+            match (final_value w2, final_value w1) with
+            | Some vab, Some vba -> (
+                match S.int_eq fact vab vba with
+                | S.True -> atom Residue.Agree "both orders store the same final value"
+                | S.False ->
+                    atom
+                      (Residue.Diverge { Residue.dloc = l; dv1 = vba; dv2 = vab })
+                      "the two orders leave provably different final values"
+                | S.Maybe ->
+                    atom Residue.Opaque
+                      (Printf.sprintf "final value of %s depends on order" (loc_str l)))
+            | _ ->
+                atom Residue.Opaque
+                  (Printf.sprintf "stored value at %s is not symbolically known"
+                     (loc_str l)))
+        | None ->
+            atom Residue.Opaque
+              (Printf.sprintf "writes of mixed operation classes on %s" (loc_str l)))
 
 (** Difference the final stores of [A;B] and [B;A].
 
     [writes1]/[writes2] are the members' classified writes with their
-    symbolic stored values (member 1 bound to {!S.Side1}, member 2 to
-    {!S.Side2}); [reads1]/[reads2] their read footprints. Only locations
-    where the two footprints actually conflict contribute. *)
-let diff fact ~(reads1 : Effects.LocSet.t) ~(writes1 : write list)
-    ~(reads2 : Effects.LocSet.t) ~(writes2 : write list) : outcome =
+    symbolic stored values and keys (member 1 bound to {!S.Side1},
+    member 2 to {!S.Side2}); [reads1]/[reads2] their keyed reads. Only
+    locations where the two footprints actually conflict contribute
+    atoms; an empty residue means the footprints never meet. *)
+let diff fact ~(reads1 : read list) ~(writes1 : write list) ~(reads2 : read list)
+    ~(writes2 : write list) : Residue.t =
   let wlocs =
     List.fold_left
       (fun s w -> Effects.LocSet.add w.wloc s)
       Effects.LocSet.empty (writes1 @ writes2)
   in
-  let touches1 l =
-    Effects.LocSet.exists (Effects.locs_conflict l)
-      (List.fold_left
-         (fun s w -> Effects.LocSet.add w.wloc s)
-         reads1 writes1)
-  and touches2 l =
-    Effects.LocSet.exists (Effects.locs_conflict l)
-      (List.fold_left
-         (fun s w -> Effects.LocSet.add w.wloc s)
-         reads2 writes2)
+  let touch_set reads writes =
+    List.fold_left
+      (fun s (r : read) -> Effects.LocSet.add r.rdloc s)
+      (List.fold_left (fun s w -> Effects.LocSet.add w.wloc s) Effects.LocSet.empty writes)
+      reads
   in
-  Effects.LocSet.fold
-    (fun l acc ->
-      if not (touches1 l && touches2 l) then acc
-      else
-        let w1 = List.filter (fun w -> Effects.locs_conflict w.wloc l) writes1
-        and w2 = List.filter (fun w -> Effects.locs_conflict w.wloc l) writes2 in
-        let r1 = Effects.LocSet.exists (Effects.locs_conflict l) reads1
-        and r2 = Effects.LocSet.exists (Effects.locs_conflict l) reads2 in
-        join_outcome acc (diff_loc fact l ~w1 ~w2 ~r1 ~r2))
-    wlocs
-    (Commute "disjoint write sets")
+  let touches1 = touch_set reads1 writes1 and touches2 = touch_set reads2 writes2 in
+  List.rev
+    (Effects.LocSet.fold
+       (fun l acc ->
+         if
+           not
+             (Effects.LocSet.exists (Effects.locs_conflict l) touches1
+             && Effects.LocSet.exists (Effects.locs_conflict l) touches2)
+         then acc
+         else
+           let w1 = List.filter (fun w -> Effects.locs_conflict w.wloc l) writes1
+           and w2 = List.filter (fun w -> Effects.locs_conflict w.wloc l) writes2 in
+           let r1 =
+             List.filter (fun (r : read) -> Effects.locs_conflict r.rdloc l) reads1
+           and r2 =
+             List.filter (fun (r : read) -> Effects.locs_conflict r.rdloc l) reads2
+           in
+           match diff_loc fact l ~w1 ~w2 ~r1 ~r2 with
+           | Some a -> a :: acc
+           | None -> acc)
+       wlocs [])

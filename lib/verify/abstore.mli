@@ -1,36 +1,33 @@
-(** Abstract-store differencing of the two interleavings [A;B] / [B;A]. *)
+(** Abstract-store differencing of member interleavings [A;B] vs [B;A]:
+    conflicting locations are resolved by the operation classes of the
+    writes landing on them, keyed accesses short-circuit when their keys
+    are provably distinct, and the result is a structured {!Residue.t}
+    (one atom per conflicting location). *)
 
 module S = Commset_analysis.Symexec
 module Effects = Commset_analysis.Effects
 
-(** One write of one member to one location. *)
+(** One write of one member to one location, with the stored value and
+    sub-resource key when symbolically known. *)
 type write = {
   wloc : Effects.location;
   wclass : Summary.opclass;
-  wvalue : S.sval option;  (** stored value, when symbolically known *)
+  wvalue : S.sval option;
+  wkey : S.sval option;
 }
 
-type divergence = {
-  dloc : Effects.location;
-  dv1 : S.sval;  (** final value under [B;A] *)
-  dv2 : S.sval;  (** final value under [A;B] *)
-}
+(** One read of one member, with its sub-resource key when known. *)
+type read = { rdloc : Effects.location; rdkey : S.sval option }
 
-type outcome =
-  | Commute of string  (** both orders provably reach equal stores *)
-  | Unsure of string  (** neither proved nor refuted *)
-  | Diverge of divergence  (** the final stores provably differ *)
-
-val join_outcome : outcome -> outcome -> outcome
 val loc_str : Effects.location -> string
 
 (** Difference the final stores of the two orders under an iteration
-    fact; member 1's values are bound to {!S.Side1}, member 2's to
-    {!S.Side2}. *)
+    fact. Member 1's values are bound to {!S.Side1}, member 2's to
+    {!S.Side2}. An empty residue means the footprints never meet. *)
 val diff :
   S.iteration_fact ->
-  reads1:Effects.LocSet.t ->
+  reads1:read list ->
   writes1:write list ->
-  reads2:Effects.LocSet.t ->
+  reads2:read list ->
   writes2:write list ->
-  outcome
+  Residue.t

@@ -3,6 +3,7 @@
 
 module Ir = Commset_ir.Ir
 module A = Commset_analysis
+module S = A.Symexec
 module Metadata = Commset_core.Metadata
 
 type ctx
@@ -28,6 +29,16 @@ val sites : ctx -> string -> Metadata.member -> site list
 
 (** Verdict for one member pair of one set. *)
 val check_pair : ctx -> Metadata.set_info -> Metadata.member -> Metadata.member -> Verdict.t
+
+(** Like {!check_pair}, but also returns the difference residue per
+    admitted iteration fact — the structured obstruction (or lack of
+    one) the verdict was folded from. *)
+val check_pair_res :
+  ctx ->
+  Metadata.set_info ->
+  Metadata.member ->
+  Metadata.member ->
+  Verdict.t * (S.iteration_fact * Residue.t) list
 
 (** The member pairs a set asserts commutative: each member against
     itself for Self sets, distinct members for Group sets. *)

@@ -1,5 +1,9 @@
 (** Per-member effect summaries with operation classes, the input to the
-    abstract-store differencing of {!Abstore}. *)
+    abstract-store differencing of {!Abstore}. Calls to user-defined
+    functions are summarized transitively; structurally recognized
+    patterns (read-modify-write array accumulation, deterministic global
+    self-updates) upgrade otherwise-opaque writes; accesses to
+    partitioned resources carry the partitioning *key* operand. *)
 
 module Ir = Commset_ir.Ir
 module Effects = Commset_analysis.Effects
@@ -12,11 +16,18 @@ type opclass =
   | Alloc of string  (** allocator bump; equal up to handle renaming *)
   | Cursor of string  (** shared-cursor advance; drawn values exchanged *)
   | Rng  (** pseudo-random stream draw *)
+  | Advance of string
+      (** deterministic self-update [g = f(g)] of one global: both
+          orders leave [f(f(g))], per-instance results exchanged *)
   | Overwrite  (** last-writer-wins store *)
   | Opaque of string  (** no algebraic structure known *)
 
 val opclass_to_string : opclass -> string
 val builtin_class : string -> opclass
+
+(** Resources of a builtin partitioned by one of its arguments, as
+    [(resource names, key argument index)]. *)
+val builtin_key : string -> (string list * int) option
 
 (** One abstract-store access of a member. *)
 type access = {
@@ -24,9 +35,14 @@ type access = {
   awrite : bool;
   aclass : opclass;
   avalue : Ir.operand option;  (** stored operand of a [Store_global] *)
+  akey : Ir.operand option;
+      (** sub-resource key, in the summarized function's own frame *)
 }
 
-val accesses_of_instr : Effects.t -> fname:string -> Ir.instr -> access list
+(** Classified accesses of one instruction of [fname]; [visited] guards
+    recursion through user-defined callees. *)
+val accesses_of_instr :
+  Metadata.t -> fname:string -> visited:string list -> Ir.instr -> access list
 
 (** Summary of one commset member. *)
 type t = {

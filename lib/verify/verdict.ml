@@ -13,6 +13,7 @@
     takes the worst. *)
 
 module Metadata = Commset_core.Metadata
+module S = Commset_analysis.Symexec
 
 (** Which engine produced a counterexample. *)
 type source = Static | Dynamic
@@ -32,6 +33,10 @@ type pair = {
   pm2 : Metadata.member;
   pself : bool;  (** two dynamic instances of one member (Self sets) *)
   pverdict : t;
+  pres : (S.iteration_fact * Residue.t) list;
+      (** the difference residue per admitted iteration fact, as
+          computed by static differencing — the structured obstruction
+          the verdict was folded from *)
   ptrials : int;  (** completed dynamic replay trials *)
 }
 

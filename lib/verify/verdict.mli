@@ -2,6 +2,7 @@
     [Proved < Unknown < Refuted]. *)
 
 module Metadata = Commset_core.Metadata
+module S = Commset_analysis.Symexec
 
 (** Which engine produced a counterexample. *)
 type source = Static | Dynamic
@@ -21,6 +22,8 @@ type pair = {
   pm2 : Metadata.member;
   pself : bool;  (** two dynamic instances of one member (Self sets) *)
   pverdict : t;
+  pres : (S.iteration_fact * Residue.t) list;
+      (** difference residue per admitted iteration fact (static pass) *)
   ptrials : int;  (** completed dynamic replay trials *)
 }
 

@@ -24,4 +24,5 @@ let () =
       Test_analysis_props.suite;
       Test_exec.suite;
       Test_realexec.suite;
+      Test_synth.suite;
     ]
