@@ -335,6 +335,10 @@ type measured = {
   me_measured : float;  (** wall-clock speedup on real domains *)
   me_fidelity : P.output_fidelity;
   me_cores : int;  (** available cores when this entry was measured *)
+  me_jobs_clamped : bool;
+      (** the machine offered fewer than 2 worker domains and the count
+          was clamped to the floor of 1 — any oversubscription is then
+          the box's fault, not a self-inflicted jobs floor *)
   me_oversubscribed : bool;
       (** coordinator + workers exceed the available cores: the measured
           speedup says how much synchronization costs under time
@@ -346,13 +350,17 @@ type measured = {
     best executable pipeline plan on real domains (the Commset_exec
     backend, default real engine) and pair the measured wall-clock
     speedup with the simulator's prediction. The worker-domain count is
-    auto-sized from the machine ({!Commset_exec.Exec.default_jobs},
-    floor 2 so the parallel structure is always exercised); every entry
-    records the cores available at measurement time and whether the run
-    was oversubscribed. *)
+    auto-sized from the machine ({!Commset_exec.Exec.default_jobs} =
+    [max 1 (cores - 1)], no artificial floor above that — a 1-core box
+    gets 1 worker and records the clamp instead of oversubscribing
+    itself); every entry records the cores available at measurement
+    time, whether the count was clamped, and whether the run was
+    oversubscribed anyway. *)
 let bench_real_execution evals : int * measured list =
-  let jobs = max 2 (Commset_exec.Exec.default_jobs ()) in
+  let jobs = Commset_exec.Exec.default_jobs () in
   let cores = Domain.recommended_domain_count () in
+  (* fewer than 2 workers available: the floor of 1 kicked in *)
+  let jobs_clamped = cores - 1 < 1 in
   (* one coordinator domain plus [jobs] workers must fit the machine *)
   let oversubscribed = cores < jobs + 1 in
   section (Printf.sprintf "Real execution: predicted vs measured speedups (jobs=%d)" jobs);
@@ -384,6 +392,7 @@ let bench_real_execution evals : int * measured list =
                  me_measured = x.P.xstats.Commset_exec.Exec.x_measured_speedup;
                  me_fidelity = x.P.xfidelity;
                  me_cores = cores;
+                 me_jobs_clamped = jobs_clamped;
                  me_oversubscribed = oversubscribed;
                }))
       evals
@@ -403,16 +412,210 @@ let json_of_measured (jobs, rows) =
     rows
     |> List.map (fun m ->
            Printf.sprintf
-             {|{ "workload": "%s", "plan": "%s", "engine": "%s", "predicted_speedup": %.3f, "measured_speedup": %.3f, "verdict": "%s", "available_cores": %d, "oversubscribed": %b }|}
+             {|{ "workload": "%s", "plan": "%s", "engine": "%s", "predicted_speedup": %.3f, "measured_speedup": %.3f, "verdict": "%s", "available_cores": %d, "jobs_clamped": %b, "oversubscribed": %b }|}
              m.me_workload (String.escaped m.me_plan) m.me_engine m.me_predicted
              m.me_measured
              (P.fidelity_to_string m.me_fidelity)
-             m.me_cores m.me_oversubscribed)
+             m.me_cores m.me_jobs_clamped m.me_oversubscribed)
     |> String.concat ",\n    "
   in
   Printf.sprintf {|{ "jobs": %d, "plans": [
     %s
   ] }|} jobs entries
+
+(* ------------------------------------------------------------------ *)
+(* Codegen leg: interpreter vs compiled iteration throughput           *)
+(* ------------------------------------------------------------------ *)
+
+type codegen_row = {
+  cr_workload : string;
+  cr_plan : string;
+  cr_engine_ran : string;  (** "codegen", or what it fell back to *)
+  cr_fallback : string option;
+  cr_interp_iter_s : float;  (** interpreted real engine, iterations/s *)
+  cr_codegen_iter_s : float;  (** compiled bodies, iterations/s *)
+  cr_speedup : float;  (** codegen over interpreter *)
+  cr_cache_hit : bool;
+  cr_compile_s : float;
+}
+
+(** Single-worker iteration-body throughput: the interpreted body
+    ([Precompile.run_iteration]) vs the compiled one, per workload. The
+    target loop is driven sequentially through [run_main_real] — the
+    same backbone both engines use — with every dispatched iteration
+    executed inline on one worker state, so the timed difference is
+    exactly what codegen changes: instruction dispatch inside the
+    iteration body, including the per-instruction node resolution the
+    interpreted worker performs versus the statically collapsed
+    [cg_node] boundaries of the compiled one. Rings, domains, locks
+    and the merge phase are identical in both engines and only dilute
+    the ratio, so they are out of the picture; cycle realization is
+    off for the same reason
+    (both sides would burn the same calibrated work). Both bodies are
+    timed in alternating rounds — interp pass, compiled pass, repeat —
+    with a major GC slice before every timed pass, and each side
+    reports its median: on a loaded box a best-of-N lets one lucky
+    pass of either side decide the ratio, while interleaved medians
+    cancel load spikes and GC debt that would otherwise land on
+    whichever side happened to run second. Compilation happens before
+    any timed pass and is reported separately. *)
+let bench_codegen_throughput evals : codegen_row list =
+  section "Codegen: interpreted vs compiled iteration bodies (single worker)";
+  let module R = Commset_runtime in
+  let module Precompile = R.Precompile in
+  let module Pdg = Commset_pdg.Pdg in
+  let module Abi = Commset_codegen.Abi in
+  let module Codegen = Commset_codegen.Codegen in
+  let module Clock = Obs.Clock in
+  let saved_ns = R.Costmodel.exec_ns_per_cycle () in
+  R.Costmodel.set_exec_ns_per_cycle 0.0;
+  Fun.protect ~finally:(fun () -> R.Costmodel.set_exec_ns_per_cycle saved_ns)
+  @@ fun () ->
+  let rounds = 7 in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let rows =
+    List.filter_map
+      (fun be ->
+        let c = be.Report.Evaluation.be_primary.Report.Evaluation.v_comp in
+        let pdg = c.P.target.P.pdg in
+        let loop = pdg.Pdg.loop in
+        match
+          Precompile.plan_real c.P.prepared
+            ~fname:pdg.Pdg.func.Commset_ir.Ir.fname
+            ~header:loop.Commset_analysis.Loops.header
+            ~latches:loop.Commset_analysis.Loops.latches
+            ~body:loop.Commset_analysis.Loops.body
+        with
+        | Error _ -> None
+        | Ok rt ->
+            let body_label =
+              Printf.sprintf "%s target loop body" (Precompile.rtarget_fname rt)
+            in
+            let nid_of_iid iid =
+              match Pdg.node_of_instr pdg iid with Some nid -> nid | None -> -1
+            in
+            (* one full sequential pass over the loop; iterations/s *)
+            let pass run_body =
+              let machine = R.Machine.create () in
+              c.P.setup machine;
+              let ex = Precompile.executor ~machine c.P.prepared in
+              let wst = Precompile.worker_state ex ~fuel:max_int in
+              let builtin (bi : R.Builtins.t) argv ~has_dst:_ =
+                bi.R.Builtins.impl machine argv
+              in
+              let iters = ref 0 in
+              let t0 = Clock.now_ns () in
+              let _ =
+                Precompile.run_main_real ex rt
+                  ~on_iter:(fun _k regs ->
+                    incr iters;
+                    run_body wst machine builtin (Array.copy regs))
+                  ~on_loop_done:(fun () -> ())
+              in
+              let dt = (Clock.now_ns () -. t0) /. 1e9 in
+              float_of_int !iters /. Float.max 1e-9 dt
+            in
+            let timed run_body =
+              Gc.full_major ();
+              pass run_body
+            in
+            let interp_body wst _machine builtin regs =
+              (* the real engine's worker resolves every instruction to
+                 its PDG node and watches for transitions; replicate
+                 that (minus the lock work both engines share) so the
+                 interpreted side pays what the engine actually pays *)
+              let cur = ref min_int in
+              Precompile.run_iteration wst rt
+                ~on_instr:(fun i ->
+                  let nid = nid_of_iid i.Commset_ir.Ir.iid in
+                  if nid <> !cur then cur := nid)
+                ~builtin regs
+            in
+            let cg = Codegen.prepare ~prepared:c.P.prepared ~rt ~nid_of_iid () in
+            let interp_thr, cg_thr, engine_ran, fallback, cache_hit, compile_s =
+              match cg with
+              | Error why ->
+                  let samples = List.init rounds (fun _ -> timed interp_body) in
+                  (median samples, 0., "real", Some why, false, 0.)
+              | Ok cg ->
+                  let compiled_body wst _machine builtin regs =
+                    let cur = ref min_int in
+                    let ctx =
+                      {
+                        Abi.cg_globals = Precompile.wstate_globals wst;
+                        cg_gdefined = Precompile.wstate_gdefined wst;
+                        cg_node = (fun nid -> if nid <> !cur then cur := nid);
+                        cg_builtin = builtin;
+                        cg_charge =
+                          (fun ~steps ~cost ->
+                            Precompile.wstate_charge wst ~steps ~cost);
+                        cg_fuel_left =
+                          (fun () -> Precompile.wstate_fuel_left wst);
+                      }
+                    in
+                    cg.Codegen.cg_fn ctx regs
+                  in
+                  (* untimed warmup of both bodies, then alternating
+                     timed rounds *)
+                  ignore (pass interp_body);
+                  ignore (pass compiled_body);
+                  let is = ref [] and cs = ref [] in
+                  for _ = 1 to rounds do
+                    is := timed interp_body :: !is;
+                    cs := timed compiled_body :: !cs
+                  done;
+                  ( median !is,
+                    median !cs,
+                    "codegen",
+                    None,
+                    cg.Codegen.cg_cache_hit,
+                    cg.Codegen.cg_compile_s )
+            in
+            Some
+              {
+                cr_workload = c.P.name;
+                cr_plan = body_label;
+                cr_engine_ran = engine_ran;
+                cr_fallback = fallback;
+                cr_interp_iter_s = interp_thr;
+                cr_codegen_iter_s = cg_thr;
+                cr_speedup = cg_thr /. Float.max 1e-9 interp_thr;
+                cr_cache_hit = cache_hit;
+                cr_compile_s = compile_s;
+              })
+      evals
+  in
+  List.iter
+    (fun cr ->
+      Printf.printf
+        "  %-10s %-34s interp %9.0f it/s  codegen %9.0f it/s  %5.2fx  [%s%s]\n"
+        cr.cr_workload cr.cr_plan cr.cr_interp_iter_s cr.cr_codegen_iter_s
+        cr.cr_speedup cr.cr_engine_ran
+        (match cr.cr_fallback with Some why -> ": " ^ why | None -> ""))
+    rows;
+  rows
+
+let json_of_codegen rows =
+  let entries =
+    rows
+    |> List.map (fun cr ->
+           Printf.sprintf
+             {|{ "workload": "%s", "plan": "%s", "engine_ran": "%s", "fallback_reason": %s, "interp_iter_per_s": %.1f, "codegen_iter_per_s": %.1f, "speedup": %.3f, "cache_hit": %b, "compile_s": %.3f }|}
+             cr.cr_workload (String.escaped cr.cr_plan) cr.cr_engine_ran
+             (match cr.cr_fallback with
+             | Some why -> Printf.sprintf "\"%s\"" (String.escaped why)
+             | None -> "null")
+             cr.cr_interp_iter_s cr.cr_codegen_iter_s cr.cr_speedup cr.cr_cache_hit
+             cr.cr_compile_s)
+    |> String.concat ",\n    "
+  in
+  Printf.sprintf {|{ "jobs": 1, "rows": [
+    %s
+  ] }|} entries
 
 (* ------------------------------------------------------------------ *)
 (* Synthesis leg: commsetc suggest over the eight workloads            *)
@@ -487,7 +690,7 @@ let json_of_synthesis rows =
     %s
   ]|}
 
-let bench_wall_clock ~quick ~overhead ~measured ~synthesis =
+let bench_wall_clock ~quick ~overhead ~measured ~codegen ~synthesis =
   section "Pipeline wall-clock: sequential vs parallel";
   let seq = measure_stages ~sweep:(not quick) ~jobs:1 in
   (* Pool.default_jobs honors COMMSET_JOBS; Domain.recommended_domain_count
@@ -540,6 +743,7 @@ let bench_wall_clock ~quick ~overhead ~measured ~synthesis =
   "parallel_speedup": %s,
   "identical_tables": %s,
   "measured": %s,
+  "codegen": %s,
   "synthesis": %s,
   "recorder": %s
 }
@@ -548,8 +752,8 @@ let bench_wall_clock ~quick ~overhead ~measured ~synthesis =
     (match par with Some (p, _, _) -> json_of_stages p | None -> "null")
     (match par with Some (_, s, _) -> Printf.sprintf "%.3f" s | None -> "null")
     (match par with Some (_, _, i) -> string_of_bool i | None -> "null")
-    (json_of_measured measured) (json_of_synthesis synthesis)
-    (json_of_overhead overhead);
+    (json_of_measured measured) (json_of_codegen codegen)
+    (json_of_synthesis synthesis) (json_of_overhead overhead);
   close_out oc;
   Printf.printf "  wrote BENCH_commset.json\n"
 
@@ -630,6 +834,7 @@ let () =
     (Report.Evaluation.geomean noncomm_speedups);
 
   let measured = bench_real_execution evals in
+  let codegen = bench_codegen_throughput evals in
   let synthesis = bench_synthesis () in
   let overhead = bench_recorder_overhead md5_comp in
-  bench_wall_clock ~quick ~overhead ~measured ~synthesis
+  bench_wall_clock ~quick ~overhead ~measured ~codegen ~synthesis

@@ -196,6 +196,16 @@ let plan_matches sel (p : T.Plan.t) =
   | "psdswp" | "ps-dswp" -> T.Plan.is_psdswp p
   | sel -> contains_ci ~sub:sel p.T.Plan.label
 
+(* The engine column: what actually ran, plus the fallback reason
+   whenever that differs from what was requested. *)
+let engine_cell ~requested (s : Commset_exec.Exec.stats) =
+  let req = Commset_exec.Exec.engine_name requested in
+  if s.Commset_exec.Exec.x_engine = req then s.Commset_exec.Exec.x_engine
+  else
+    match s.Commset_exec.Exec.x_engine_reason with
+    | Some why -> Printf.sprintf "%s (requested %s: %s)" s.Commset_exec.Exec.x_engine req why
+    | None -> Printf.sprintf "%s (requested %s)" s.Commset_exec.Exec.x_engine req
+
 let exec_real c ~engine ~jobs ~plan_sel ~strict =
   let all = P.executable_plans c ~threads:jobs in
   let selected = List.filter (plan_matches plan_sel) all in
@@ -216,13 +226,19 @@ let exec_real c ~engine ~jobs ~plan_sel ~strict =
       (fun bad plan ->
         let x = P.run_parallel ~engine ~jobs c plan in
         let s = x.P.xstats in
-        Fmt.pr "  %-52s %8.2fx %8.2fx  %s  [%s, %.1f ms seq, %.1f ms par]@."
+        Fmt.pr "  %-52s %8.2fx %8.2fx  %s  [%s, %.1f ms seq, %.1f ms par%s]@."
           s.Commset_exec.Exec.x_label x.P.xpredicted
           s.Commset_exec.Exec.x_measured_speedup
           (P.fidelity_to_string x.P.xfidelity)
-          s.Commset_exec.Exec.x_engine
+          (engine_cell ~requested:engine s)
           (s.Commset_exec.Exec.x_wall_seq_s *. 1e3)
-          (s.Commset_exec.Exec.x_wall_par_s *. 1e3);
+          (s.Commset_exec.Exec.x_wall_par_s *. 1e3)
+          (if s.Commset_exec.Exec.x_engine = "codegen" then
+             Printf.sprintf ", codegen %s %.2fs"
+               (if s.Commset_exec.Exec.x_codegen_cache_hit then "cache-hit"
+                else "compiled")
+               s.Commset_exec.Exec.x_codegen_compile_s
+           else "");
         if x.P.xfidelity = P.Mismatch then bad + 1 else bad)
       0 selected
   in
@@ -244,7 +260,7 @@ let run_cmd =
               match Commset_exec.Exec.engine_of_string e with
               | Some e -> e
               | None ->
-                  Fmt.epr "--engine must be $(b,real) or $(b,burn), not %s@." e;
+                  Fmt.epr "--engine must be real, codegen or burn, not %s@." e;
                   exit 2)
             engine
         in
@@ -310,9 +326,13 @@ let run_cmd =
       & info [ "engine" ] ~docv:"ENGINE"
           ~doc:
             "Execution engine for real runs: $(b,real) (run the prepared program \
-             itself on domains; the default) or $(b,burn) (replay the emitted \
-             per-thread schedule as calibrated cycle burns). Implies real \
-             execution even without --jobs.")
+             itself on domains; the default), $(b,codegen) (like real, with the \
+             iteration body compiled to native code — falls back to real with a \
+             printed reason when the toolchain or body shape defeats it; cache \
+             under \\$COMMSET_CODEGEN_CACHE, \\$XDG_CACHE_HOME/commset-codegen or \
+             _build/codegen) or $(b,burn) (replay the emitted per-thread schedule \
+             as calibrated cycle burns). Implies real execution even without \
+             --jobs.")
   in
   let plan_arg =
     Arg.(

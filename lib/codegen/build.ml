@@ -1,0 +1,288 @@
+(** Out-of-tree native build of generated iteration modules.
+
+    A generated source is compiled once per content key — MD5 of the
+    ABI version, the compiler version and the source text — into a
+    [.cmxs] under the cache directory, then loaded with
+    [Dynlink.loadfile_private] (private loading permits reloading the
+    same unit name, which a shared cache across processes needs). A
+    process-local memo table short-circuits repeat keys without touching
+    the filesystem.
+
+    Cache directory precedence:
+    + [$COMMSET_CODEGEN_CACHE] when set;
+    + [$XDG_CACHE_HOME/commset-codegen] when [XDG_CACHE_HOME] is set;
+    + [<build root>/_build/codegen] when the dune build tree that built
+      this executable can be found (walking up from the executable and
+      the cwd);
+    + a [commset-codegen] directory under the system temp dir.
+
+    The compiler is driven directly ([ocamlfind ocamlopt] or [ocamlopt]
+    from [$PATH]) against the [.cmi]/[.cmx] artifacts in the build
+    tree's [.objs] directories — dune itself cannot compile against an
+    uninstalled library out of tree, so this is the honest equivalent of
+    a dune-driven rule. [$COMMSET_CODEGEN_INC] ([:]-separated) overrides
+    or extends the include path when the build tree is elsewhere. *)
+
+let ( / ) = Filename.concat
+
+type compiled = {
+  c_fn : Abi.iter_fn;
+  c_key : string;
+  c_cache_hit : bool;  (** a previously compiled [.cmxs] (or memo) was reused *)
+  c_compile_s : float;  (** wall seconds spent in the compiler; 0 on hits *)
+  c_ml_path : string option;  (** generated source on disk (None on memo hits) *)
+}
+
+(* One lock serializes compile+load: Abi's registration slot is a
+   single cell, and concurrent identical compiles would race on the
+   cache files. Loading happens on the coordinator before worker
+   domains spawn, so this is never contended in the hot path. *)
+let lock = Mutex.create ()
+let memo : (string, compiled) Hashtbl.t = Hashtbl.create 8
+
+let key_of_source (source : string) : string =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "commset-codegen:%d:%s:%s" Abi.abi_version Sys.ocaml_version
+          source))
+
+(* ---- filesystem helpers ---------------------------------------------- *)
+
+let mkdir_p dir =
+  let rec mk d =
+    if not (Sys.file_exists d) then begin
+      mk (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  mk dir
+
+(* plain substring replacement (the marker appears once; no Str dep) *)
+let replace_all ~sub ~by s =
+  let sl = String.length sub and n = String.length s in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if !i + sl <= n && String.sub s !i sl = sub then begin
+      Buffer.add_string b by;
+      i := !i + sl
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let getenv_nonempty v =
+  match Sys.getenv_opt v with Some "" | None -> None | Some s -> Some s
+
+(* The dune build root that produced this process, if we can see it:
+   the directory containing [_build/default/lib/runtime]. *)
+let find_build_root () : string option =
+  let probe d = Sys.file_exists (d / "_build" / "default" / "lib" / "runtime") in
+  let rec ascend d n =
+    if n <= 0 then None
+    else if probe d then Some d
+    else
+      let parent = Filename.dirname d in
+      if parent = d then None else ascend parent (n - 1)
+  in
+  let starts =
+    [ (try Filename.dirname Sys.executable_name with _ -> ".") ]
+    @ (try [ Sys.getcwd () ] with _ -> [])
+  in
+  List.find_map (fun s -> ascend s 12) starts
+
+let cache_dir () : string =
+  match getenv_nonempty "COMMSET_CODEGEN_CACHE" with
+  | Some d -> d
+  | None -> (
+      match getenv_nonempty "XDG_CACHE_HOME" with
+      | Some d -> d / "commset-codegen"
+      | None -> (
+          match find_build_root () with
+          | Some root -> root / "_build" / "codegen"
+          | None -> Filename.get_temp_dir_name () / "commset-codegen"))
+
+(** [.ml] and [.cmxs] paths a key compiles to (exposed for the
+    corrupted-cache tests and CI artifact upload). *)
+let cache_paths ~key =
+  let dir = cache_dir () in
+  let base = dir / ("commset_cg_" ^ key) in
+  (base ^ ".ml", base ^ ".cmxs")
+
+(* Include directories holding the .cmi/.cmx of the libraries the
+   generated code references. *)
+let include_dirs () : string list =
+  let from_env =
+    match getenv_nonempty "COMMSET_CODEGEN_INC" with
+    | Some s -> String.split_on_char ':' s |> List.filter (fun d -> d <> "")
+    | None -> []
+  in
+  let from_build =
+    match find_build_root () with
+    | None -> []
+    | Some root ->
+        let libdir = root / "_build" / "default" / "lib" in
+        let subs = try Array.to_list (Sys.readdir libdir) with Sys_error _ -> [] in
+        List.concat_map
+          (fun sub ->
+            let d = libdir / sub in
+            let objs = try Array.to_list (Sys.readdir d) with Sys_error _ -> [] in
+            List.concat_map
+              (fun o ->
+                if Filename.check_suffix o ".objs" then
+                  List.filter Sys.file_exists [ d / o / "byte"; d / o / "native" ]
+                else [])
+              objs)
+          (List.sort compare subs)
+  in
+  from_env @ from_build
+
+let find_in_path (name : string) : string option =
+  match Sys.getenv_opt "PATH" with
+  | None -> None
+  | Some path ->
+      String.split_on_char ':' path
+      |> List.find_map (fun d ->
+             if d = "" then None
+             else
+               let p = d / name in
+               if Sys.file_exists p && not (Sys.is_directory p) then Some p else None)
+
+(* The native compiler invocation, as argv prefix. *)
+let toolchain () : string list option =
+  match find_in_path "ocamlfind" with
+  | Some p -> Some [ p; "ocamlopt" ]
+  | None -> (
+      match find_in_path "ocamlopt.opt" with
+      | Some p -> Some [ p ]
+      | None -> ( match find_in_path "ocamlopt" with Some p -> Some [ p ] | None -> None))
+
+(* ---- compile + load --------------------------------------------------- *)
+
+let read_head path n =
+  try
+    let ic = open_in_bin path in
+    let len = min n (in_channel_length ic) in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  with _ -> ""
+
+let run_compiler argv ~log : int =
+  match argv with
+  | [] -> 127
+  | cmd :: args ->
+      let c = Filename.quote_command cmd args ~stdout:log ~stderr:log in
+      Sys.command c
+
+(* Write the keyed source and compile it; returns compiler wall seconds.
+   The [.cmxs] is produced under a temporary name and renamed into place:
+   an earlier load may have mmapped the destination inode (this process
+   or another), and truncating a mapped shared object in place is a
+   SIGBUS waiting to happen — rename swaps the directory entry and
+   leaves the mapped inode intact. *)
+let compile ~source ~key : (float, string) result =
+  let ml, cmxs = cache_paths ~key in
+  mkdir_p (Filename.dirname ml);
+  let text = replace_all ~sub:Emit.key_marker ~by:key source in
+  let oc = open_out_bin ml in
+  output_string oc text;
+  close_out oc;
+  match toolchain () with
+  | None -> Error "toolchain unavailable: no ocamlfind/ocamlopt on PATH"
+  | Some argv0 ->
+      let incs = include_dirs () in
+      if incs = [] then
+        Error
+          "toolchain unavailable: cannot locate build artifacts \
+           (_build/default/lib); set COMMSET_CODEGEN_INC"
+      else
+        let tmp = cmxs ^ ".tmp" in
+        let args =
+          argv0 @ [ "-shared"; "-w"; "-a" ]
+          @ List.concat_map (fun d -> [ "-I"; d ]) incs
+          @ [ "-o"; tmp; ml ]
+        in
+        let log = ml ^ ".log" in
+        let t0 = Commset_obs.Clock.now_ns () in
+        let rc = run_compiler args ~log in
+        let dt = (Commset_obs.Clock.now_ns () -. t0) /. 1e9 in
+        if rc <> 0 then
+          Error
+            (Printf.sprintf "compile failed (exit %d): %s" rc
+               (String.trim (read_head log 400)))
+        else
+          try
+            Sys.rename tmp cmxs;
+            Ok dt
+          with Sys_error m -> Error ("compile failed (rename): " ^ m)
+
+let load_cmxs ~key : (Abi.iter_fn, string) result =
+  let _, cmxs = cache_paths ~key in
+  match
+    (try
+       Dynlink.loadfile_private cmxs;
+       Ok ()
+     with
+    | Dynlink.Error e -> Error (Dynlink.error_message e)
+    | Sys_error m -> Error m)
+  with
+  | Error m -> Error m
+  | Ok () -> (
+      match Abi.take () with
+      | Some (v, k, fn) when v = Abi.abi_version && k = key -> Ok fn
+      | Some (v, k, _) ->
+          Error
+            (Printf.sprintf "plugin registered wrong identity (abi v%d key %s)" v
+               (String.sub k 0 (min 8 (String.length k))))
+      | None -> Error "plugin did not register")
+
+(** Compile (or reuse) and load the module for [source]. *)
+let load ~(source : string) : (compiled, string) result =
+  if not Dynlink.is_native then
+    Error "toolchain unavailable: bytecode host cannot load native plugins"
+  else begin
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) @@ fun () ->
+    let key = key_of_source source in
+    match Hashtbl.find_opt memo key with
+    | Some c -> Ok { c with c_cache_hit = true; c_compile_s = 0. }
+    | None -> (
+        let ml, cmxs = cache_paths ~key in
+        let finish ~hit ~compile_s fn =
+          let c =
+            { c_fn = fn; c_key = key; c_cache_hit = hit; c_compile_s = compile_s;
+              c_ml_path = (if Sys.file_exists ml then Some ml else None) }
+          in
+          Hashtbl.replace memo key c;
+          Ok c
+        in
+        let compile_fresh () =
+          match compile ~source ~key with
+          | Error m -> Error m
+          | Ok dt -> (
+              match load_cmxs ~key with
+              | Ok fn -> finish ~hit:false ~compile_s:dt fn
+              | Error m -> Error ("load failed after compile: " ^ m))
+        in
+        if Sys.file_exists cmxs then begin
+          (* warm cache: load it; a corrupted or stale entry is evicted
+             and recompiled once *)
+          match load_cmxs ~key with
+          | Ok fn -> finish ~hit:true ~compile_s:0. fn
+          | Error _ ->
+              (try Sys.remove cmxs with Sys_error _ -> ());
+              compile_fresh ()
+        end
+        else compile_fresh ())
+  end
+
+(** Drop the in-process memo (tests use this to exercise the on-disk
+    cache and corrupted-entry recovery paths). *)
+let reset_memo () =
+  Mutex.lock lock;
+  Hashtbl.reset memo;
+  Mutex.unlock lock

@@ -32,13 +32,17 @@ let m_empty_waits =
 let g_wall_par = Metrics.gauge ~doc:"parallel-leg seconds (last run)" "exec.wall_par_s"
 let g_wall_seq = Metrics.gauge ~doc:"sequential-leg seconds (last run)" "exec.wall_seq_s"
 
-type engine = Burn_engine | Real_engine
+type engine = Burn_engine | Real_engine | Codegen_engine
 
-let engine_name = function Burn_engine -> "burn" | Real_engine -> "real"
+let engine_name = function
+  | Burn_engine -> "burn"
+  | Real_engine -> "real"
+  | Codegen_engine -> "codegen"
 
 let engine_of_string = function
   | "burn" -> Some Burn_engine
   | "real" -> Some Real_engine
+  | "codegen" -> Some Codegen_engine
   | _ -> None
 
 type stats = {
@@ -58,6 +62,9 @@ type stats = {
   x_steps : int;
   x_merge_s : float;
   x_outputs : string list;
+  x_engine_reason : string option;
+  x_codegen_cache_hit : bool;
+  x_codegen_compile_s : float;
 }
 
 let supported (plan : Plan.t) =
@@ -216,7 +223,7 @@ let run ?(engine = Real_engine) ?jobs ~(plan : Plan.t) ~(pdg : Pdg.t)
   Metrics.incr m_runs;
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let reference, seq_timed_wall =
-    seq_reference ~timed:(engine = Real_engine) ~prepared ~setup
+    seq_reference ~timed:(engine <> Burn_engine) ~prepared ~setup
   in
   (* both are sequential runs of the same deterministic program; a
      divergence means the compilation artifacts are out of sync *)
@@ -225,17 +232,21 @@ let run ?(engine = Real_engine) ?jobs ~(plan : Plan.t) ~(pdg : Pdg.t)
       "internal: fresh sequential reference diverged from the recorded trace of '%s'"
       plan.Plan.label;
   let emitted = Emit.emit ~plan ~pdg ~trace in
-  let real_result =
+  let real_result, real_refused =
     match engine with
-    | Burn_engine -> None
-    | Real_engine -> (
-        match Realexec.run ~plan ~pdg ~trace ~emitted ~prepared ~setup ~jobs () with
-        | Ok r -> Some r
+    | Burn_engine -> (None, None)
+    | Real_engine | Codegen_engine -> (
+        match
+          Realexec.run
+            ~codegen:(engine = Codegen_engine)
+            ~plan ~pdg ~trace ~emitted ~prepared ~setup ~jobs ()
+        with
+        | Ok r -> (Some r, None)
         | Error why ->
             Log.warn (fun m ->
                 m "plan '%s': real engine refused the target loop (%s); %s"
                   plan.Plan.label why "falling back to calibrated burns");
-            None)
+            (None, Some why))
   in
   let stats =
     match real_result with
@@ -253,7 +264,7 @@ let run ?(engine = Real_engine) ?jobs ~(plan : Plan.t) ~(pdg : Pdg.t)
                  plan.Plan.label r.Realexec.r_iterations (R.Trace.n_iterations trace)));
         {
           x_label = plan.Plan.label;
-          x_engine = "real";
+          x_engine = r.Realexec.r_engine;
           x_threads = jobs;
           x_wall_seq_s = wall_seq_s;
           x_wall_par_s = wall_par_s;
@@ -268,6 +279,9 @@ let run ?(engine = Real_engine) ?jobs ~(plan : Plan.t) ~(pdg : Pdg.t)
           x_steps = r.Realexec.r_steps;
           x_merge_s = r.Realexec.r_merge_s;
           x_outputs = r.Realexec.r_outputs;
+          x_engine_reason = r.Realexec.r_codegen_fallback;
+          x_codegen_cache_hit = r.Realexec.r_codegen_cache_hit;
+          x_codegen_compile_s = r.Realexec.r_codegen_compile_s;
         }
     | None ->
         let actual, wall_seq_s, wall_par_s, contended, full, empty =
@@ -295,6 +309,9 @@ let run ?(engine = Real_engine) ?jobs ~(plan : Plan.t) ~(pdg : Pdg.t)
           x_steps = 0;
           x_merge_s = 0.;
           x_outputs = actual;
+          x_engine_reason = real_refused;
+          x_codegen_cache_hit = false;
+          x_codegen_compile_s = 0.;
         }
   in
   Metrics.add m_contended stats.x_lock_contended;

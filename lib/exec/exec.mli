@@ -1,6 +1,6 @@
 (** The real multicore execution backend: runs a parallelization plan on
     actual OCaml 5 domains instead of the discrete-event simulator, in
-    one of two engines.
+    one of three engines.
 
     {b Real engine} (default): executes the prepared program itself —
     the coordinator domain runs the whole program and dispatches every
@@ -10,7 +10,16 @@
     per-domain buffering of order-free updates, and calibrated CPU work
     realizing the cost model's cycles ({!Realexec}). When
     {!Commset_runtime.Precompile.plan_real} rejects the loop shape, the
-    run falls back to the burn engine and says so in [x_engine].
+    run falls back to the burn engine and says so in [x_engine] (the
+    reason lands in [x_engine_reason]).
+
+    {b Codegen engine} ([Codegen_engine], [--engine=codegen]): the real
+    engine with the iteration body compiled to native OCaml
+    ({!Commset_codegen.Codegen}) instead of interpreted — same
+    coordinator/worker split, locks, frontier and buffering, with
+    straight-line compiled code inside each iteration. When translation,
+    the toolchain or dynlinking fails, the run degrades to the
+    interpreted real engine and reports why in [x_engine_reason].
 
     {b Burn engine} ([Burn_engine]): replays the emitter's per-thread
     segment lists — the multi-threaded code generation the simulator
@@ -40,11 +49,11 @@ module Pdg = Commset_pdg.Pdg
 module R = Commset_runtime
 
 (** Which realization executes the plan's target loop. *)
-type engine = Burn_engine | Real_engine
+type engine = Burn_engine | Real_engine | Codegen_engine
 
 val engine_name : engine -> string
 
-(** ["real"] / ["burn"] (the CLI flag values). *)
+(** ["real"] / ["burn"] / ["codegen"] (the CLI flag values). *)
 val engine_of_string : string -> engine option
 
 (** Worker-domain count to use when the caller does not pin one:
@@ -55,8 +64,8 @@ val default_jobs : unit -> int
 type stats = {
   x_label : string;  (** the executed plan's label *)
   x_engine : string;
-      (** engine that actually ran: ["real"] or ["burn"] (after a
-          fallback this differs from the requested engine) *)
+      (** engine that actually ran: ["codegen"], ["real"] or ["burn"]
+          (after a fallback this differs from the requested engine) *)
   x_threads : int;  (** worker domains occupied *)
   x_wall_seq_s : float;
       (** sequential leg: for the real engine a timed fresh sequential
@@ -74,6 +83,13 @@ type stats = {
   x_steps : int;  (** real engine: instructions retired, all domains *)
   x_merge_s : float;  (** real engine: merge-phase seconds *)
   x_outputs : string list;  (** the parallel run's full output stream *)
+  x_engine_reason : string option;
+      (** when [x_engine] differs from the requested engine: why the
+          run fell back (loop-shape refusal, codegen toolchain/shape) *)
+  x_codegen_cache_hit : bool;
+      (** codegen engine: compiled body reused from the cache *)
+  x_codegen_compile_s : float;
+      (** codegen engine: compiler seconds spent this run (0 on hits) *)
 }
 
 (** Can this plan run on the real backend? [Error reason] for TM and

@@ -49,6 +49,10 @@ type result = {
   r_buffered : int;
   r_steps : int;
   r_merge_s : float;
+  r_engine : string;
+  r_codegen_fallback : string option;
+  r_codegen_cache_hit : bool;
+  r_codegen_compile_s : float;
 }
 
 exception Aborted
@@ -224,9 +228,9 @@ let out_key : (float * string) list ref option Domain.DLS.key =
 (* The run                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t) ~(emitted : Emit.t)
-    ~(prepared : Precompile.t) ~(setup : Machine.t -> unit) ~(jobs : int) () :
-    (result, string) Stdlib.result =
+let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
+    ~(emitted : Emit.t) ~(prepared : Precompile.t) ~(setup : Machine.t -> unit)
+    ~(jobs : int) () : (result, string) Stdlib.result =
   let loop = pdg.Pdg.loop in
   match
     Precompile.plan_real prepared ~fname:pdg.Pdg.func.Ir.fname
@@ -235,6 +239,29 @@ let run ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t) ~(emitted : Emit.t)
   with
   | Error why -> Error why
   | Ok rt ->
+      (* compile the iteration body when asked; any failure degrades to
+         the interpreted path with the reason surfaced in the result *)
+      let cg, cg_fallback =
+        if not codegen then (None, None)
+        else
+          let nid_of_iid iid =
+            match Pdg.node_of_instr pdg iid with Some nid -> nid | None -> -1
+          in
+          match Commset_codegen.Codegen.prepare ~prepared ~rt ~nid_of_iid () with
+          | Ok c ->
+              Log.debug (fun m ->
+                  m "plan '%s': codegen %s (key %s, %.3fs compile)" plan.Plan.label
+                    (if c.Commset_codegen.Codegen.cg_cache_hit then "cache hit"
+                     else "compiled")
+                    (String.sub c.Commset_codegen.Codegen.cg_key 0 8)
+                    c.Commset_codegen.Codegen.cg_compile_s);
+              (Some c, None)
+          | Error why ->
+              Log.info (fun m ->
+                  m "plan '%s': codegen fell back to interpreter: %s" plan.Plan.label
+                    why);
+              (None, Some why)
+      in
       let ord = analyse ~plan ~pdg ~trace ~emitted ~rt in
       let program = Precompile.program prepared in
       let buffered =
@@ -418,6 +445,30 @@ let run ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t) ~(emitted : Emit.t)
                 r)
           else bi.Builtins.impl machine argv
         in
+        (* compiled-iteration context: the same node-transition and
+           builtin machinery as the interpreted path, behind the ABI *)
+        let cg_ctx =
+          match cg with
+          | None -> None
+          | Some c ->
+              Some
+                ( c.Commset_codegen.Codegen.cg_fn,
+                  {
+                    Commset_codegen.Abi.cg_globals = Precompile.wstate_globals wst;
+                    cg_gdefined = Precompile.wstate_gdefined wst;
+                    cg_node =
+                      (fun nid ->
+                        burn_to ();
+                        if nid <> !cur_nid then begin
+                          exit_node ();
+                          if nid >= 0 then enter_node nid
+                        end);
+                    cg_builtin = builtin;
+                    cg_charge =
+                      (fun ~steps ~cost -> Precompile.wstate_charge wst ~steps ~cost);
+                    cg_fuel_left = (fun () -> Precompile.wstate_fuel_left wst);
+                  } )
+        in
         let rec loop_items () =
           let item =
             match Spsc.try_pop ring with
@@ -441,7 +492,9 @@ let run ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t) ~(emitted : Emit.t)
             ev := 0;
             cur_nid := -1;
             Hashtbl.reset priv_bm;
-            Precompile.run_iteration wst rt ~on_instr ~builtin regs;
+            (match cg_ctx with
+            | Some (fn, ctx) -> fn ctx regs
+            | None -> Precompile.run_iteration wst rt ~on_instr ~builtin regs);
             exit_node ();
             burn_to ();
             release_iter k;
@@ -579,4 +632,14 @@ let run ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t) ~(emitted : Emit.t)
           r_buffered = buffered_n;
           r_steps = steps;
           r_merge_s = !merge_s;
+          r_engine = (match cg with Some _ -> "codegen" | None -> "real");
+          r_codegen_fallback = cg_fallback;
+          r_codegen_cache_hit =
+            (match cg with
+            | Some c -> c.Commset_codegen.Codegen.cg_cache_hit
+            | None -> false);
+          r_codegen_compile_s =
+            (match cg with
+            | Some c -> c.Commset_codegen.Codegen.cg_compile_s
+            | None -> 0.);
         }

@@ -58,6 +58,13 @@ type result = {
   r_buffered : int;  (** commutative updates buffered per-domain *)
   r_steps : int;  (** instructions retired across all domains *)
   r_merge_s : float;  (** merge-phase (replay + output) seconds *)
+  r_engine : string;
+      (** iteration-body engine that actually ran: ["codegen"] when a
+          compiled body executed, ["real"] for the interpreter *)
+  r_codegen_fallback : string option;
+      (** why a requested codegen run degraded to the interpreter *)
+  r_codegen_cache_hit : bool;  (** compiled body came from the cache *)
+  r_codegen_compile_s : float;  (** compiler seconds spent this run *)
 }
 
 (** Merge per-worker buffers (each newest-first, as accumulated) into
@@ -75,8 +82,16 @@ val merge_order : compare:('k -> 'k -> int) -> ('k * 'a) list array -> ('k * 'a)
     the caller falls back to the burn engine. [emitted] supplies the
     lock registry; [pdg], [trace] and [emitted] must come from the same
     compilation as [prepared]. Raises whatever a worker iteration raises
-    (after joining all domains). *)
+    (after joining all domains).
+
+    With [~codegen:true] the iteration body is first translated and
+    compiled to native code ({!Commset_codegen.Codegen}) and workers
+    run the compiled body instead of
+    {!Commset_runtime.Precompile.run_iteration}; translation, toolchain
+    or load failures degrade to the interpreted body with the reason in
+    [r_codegen_fallback]. *)
 val run :
+  ?codegen:bool ->
   plan:Plan.t ->
   pdg:Pdg.t ->
   trace:R.Trace.t ->

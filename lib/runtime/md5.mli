@@ -1,7 +1,14 @@
-(** MD5 message digest (RFC 1321), implemented from scratch; validated
-    against the RFC's test vectors in the test suite. *)
+(** MD5 message digest (RFC 1321). The top-level functions dispatch to
+    the stdlib C implementation ([Digest]); [Reference] is the
+    from-scratch native-int implementation the test suite cross-checks
+    it against, alongside the RFC's test vectors. *)
 
 (** Lowercase hexadecimal digest (32 characters). *)
 val digest_bytes : Bytes.t -> string
 
 val digest_string : string -> string
+
+module Reference : sig
+  val digest_bytes : Bytes.t -> string
+  val digest_string : string -> string
+end

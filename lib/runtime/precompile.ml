@@ -887,6 +887,79 @@ let plan_real (p : t) ~(fname : string) ~(header : Ir.label)
       rt_backbone = Hashtbl.fold (fun iid () acc -> iid :: acc) backbone [];
     }
 
+(* ---- typed iteration-body IR view (codegen input) ------------------- *)
+
+(* The codegen backend re-translates the iteration body from the
+   original [Ir.instr]s, but it must agree with the *prepared* form on
+   everything the prepare pass resolved: block indices, per-instruction
+   static costs, global slot numbers, and the declared/undeclared
+   global split. The view below exposes exactly those resolutions,
+   keeping the prepared closures themselves private. *)
+
+type view_term =
+  | Vjump of int
+  | Vbranch of int * int * int
+  | Vbranch_const of Value.t
+      (** non-bool constant branch condition: traps like the reference *)
+  | Vret_reg of int
+  | Vret_const of Value.t
+  | Vret_none
+
+type view_block = {
+  vb_label : Ir.label;
+  vb_instrs : Ir.instr array;
+  vb_costs : float array;  (** parallel static {!Costmodel.instr_cost}s *)
+  vb_term : view_term;
+}
+
+type view_func = {
+  vf_name : string;
+  vf_nregs : int;
+  vf_params : int array;
+  vf_entry : int;
+  vf_blocks : view_block array;
+}
+
+let view_of_pfunc (pf : pfunc) : view_func =
+  {
+    vf_name = pf.pf_ir.Ir.fname;
+    vf_nregs = pf.pf_nregs;
+    vf_params = Array.copy pf.pf_params;
+    vf_entry = pf.pf_entry;
+    vf_blocks =
+      Array.map
+        (fun (b : pblock) ->
+          {
+            vb_label = b.pb_label;
+            vb_instrs = b.pb_irs;
+            vb_costs = b.pb_costs;
+            vb_term =
+              (match b.pb_term with
+              | Pjump j -> Vjump j
+              | Pbranch (c, l1, l2) -> Vbranch (c, l1, l2)
+              | Pbranch_raise fop ->
+                  (* only built from a [Const] operand, so the closure
+                     ignores the register file *)
+                  Vbranch_const (fop [||])
+              | Pret_reg r -> Vret_reg r
+              | Pret_const v -> Vret_const v
+              | Pret_none -> Vret_none);
+          })
+        pf.pf_blocks;
+  }
+
+let view_func (p : t) name : view_func option =
+  Option.map view_of_pfunc (Hashtbl.find_opt p.p_funcs name)
+
+let rtarget_view (rt : rtarget) : view_func = view_of_pfunc rt.rt_pf
+let rtarget_header rt = rt.rt_header
+let rtarget_body_entry rt = rt.rt_body_entry
+let rtarget_in_loop rt = Array.copy rt.rt_in_loop
+let global_slot (p : t) name = Hashtbl.find_opt p.p_global_slots name
+
+let global_declared (p : t) name =
+  List.exists (fun (n, _, _) -> n = name) p.p_prog.Ir.prog_globals
+
 (* ---- coordinator ---------------------------------------------------- *)
 
 (* One block's instructions on the fast path, optionally masked; the
@@ -1012,6 +1085,12 @@ let worker_state (ex : exec) ~fuel : wstate =
 
 let wstate_fuel_left (st : wstate) = st.st_fuel
 let wstate_total (st : wstate) = st.st_total
+let wstate_globals (st : wstate) = st.st_globals
+let wstate_gdefined (st : wstate) = st.st_gdefined
+
+let wstate_charge (st : wstate) ~steps ~cost =
+  st.st_fuel <- st.st_fuel - steps;
+  st.st_total <- st.st_total +. cost
 
 let run_iteration (st : wstate) (rt : rtarget) ~(on_instr : Ir.instr -> unit)
     ~(builtin : Builtins.t -> Value.t list -> has_dst:bool -> Value.t * float)

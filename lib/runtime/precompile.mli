@@ -108,6 +108,74 @@ val wstate_fuel_left : wstate -> int
 (** Simulated cycles this worker has retired. *)
 val wstate_total : wstate -> float
 
+(** The executor-shared global slot arrays this worker writes through
+    (value and defined-flag slots, indexed by {!global_slot}). Exposed
+    for the codegen backend, whose compiled iteration bodies access the
+    slots directly. *)
+val wstate_globals : wstate -> Value.t array
+
+val wstate_gdefined : wstate -> bool array
+
+(** Retire [steps] fuel steps and [cost] simulated cycles in one batch.
+    Compiled iteration bodies account locally and flush through here at
+    node transitions, builtin calls and iteration exit; fuel totals stay
+    identical to the interpreted path, cycle totals may differ in the
+    last ulp (batched float accumulation). *)
+val wstate_charge : wstate -> steps:int -> cost:float -> unit
+
+(** {2 Typed iteration-body IR view (codegen input)}
+
+    A read-only projection of the prepared form: original instructions
+    paired with everything the prepare pass resolved — dense block
+    indices, per-instruction static costs, global slots. The codegen
+    backend translates from this view so its output agrees with the
+    interpreter on block structure and accounting by construction. *)
+
+type view_term =
+  | Vjump of int
+  | Vbranch of int * int * int  (** condition register, then-idx, else-idx *)
+  | Vbranch_const of Value.t
+      (** non-bool constant branch condition: traps like the reference *)
+  | Vret_reg of int
+  | Vret_const of Value.t
+  | Vret_none
+      (** Jump targets are block indices, or [-1 - label] for an edge to
+          a label with no block (the trap stays behind the condition). *)
+
+type view_block = {
+  vb_label : Commset_ir.Ir.label;
+  vb_instrs : Commset_ir.Ir.instr array;
+  vb_costs : float array;  (** parallel static instruction costs *)
+  vb_term : view_term;
+}
+
+type view_func = {
+  vf_name : string;
+  vf_nregs : int;  (** register-file length (the frame layout) *)
+  vf_params : int array;  (** parameter registers, in order *)
+  vf_entry : int;  (** entry block index *)
+  vf_blocks : view_block array;
+}
+
+val view_func : t -> string -> view_func option
+
+(** The target function's view plus the loop geometry [plan_real]
+    validated: header and body-entry block indices and the per-block
+    in-loop mask (workers execute exactly the in-loop blocks). *)
+val rtarget_view : rtarget -> view_func
+
+val rtarget_header : rtarget -> int
+val rtarget_body_entry : rtarget -> int
+val rtarget_in_loop : rtarget -> bool array
+
+(** Dense slot index of a global name, as the prepare pass assigned it
+    ([None] for names no instruction mentions). *)
+val global_slot : t -> string -> int option
+
+(** Whether the name is a declared global (loads never trap) as opposed
+    to an undeclared name some store creates at run time. *)
+val global_declared : t -> string -> bool
+
 (** Execute one full iteration body, from the loop's body entry until a
     terminator re-enters the header. [on_instr] fires before every
     instruction at target-function depth (node tracking); [builtin]

@@ -24,5 +24,6 @@ let () =
       Test_analysis_props.suite;
       Test_exec.suite;
       Test_realexec.suite;
+      Test_codegen.suite;
       Test_synth.suite;
     ]

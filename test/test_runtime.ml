@@ -30,8 +30,20 @@ let test_md5_vectors () =
   List.iter
     (fun (input, expected) ->
       check Alcotest.string (Printf.sprintf "md5(%S)" input) expected
-        (R.Md5.digest_string input))
+        (R.Md5.digest_string input);
+      check Alcotest.string
+        (Printf.sprintf "reference md5(%S)" input)
+        expected
+        (R.Md5.Reference.digest_string input))
     vectors
+
+(* the stdlib fast path and the from-scratch reference must agree on
+   arbitrary inputs, not just the RFC vectors *)
+let prop_md5_matches_reference =
+  QCheck.Test.make ~name:"md5 fast path agrees with the reference implementation"
+    ~count:200
+    QCheck.(string_of_size (QCheck.Gen.int_bound 300))
+    (fun s -> R.Md5.digest_string s = R.Md5.Reference.digest_string s)
 
 let prop_md5_shape =
   QCheck.Test.make ~name:"md5 digests are 32 lowercase hex chars" ~count:200
@@ -314,4 +326,5 @@ let suite =
       Alcotest.test_case "profiler hottest loop" `Quick test_profile_hottest;
       qcheck prop_md5_shape;
       qcheck prop_md5_deterministic;
+      qcheck prop_md5_matches_reference;
     ] )
