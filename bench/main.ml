@@ -424,6 +424,242 @@ let json_of_measured (jobs, rows) =
   ] }|} jobs entries
 
 (* ------------------------------------------------------------------ *)
+(* Execution observatory: attribution profiles, calibration fidelity   *)
+(* and the attribution overhead gate                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Costmodel = Commset_runtime.Costmodel
+module Calib = Commset_runtime.Calib
+module Attrib = Obs.Attrib
+
+type profile_row = {
+  ep_workload : string;
+  ep_plan : string;
+  ep_engine : string;
+  ep_p95_lock_wait_ns : float;
+  ep_p95_frontier_wait_ns : float;
+  ep_gap_uncal : float;  (** |predicted − measured| / measured, before calibration *)
+  ep_gap_cal : float;  (** same gap after Calib.apply + recompile + rerun *)
+  ep_improved : bool;
+  ep_ns_per_cycle : float;  (** the profile's measured ns per non-builtin cycle *)
+  ep_oversubscribed : bool;
+}
+
+type overhead_row = {
+  ao_engine : string;
+  ao_off_s : float;  (** median parallel wall, attribution off *)
+  ao_on_s : float;  (** median parallel wall, attribution on *)
+  ao_overhead_frac : float;  (** median per-pair on/off ratio − 1 *)
+  ao_oversubscribed : bool;
+      (** coordinator + worker time-sliced on one core: the ratio is
+          scheduler noise, so the CI gate skips it *)
+}
+
+let speedup_gap ~predicted ~measured =
+  Float.abs (predicted -. measured) /. Float.max 1e-9 measured
+
+let cause_p95 (s : Attrib.summary) name =
+  match List.find_opt (fun c -> c.Attrib.c_name = name) s.Attrib.a_causes with
+  | Some c -> c.Attrib.c_p95_ns
+  | None -> 0.
+
+(** Per workload: run the best executable plan with attribution on,
+    record the p95 lock/frontier waits and the predicted-vs-measured
+    gap; then derive a calibration profile from that very run, apply it,
+    recompile (the builtin cost scales change the recorded trace costs,
+    hence the simulator's prediction) and rerun to see whether the gap
+    shrank. The cost model is restored between workloads so profiles
+    never leak across rows. *)
+let bench_exec_profile evals : int * bool * profile_row list =
+  let jobs = Commset_exec.Exec.default_jobs () in
+  let cores = Domain.recommended_domain_count () in
+  let oversubscribed = cores < jobs + 1 in
+  section
+    (Printf.sprintf "Execution observatory: attribution and calibration (jobs=%d)" jobs);
+  if oversubscribed then
+    Printf.printf
+      "  note: %d core(s) for %d domain(s); calibration-fidelity gates skip \
+       oversubscribed entries\n"
+      cores (jobs + 1);
+  let ns0 = Costmodel.exec_ns_per_cycle () in
+  let rows =
+    List.filter_map
+      (fun be ->
+        let c = be.Report.Evaluation.be_primary.Report.Evaluation.v_comp in
+        let runs = P.evaluate c ~threads:jobs in
+        let pick =
+          List.find_opt
+            (fun (r : P.run) -> Result.is_ok (Commset_exec.Exec.supported r.P.plan))
+            runs
+        in
+        match pick with
+        | None ->
+            Printf.printf "  %-10s no executable plan at jobs=%d; skipped\n" c.P.name
+              jobs;
+            None
+        | Some r -> (
+            let x0 = P.run_parallel ~jobs c r.P.plan in
+            match x0.P.xstats.Commset_exec.Exec.x_attrib with
+            | None ->
+                Printf.printf "  %-10s ran without attribution (%s); skipped\n"
+                  c.P.name x0.P.xstats.Commset_exec.Exec.x_engine;
+                None
+            | Some s ->
+                let measured0 = x0.P.xstats.Commset_exec.Exec.x_measured_speedup in
+                let gap0 = speedup_gap ~predicted:x0.P.xpredicted ~measured:measured0 in
+                let gap1, npc =
+                  match
+                    Calib.of_summary ~workload:c.P.name
+                      ~engine:x0.P.xstats.Commset_exec.Exec.x_engine
+                      ~predicted:x0.P.xpredicted ~measured:measured0 s
+                  with
+                  | Error _ -> (gap0, 0.)
+                  | Ok p ->
+                      Fun.protect
+                        ~finally:(fun () ->
+                          Calib.clear ();
+                          Costmodel.set_exec_ns_per_cycle ns0)
+                        (fun () ->
+                          Calib.apply p;
+                          match Registry.find c.P.name with
+                          | None -> (gap0, p.Calib.p_ns_per_cycle)
+                          | Some w ->
+                              let c2 =
+                                P.compile ~name:c.P.name ~setup:w.W.setup w.W.source
+                              in
+                              let plan2 =
+                                let label = r.P.plan.T.Plan.label in
+                                match
+                                  List.find_opt
+                                    (fun (p : T.Plan.t) -> p.T.Plan.label = label)
+                                    (P.executable_plans c2 ~threads:jobs)
+                                with
+                                | Some p -> Some p
+                                | None ->
+                                    List.nth_opt (P.executable_plans c2 ~threads:jobs) 0
+                              in
+                              (match plan2 with
+                              | None -> (gap0, p.Calib.p_ns_per_cycle)
+                              | Some plan2 ->
+                                  let x1 = P.run_parallel ~jobs c2 plan2 in
+                                  ( speedup_gap ~predicted:x1.P.xpredicted
+                                      ~measured:
+                                        x1.P.xstats
+                                          .Commset_exec.Exec.x_measured_speedup,
+                                    p.Calib.p_ns_per_cycle )))
+                in
+                Some
+                  {
+                    ep_workload = c.P.name;
+                    ep_plan = r.P.plan.T.Plan.label;
+                    ep_engine = x0.P.xstats.Commset_exec.Exec.x_engine;
+                    ep_p95_lock_wait_ns = cause_p95 s "lock_wait";
+                    ep_p95_frontier_wait_ns = cause_p95 s "frontier_wait";
+                    ep_gap_uncal = gap0;
+                    ep_gap_cal = gap1;
+                    ep_improved = gap1 < gap0;
+                    ep_ns_per_cycle = npc;
+                    ep_oversubscribed = oversubscribed;
+                  }))
+      evals
+  in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %-10s %-40s p95 lock %8.1fus  p95 frontier %8.1fus  gap %5.1f%% -> %5.1f%% %s\n"
+        r.ep_workload r.ep_plan
+        (r.ep_p95_lock_wait_ns /. 1e3)
+        (r.ep_p95_frontier_wait_ns /. 1e3)
+        (100. *. r.ep_gap_uncal) (100. *. r.ep_gap_cal)
+        (if r.ep_improved then "(improved)" else "")
+    )
+    rows;
+  (jobs, oversubscribed, rows)
+
+(** Attribution overhead: the best executable plan of md5sum at one
+    worker, attribution off vs on, interleaved pairs (the same drift
+    logic as the recorder gate), per engine. The CI bench-smoke gate
+    fails when the median regression exceeds 5% on a non-oversubscribed
+    box. *)
+let bench_attrib_overhead comp : overhead_row list =
+  section "Attribution overhead: real/codegen parallel wall, off vs on";
+  let rounds = 7 in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let plan =
+    List.find_opt
+      (fun (p : T.Plan.t) -> p.T.Plan.shape = T.Plan.Sdoall)
+      (P.executable_plans comp ~threads:1)
+  in
+  match plan with
+  | None -> []
+  | Some plan ->
+      let oversubscribed = Domain.recommended_domain_count () < 2 in
+      List.map
+        (fun engine ->
+          let run attrib =
+            let x = P.run_parallel ~engine ~jobs:1 ~attrib comp plan in
+            x.P.xstats.Commset_exec.Exec.x_wall_par_s
+          in
+          (* warm both paths (codegen compiles on the first call) *)
+          ignore (run false);
+          ignore (run true);
+          let offs = ref [] and ons = ref [] and ratios = ref [] in
+          for _ = 1 to rounds do
+            Gc.full_major ();
+            let off = run false in
+            let on = run true in
+            offs := off :: !offs;
+            ons := on :: !ons;
+            ratios := (on /. Float.max 1e-9 off) :: !ratios
+          done;
+          let row =
+            {
+              ao_engine = Commset_exec.Exec.engine_name engine;
+              ao_off_s = median !offs;
+              ao_on_s = median !ons;
+              ao_overhead_frac = median !ratios -. 1.;
+              ao_oversubscribed = oversubscribed;
+            }
+          in
+          Printf.printf "  %-8s off %.4fs  on %.4fs  overhead %+.2f%% (gated at 5%%%s)\n"
+            row.ao_engine row.ao_off_s row.ao_on_s
+            (100. *. row.ao_overhead_frac)
+            (if oversubscribed then "; oversubscribed, gate skips" else "");
+          row)
+        [ Commset_exec.Exec.Real_engine; Commset_exec.Exec.Codegen_engine ]
+
+let json_of_exec_profile (jobs, oversubscribed, rows) overhead =
+  let row_entries =
+    rows
+    |> List.map (fun r ->
+           Printf.sprintf
+             {|{ "workload": "%s", "plan": "%s", "engine": "%s", "p95_lock_wait_ns": %.1f, "p95_frontier_wait_ns": %.1f, "gap_uncalibrated": %.4f, "gap_calibrated": %.4f, "improved": %b, "ns_per_cycle": %.4f, "oversubscribed": %b }|}
+             r.ep_workload (String.escaped r.ep_plan) r.ep_engine
+             r.ep_p95_lock_wait_ns r.ep_p95_frontier_wait_ns r.ep_gap_uncal
+             r.ep_gap_cal r.ep_improved r.ep_ns_per_cycle r.ep_oversubscribed)
+    |> String.concat ",\n    "
+  in
+  let overhead_entries =
+    overhead
+    |> List.map (fun o ->
+           Printf.sprintf
+             {|{ "engine": "%s", "off_s": %.6f, "on_s": %.6f, "overhead_frac": %.6f, "oversubscribed": %b }|}
+             o.ao_engine o.ao_off_s o.ao_on_s o.ao_overhead_frac o.ao_oversubscribed)
+    |> String.concat ",\n    "
+  in
+  Printf.sprintf
+    {|{ "jobs": %d, "oversubscribed": %b, "workloads": [
+    %s
+  ], "overhead": [
+    %s
+  ] }|}
+    jobs oversubscribed row_entries overhead_entries
+
+(* ------------------------------------------------------------------ *)
 (* Codegen leg: interpreter vs compiled iteration throughput           *)
 (* ------------------------------------------------------------------ *)
 
@@ -690,7 +926,7 @@ let json_of_synthesis rows =
     %s
   ]|}
 
-let bench_wall_clock ~quick ~overhead ~measured ~codegen ~synthesis =
+let bench_wall_clock ~quick ~overhead ~measured ~codegen ~synthesis ~exec_profile =
   section "Pipeline wall-clock: sequential vs parallel";
   let seq = measure_stages ~sweep:(not quick) ~jobs:1 in
   (* Pool.default_jobs honors COMMSET_JOBS; Domain.recommended_domain_count
@@ -745,7 +981,8 @@ let bench_wall_clock ~quick ~overhead ~measured ~codegen ~synthesis =
   "measured": %s,
   "codegen": %s,
   "synthesis": %s,
-  "recorder": %s
+  "recorder": %s,
+  "exec_profile": %s
 }
 |}
     quick cores cores par_jobs (json_of_stages seq)
@@ -753,7 +990,7 @@ let bench_wall_clock ~quick ~overhead ~measured ~codegen ~synthesis =
     (match par with Some (_, s, _) -> Printf.sprintf "%.3f" s | None -> "null")
     (match par with Some (_, _, i) -> string_of_bool i | None -> "null")
     (json_of_measured measured) (json_of_codegen codegen)
-    (json_of_synthesis synthesis) (json_of_overhead overhead);
+    (json_of_synthesis synthesis) (json_of_overhead overhead) exec_profile;
   close_out oc;
   Printf.printf "  wrote BENCH_commset.json\n"
 
@@ -837,4 +1074,7 @@ let () =
   let codegen = bench_codegen_throughput evals in
   let synthesis = bench_synthesis () in
   let overhead = bench_recorder_overhead md5_comp in
-  bench_wall_clock ~quick ~overhead ~measured ~codegen ~synthesis
+  let profile = bench_exec_profile evals in
+  let attrib_overhead = bench_attrib_overhead md5_comp in
+  let exec_profile = json_of_exec_profile profile attrib_overhead in
+  bench_wall_clock ~quick ~overhead ~measured ~codegen ~synthesis ~exec_profile

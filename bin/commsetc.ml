@@ -206,7 +206,68 @@ let engine_cell ~requested (s : Commset_exec.Exec.stats) =
     | Some why -> Printf.sprintf "%s (requested %s: %s)" s.Commset_exec.Exec.x_engine req why
     | None -> Printf.sprintf "%s (requested %s)" s.Commset_exec.Exec.x_engine req
 
-let exec_real c ~engine ~jobs ~plan_sel ~strict =
+(* [--calibrate]: load the persisted profile for this workload and feed
+   it into Costmodel before any plan runs; a missing profile is a
+   warning, not an error (the run proceeds uncalibrated). *)
+let apply_calibration ~name =
+  match R.Calib.load ~workload:name with
+  | Ok p ->
+      R.Calib.apply p;
+      Some
+        {
+          Commset_report.Stat.cn_path = R.Calib.path ~workload:name;
+          cn_ns_per_cycle = p.R.Calib.p_ns_per_cycle;
+          cn_loaded = true;
+        }
+  | Error e ->
+      Fmt.epr "calibration: %s (run 'commsetc stat %s' to create a profile)@." e name;
+      None
+
+(* Persist a calibration profile from the strongest measured run that
+   has attribution and did not mismatch. *)
+let save_profile ~name ~engine (runs : P.exec_run list) =
+  let ok =
+    List.filter
+      (fun (r : P.exec_run) ->
+        r.P.xfidelity <> P.Mismatch && r.P.xstats.Commset_exec.Exec.x_attrib <> None)
+      runs
+  in
+  let best =
+    List.fold_left
+      (fun acc (r : P.exec_run) ->
+        match acc with
+        | Some (b : P.exec_run)
+          when b.P.xstats.Commset_exec.Exec.x_measured_speedup
+               >= r.P.xstats.Commset_exec.Exec.x_measured_speedup ->
+            acc
+        | _ -> Some r)
+      None ok
+  in
+  match best with
+  | None -> None
+  | Some r -> (
+      let s = Option.get r.P.xstats.Commset_exec.Exec.x_attrib in
+      match
+        R.Calib.of_summary ~workload:name ~engine ~predicted:r.P.xpredicted
+          ~measured:r.P.xstats.Commset_exec.Exec.x_measured_speedup s
+      with
+      | Error e ->
+          Fmt.epr "calibration: profile not saved: %s@." e;
+          None
+      | Ok p -> (
+          match R.Calib.save p with
+          | Ok path ->
+              Some
+                {
+                  Commset_report.Stat.cn_path = path;
+                  cn_ns_per_cycle = p.R.Calib.p_ns_per_cycle;
+                  cn_loaded = false;
+                }
+          | Error e ->
+              Fmt.epr "calibration: cannot save profile: %s@." e;
+              None))
+
+let exec_real c ~name ~engine ~jobs ~plan_sel ~strict ~format ~calibrate =
   let all = P.executable_plans c ~threads:jobs in
   let selected = List.filter (plan_matches plan_sel) all in
   if selected = [] then (
@@ -214,42 +275,65 @@ let exec_real c ~engine ~jobs ~plan_sel ~strict =
     Fmt.epr "executable plans:@.";
     List.iter (fun (p : T.Plan.t) -> Fmt.epr "  %s@." p.T.Plan.label) all;
     exit (if strict then 1 else 0));
+  let calib = if calibrate then apply_calibration ~name else None in
   let cores = Domain.recommended_domain_count () in
-  Fmt.pr "real execution on %d domain(s), engine %s (%d core(s) available):@." jobs
-    (Commset_exec.Exec.engine_name engine)
-    cores;
-  if cores < 2 then
-    Fmt.pr "  note: single core available — measured speedups are not meaningful@.";
-  Fmt.pr "  %-52s %9s %9s  %s@." "plan" "predicted" "measured" "outputs";
-  let mismatches =
-    List.fold_left
-      (fun bad plan ->
-        let x = P.run_parallel ~engine ~jobs c plan in
-        let s = x.P.xstats in
-        Fmt.pr "  %-52s %8.2fx %8.2fx  %s  [%s, %.1f ms seq, %.1f ms par%s]@."
-          s.Commset_exec.Exec.x_label x.P.xpredicted
-          s.Commset_exec.Exec.x_measured_speedup
-          (P.fidelity_to_string x.P.xfidelity)
-          (engine_cell ~requested:engine s)
-          (s.Commset_exec.Exec.x_wall_seq_s *. 1e3)
-          (s.Commset_exec.Exec.x_wall_par_s *. 1e3)
-          (if s.Commset_exec.Exec.x_engine = "codegen" then
-             Printf.sprintf ", codegen %s %.2fs"
-               (if s.Commset_exec.Exec.x_codegen_cache_hit then "cache-hit"
-                else "compiled")
-               s.Commset_exec.Exec.x_codegen_compile_s
-           else "");
-        if x.P.xfidelity = P.Mismatch then bad + 1 else bad)
-      0 selected
-  in
-  if mismatches > 0 then (
-    Fmt.epr "%d plan(s) FAILED output equivalence@." mismatches;
-    exit 1)
-  else if strict then
-    Fmt.pr "all %d plan(s) match the sequential reference@." (List.length selected)
+  match format with
+  | `Json ->
+      let runs =
+        List.map (fun plan -> P.run_parallel ~engine ~jobs ~attrib:true c plan) selected
+      in
+      print_string
+        (Commset_report.Stat.render_json ~workload:name
+           ~engine:(Commset_exec.Exec.engine_name engine)
+           ~jobs ~cores ?calib runs);
+      let mismatches =
+        List.length (List.filter (fun (r : P.exec_run) -> r.P.xfidelity = P.Mismatch) runs)
+      in
+      if mismatches > 0 then (
+        Fmt.epr "%d plan(s) FAILED output equivalence@." mismatches;
+        exit 1)
+  | `Text ->
+      Fmt.pr "real execution on %d domain(s), engine %s (%d core(s) available):@." jobs
+        (Commset_exec.Exec.engine_name engine)
+        cores;
+      if cores < 2 then
+        Fmt.pr "  note: single core available — measured speedups are not meaningful@.";
+      (match calib with
+      | Some n ->
+          Fmt.pr "  calibration: loaded %s (ns/cycle %.3f)@."
+            n.Commset_report.Stat.cn_path n.Commset_report.Stat.cn_ns_per_cycle
+      | None -> ());
+      Fmt.pr "  %-52s %9s %9s  %s@." "plan" "predicted" "measured" "outputs";
+      let mismatches =
+        List.fold_left
+          (fun bad plan ->
+            let x = P.run_parallel ~engine ~jobs c plan in
+            let s = x.P.xstats in
+            Fmt.pr "  %-52s %8.2fx %8.2fx  %s  [%s, %.1f ms seq, %.1f ms par%s]@."
+              s.Commset_exec.Exec.x_label x.P.xpredicted
+              s.Commset_exec.Exec.x_measured_speedup
+              (P.fidelity_to_string x.P.xfidelity)
+              (engine_cell ~requested:engine s)
+              (s.Commset_exec.Exec.x_wall_seq_s *. 1e3)
+              (s.Commset_exec.Exec.x_wall_par_s *. 1e3)
+              (if s.Commset_exec.Exec.x_engine = "codegen" then
+                 Printf.sprintf ", codegen %s %.2fs"
+                   (if s.Commset_exec.Exec.x_codegen_cache_hit then "cache-hit"
+                    else "compiled")
+                   s.Commset_exec.Exec.x_codegen_compile_s
+               else "");
+            if x.P.xfidelity = P.Mismatch then bad + 1 else bad)
+          0 selected
+      in
+      if mismatches > 0 then (
+        Fmt.epr "%d plan(s) FAILED output equivalence@." mismatches;
+        exit 1)
+      else if strict then
+        Fmt.pr "all %d plan(s) match the sequential reference@." (List.length selected)
 
 let run_cmd =
-  let run workload variant file threads jobs engine plan_sel strict timeline level =
+  let run workload variant file threads jobs engine plan_sel strict timeline format
+      calibrate level =
     setup_logs level;
     with_diag (fun () ->
         let name, src, setup = load ~workload ~variant ~file in
@@ -280,8 +364,14 @@ let run_cmd =
             let engine =
               Option.value engine ~default:Commset_exec.Exec.Real_engine
             in
-            exec_real c ~engine ~jobs ~plan_sel ~strict
+            exec_real c ~name ~engine ~jobs ~plan_sel ~strict ~format ~calibrate
         | None ->
+            if format = `Json then (
+              Fmt.epr "--format=json requires real execution (add --jobs or --engine)@.";
+              exit 2);
+            if calibrate then (
+              Fmt.epr "--calibrate requires real execution (add --jobs or --engine)@.";
+              exit 2);
             Fmt.pr "%s: sequential baseline %.0f cycles over %d iterations@." name
               c.P.trace.R.Trace.seq_total
               (R.Trace.n_iterations c.P.trace);
@@ -351,6 +441,25 @@ let run_cmd =
             "With --jobs: exit non-zero when no plan matches; mismatches always exit \
              non-zero.")
   in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "With --jobs/--engine: $(b,text) (the progressive table) or $(b,json) (one \
+             strict-JSON document with the full stats and attribution of every \
+             executed plan, the schema CI pins in ci/stat-schema.json).")
+  in
+  let calibrate_arg =
+    Arg.(
+      value & flag
+      & info [ "calibrate" ]
+          ~doc:
+            "With --jobs/--engine: load the workload's persisted calibration profile \
+             (\\$COMMSET_CALIB_DIR, default _build/calib; written by $(b,commsetc \
+             stat)) into the cost model before running.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
@@ -358,7 +467,8 @@ let run_cmd =
           execute on real OCaml domains")
     Term.(
       const run $ workload_arg $ variant_arg $ file_arg $ threads_arg $ jobs_arg
-      $ engine_arg $ plan_arg $ strict_arg $ timeline_arg $ log_level_arg)
+      $ engine_arg $ plan_arg $ strict_arg $ timeline_arg $ format_arg $ calibrate_arg
+      $ log_level_arg)
 
 let seq_cmd =
   let run workload variant file level =
@@ -492,6 +602,195 @@ let read_file path =
   with Sys_error reason ->
     Fmt.epr "cannot read '%s': %s@." path reason;
     exit 2
+
+(* ---- execution observatory ---- *)
+
+(* [--plan=best]: the strongest DOALL and the strongest non-DOALL
+   executable plan by simulator-predicted speedup — the two pipeline
+   shapes a profile is worth reading for, without running every
+   schedule variant. *)
+let select_best_plans c ~jobs (all : T.Plan.t list) =
+  let sims = P.evaluate c ~threads:jobs in
+  let score (p : T.Plan.t) =
+    match
+      List.find_opt (fun (r : P.run) -> r.P.plan.T.Plan.label = p.T.Plan.label) sims
+    with
+    | Some r -> r.P.speedup
+    | None -> 0.
+  in
+  let best pred =
+    List.fold_left
+      (fun acc p ->
+        if not (pred p) then acc
+        else
+          match acc with Some q when score q >= score p -> acc | _ -> Some p)
+      None all
+  in
+  let doall = best (fun (p : T.Plan.t) -> p.T.Plan.shape = T.Plan.Sdoall) in
+  let other = best (fun (p : T.Plan.t) -> p.T.Plan.shape <> T.Plan.Sdoall) in
+  List.filter_map Fun.id [ doall; other ]
+
+let stat_cmd =
+  (* exit codes: 0 profiled OK, 1 output mismatch or nothing to run,
+     2 bad usage, 3 internal trace-validation failure *)
+  let run workload variant file engine jobs plan_sel format calibrate no_save trace_out
+      level =
+    setup_logs level;
+    with_diag (fun () ->
+        let name, src, setup = load ~workload ~variant ~file in
+        let engine =
+          match Commset_exec.Exec.engine_of_string engine with
+          | Some Commset_exec.Exec.Burn_engine | None ->
+              Fmt.epr "--engine must be real or codegen, not %s@." engine;
+              exit 2
+          | Some e -> e
+        in
+        let jobs =
+          match jobs with Some j -> j | None -> Commset_exec.Exec.default_jobs ()
+        in
+        if jobs < 1 then (
+          Fmt.epr "--jobs must be at least 1@.";
+          exit 2);
+        let c = P.compile ~name ~setup src in
+        let calib_in = if calibrate then apply_calibration ~name else None in
+        let all = P.executable_plans c ~threads:jobs in
+        let selected =
+          if String.lowercase_ascii plan_sel = "best" then select_best_plans c ~jobs all
+          else List.filter (plan_matches plan_sel) all
+        in
+        if selected = [] then (
+          Fmt.epr "no executable plan matches --plan=%s at %d job(s)@." plan_sel jobs;
+          Fmt.epr "executable plans:@.";
+          List.iter (fun (p : T.Plan.t) -> Fmt.epr "  %s@." p.T.Plan.label) all;
+          exit 1);
+        let tracing = trace_out <> None in
+        if tracing then (
+          Obs.Recorder.reset ();
+          Obs.Recorder.set_enabled true);
+        let runs =
+          List.map (fun plan -> P.run_parallel ~engine ~jobs ~attrib:true c plan) selected
+        in
+        if tracing then Obs.Recorder.set_enabled false;
+        let engine_s = Commset_exec.Exec.engine_name engine in
+        let calib =
+          match calib_in with
+          | Some _ as loaded -> loaded
+          | None when not no_save -> save_profile ~name ~engine:engine_s runs
+          | None -> None
+        in
+        let cores = Domain.recommended_domain_count () in
+        (match format with
+        | `Text ->
+            print_string
+              (Commset_report.Stat.render_text ~workload:name ~engine:engine_s ~jobs
+                 ~cores ?calib runs)
+        | `Json ->
+            print_string
+              (Commset_report.Stat.render_json ~workload:name ~engine:engine_s ~jobs
+                 ~cores ?calib runs));
+        (match trace_out with
+        | None -> ()
+        | Some path -> (
+            let spans = Obs.Recorder.dump () in
+            let base_ns =
+              List.fold_left
+                (fun m (s : Obs.Recorder.span) -> Float.min m s.Obs.Recorder.t0_ns)
+                infinity spans
+            in
+            let base_ns = if Float.is_finite base_ns then Some base_ns else None in
+            let events =
+              Obs.Export.of_recorder ~pid:0 spans
+              @ List.concat_map
+                  (fun (r : P.exec_run) ->
+                    match r.P.xstats.Commset_exec.Exec.x_attrib with
+                    | Some s -> Obs.Export.of_attrib ~pid:0 ?base_ns s
+                    | None -> [])
+                  runs
+            in
+            let json = Obs.Export.chrome_json events in
+            match Obs.Json_strict.validate_chrome_trace json with
+            | Ok n ->
+                write_file path json;
+                Fmt.epr "wrote %d trace event(s) to %s@." n path
+            | Error e ->
+                Fmt.epr "internal: generated trace failed validation: %s@." e;
+                exit 3));
+        let mismatches =
+          List.filter (fun (r : P.exec_run) -> r.P.xfidelity = P.Mismatch) runs
+        in
+        if mismatches <> [] then (
+          Fmt.epr "%d plan(s) FAILED output equivalence@." (List.length mismatches);
+          exit 1))
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt string "real"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Engine to profile: $(b,real) (default) or $(b,codegen).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker-domain count. Defaults to the machine's available cores minus \
+             one.")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt string "best"
+      & info [ "plan" ] ~docv:"SEL"
+          ~doc:
+            "Plans to profile: $(b,best) (default: the strongest DOALL and the \
+             strongest pipeline by predicted speedup), $(b,doall), $(b,dswp), \
+             $(b,psdswp), $(b,all), or a label substring.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let calibrate_arg =
+    Arg.(
+      value & flag
+      & info [ "calibrate" ]
+          ~doc:
+            "Load the workload's persisted calibration profile into the cost model \
+             before profiling (instead of writing a fresh profile afterwards).")
+  in
+  let no_save_arg =
+    Arg.(
+      value & flag
+      & info [ "no-save" ]
+          ~doc:
+            "Do not persist a calibration profile from this run \
+             (\\$COMMSET_CALIB_DIR, default _build/calib).")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Also write a Chrome trace with the flight-recorder spans and per-worker \
+             attribution counter tracks (Perfetto counter rows under each worker).")
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "Profile real execution: run the selected plans with the per-iteration \
+          attribution layer on and report where every worker nanosecond went — \
+          dispatch wait, commset lock wait, frontier wait, builtins, compute — with \
+          per-cause quantiles, per-lock contention, coordinator utilization and \
+          predicted-vs-measured fidelity; persists a calibration profile the cost \
+          model can reuse via --calibrate")
+    Term.(
+      const run $ workload_arg $ variant_arg $ file_arg $ engine_arg $ jobs_arg
+      $ plan_arg $ format_arg $ calibrate_arg $ no_save_arg $ trace_arg $ log_level_arg)
 
 let trace_cmd =
   let run workload variant file threads out metrics_out validate level =
@@ -680,4 +979,4 @@ let () =
   install_trace_env_hook ();
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; check_cmd; pdg_cmd; plans_cmd; run_cmd; seq_cmd; explain_cmd; sweep_cmd; lint_cmd; suggest_cmd; trace_cmd; table1_cmd ]))
+       (Cmd.group info [ list_cmd; check_cmd; pdg_cmd; plans_cmd; run_cmd; stat_cmd; seq_cmd; explain_cmd; sweep_cmd; lint_cmd; suggest_cmd; trace_cmd; table1_cmd ]))

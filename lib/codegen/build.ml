@@ -40,10 +40,17 @@ type compiled = {
 let lock = Mutex.create ()
 let memo : (string, compiled) Hashtbl.t = Hashtbl.create 8
 
+(* Set by [interface_digest] below; a forward ref only because the
+   include-dir scan it reuses is defined with the other filesystem
+   helpers. *)
+let interface_digest_ref : (unit -> string) ref = ref (fun () -> "")
+
 let key_of_source (source : string) : string =
   Digest.to_hex
     (Digest.string
-       (Printf.sprintf "commset-codegen:%d:%s:%s" Abi.abi_version Sys.ocaml_version
+       (Printf.sprintf "commset-codegen:%d:%s:%s:%s" Abi.abi_version
+          Sys.ocaml_version
+          (!interface_digest_ref ())
           source))
 
 (* ---- filesystem helpers ---------------------------------------------- *)
@@ -139,6 +146,44 @@ let include_dirs () : string list =
           (List.sort compare subs)
   in
   from_env @ from_build
+
+(* A cached [.cmxs] is only loadable while the interfaces it was
+   compiled against are the ones linked into the running binary:
+   changing any library module changes its [.cmi] digest and Dynlink
+   rejects the stale plugin with an interface mismatch (degrading the
+   run to the interpreter). Folding the digest of every [.cmi] on the
+   include path into the cache key makes such entries miss instead of
+   mismatch. The scan is memoized: the include path cannot change
+   within a process. *)
+let interface_digest : unit -> string =
+  let cached = ref None in
+  fun () ->
+    match !cached with
+    | Some d -> d
+    | None ->
+        let buf = Buffer.create 4096 in
+        List.iter
+          (fun dir ->
+            let entries =
+              try Array.to_list (Sys.readdir dir) with Sys_error _ -> []
+            in
+            List.iter
+              (fun f ->
+                if Filename.check_suffix f ".cmi" then
+                  match Digest.file (dir / f) with
+                  | d ->
+                      Buffer.add_string buf f;
+                      Buffer.add_char buf ':';
+                      Buffer.add_string buf (Digest.to_hex d);
+                      Buffer.add_char buf '\n'
+                  | exception Sys_error _ -> ())
+              (List.sort compare entries))
+          (include_dirs ());
+        let d = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+        cached := Some d;
+        d
+
+let () = interface_digest_ref := interface_digest
 
 let find_in_path (name : string) : string option =
   match Sys.getenv_opt "PATH" with

@@ -65,6 +65,7 @@ type stats = {
   x_engine_reason : string option;
   x_codegen_cache_hit : bool;
   x_codegen_compile_s : float;
+  x_attrib : Commset_obs.Attrib.summary option;
 }
 
 let supported (plan : Plan.t) =
@@ -211,7 +212,7 @@ let run_burn ~(plan : Plan.t) ~(trace : R.Trace.t) ~(emitted : Emit.t) () :
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(engine = Real_engine) ?jobs ~(plan : Plan.t) ~(pdg : Pdg.t)
+let run ?(engine = Real_engine) ?jobs ?(attrib = true) ~(plan : Plan.t) ~(pdg : Pdg.t)
     ~(trace : R.Trace.t) ~(sync : Sync.t) ~(prepared : R.Precompile.t) ~setup () :
     stats =
   (match supported plan with
@@ -239,7 +240,7 @@ let run ?(engine = Real_engine) ?jobs ~(plan : Plan.t) ~(pdg : Pdg.t)
         match
           Realexec.run
             ~codegen:(engine = Codegen_engine)
-            ~plan ~pdg ~trace ~emitted ~prepared ~setup ~jobs ()
+            ~attrib ~plan ~pdg ~trace ~emitted ~prepared ~setup ~jobs ()
         with
         | Ok r -> (Some r, None)
         | Error why ->
@@ -282,6 +283,7 @@ let run ?(engine = Real_engine) ?jobs ~(plan : Plan.t) ~(pdg : Pdg.t)
           x_engine_reason = r.Realexec.r_codegen_fallback;
           x_codegen_cache_hit = r.Realexec.r_codegen_cache_hit;
           x_codegen_compile_s = r.Realexec.r_codegen_compile_s;
+          x_attrib = r.Realexec.r_attrib;
         }
     | None ->
         let actual, wall_seq_s, wall_par_s, contended, full, empty =
@@ -312,6 +314,7 @@ let run ?(engine = Real_engine) ?jobs ~(plan : Plan.t) ~(pdg : Pdg.t)
           x_engine_reason = real_refused;
           x_codegen_cache_hit = false;
           x_codegen_compile_s = 0.;
+          x_attrib = None;
         }
   in
   Metrics.add m_contended stats.x_lock_contended;

@@ -90,6 +90,11 @@ type stats = {
       (** codegen engine: compiled body reused from the cache *)
   x_codegen_compile_s : float;
       (** codegen engine: compiler seconds spent this run (0 on hits) *)
+  x_attrib : Commset_obs.Attrib.summary option;
+      (** real/codegen engines: per-cause attribution of worker
+          iteration wall time and coordinator utilization
+          ({!Commset_obs.Attrib}); [None] for the burn engine or with
+          [~attrib:false] *)
 }
 
 (** Can this plan run on the real backend? [Error reason] for TM and
@@ -102,10 +107,13 @@ val supported : Plan.t -> (unit, string) result
     and an internal error if the fresh sequential reference diverges
     from the recorded trace. [pdg], [trace] and [sync] must come from
     the same compilation as [prepared]; [setup] prepares each fresh
-    machine. *)
+    machine. [attrib] (default [true]) controls the real/codegen
+    engines' per-iteration attribution layer; pass [false] for
+    zero-overhead measurement runs. *)
 val run :
   ?engine:engine ->
   ?jobs:int ->
+  ?attrib:bool ->
   plan:Plan.t ->
   pdg:Pdg.t ->
   trace:R.Trace.t ->

@@ -18,6 +18,7 @@ module Sim = Commset_runtime.Sim
 module Recorder = Commset_obs.Recorder
 module Metrics = Commset_obs.Metrics
 module Clock = Commset_obs.Clock
+module Attrib = Commset_obs.Attrib
 module Diag = Commset_support.Diag
 
 let src_log = Logs.Src.create "commset.realexec" ~doc:"Real prepared-program execution"
@@ -38,6 +39,23 @@ let m_worker_steps =
 
 let g_merge = Metrics.gauge ~doc:"merge-phase seconds (last real run)" "exec.merge_s"
 
+(* last-run attribution totals, for the metrics dumps *)
+let g_attr_dispatch =
+  Metrics.gauge ~doc:"attributed dispatch-queue wait ns (last real run)"
+    "exec.attrib.dispatch_wait_ns"
+
+let g_attr_lock =
+  Metrics.gauge ~doc:"attributed commset-lock wait ns (last real run)" "exec.attrib.lock_wait_ns"
+
+let g_attr_frontier =
+  Metrics.gauge ~doc:"attributed frontier wait ns (last real run)" "exec.attrib.frontier_wait_ns"
+
+let g_attr_builtin =
+  Metrics.gauge ~doc:"attributed builtin ns (last real run)" "exec.attrib.builtin_ns"
+
+let g_attr_compute =
+  Metrics.gauge ~doc:"attributed compute ns (last real run)" "exec.attrib.compute_ns"
+
 type result = {
   r_outputs : string list;
   r_wall_par_s : float;
@@ -53,6 +71,7 @@ type result = {
   r_codegen_fallback : string option;
   r_codegen_cache_hit : bool;
   r_codegen_compile_s : float;
+  r_attrib : Attrib.summary option;
 }
 
 exception Aborted
@@ -228,9 +247,9 @@ let out_key : (float * string) list ref option Domain.DLS.key =
 (* The run                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
-    ~(emitted : Emit.t) ~(prepared : Precompile.t) ~(setup : Machine.t -> unit)
-    ~(jobs : int) () : (result, string) Stdlib.result =
+let run ?(codegen = false) ?(attrib = true) ~(plan : Plan.t) ~(pdg : Pdg.t)
+    ~(trace : Trace.t) ~(emitted : Emit.t) ~(prepared : Precompile.t)
+    ~(setup : Machine.t -> unit) ~(jobs : int) () : (result, string) Stdlib.result =
   let loop = pdg.Pdg.loop in
   match
     Precompile.plan_real prepared ~fname:pdg.Pdg.func.Ir.fname
@@ -316,8 +335,18 @@ let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
       let wbuffered = Array.make w 0 in
       let full_waits = ref 0 in
       let ns = Costmodel.exec_ns_per_cycle () in
+      (* attribution layer: per-worker accumulators, machine mutex as a
+         pseudo-lock one past the commset lock table *)
+      let lock_names = Array.map (fun (ls : Sim.lock_spec) -> ls.Sim.lname) emitted.Emit.locks in
+      let machine_li = Array.length lock_names in
+      let builtin_names =
+        Array.of_list (List.map (fun (b : Builtins.t) -> b.Builtins.name) Builtins.all)
+      in
+      let att = Attrib.create ~enabled:attrib ~lock_names ~builtin_names ~jobs:w in
       let worker wi () =
         Recorder.with_span ~cat:"exec" "exec.real_worker" @@ fun () ->
+        let aw = Attrib.worker att wi in
+        let prof = Attrib.on aw in
         Domain.DLS.set out_key (Some obufs.(wi));
         let wst = Precompile.worker_state ex ~fuel:max_int in
         let ring = rings.(wi) in
@@ -339,11 +368,13 @@ let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
         let await () =
           if Atomic.get frontier < !cur_k then begin
             wfrontier.(wi) <- wfrontier.(wi) + 1;
+            let t0 = if prof then Clock.now_ns () else 0. in
             let b = Spin.backoff () in
             while Atomic.get frontier < !cur_k do
               if Atomic.get abort then raise Aborted;
               Spin.once b
-            done
+            done;
+            if prof then Attrib.add_frontier aw (Clock.now_ns () -. t0)
           end
         in
         let bump () =
@@ -366,7 +397,12 @@ let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
           if ord.o_entry_await.(nid) then await ();
           Array.iter
             (fun li ->
-              Locks.acquire locks li;
+              if prof then begin
+                let t0 = Clock.now_ns () in
+                Locks.acquire locks li;
+                Attrib.add_lock aw li (Clock.now_ns () -. t0)
+              end
+              else Locks.acquire locks li;
               held := li :: !held)
             ord.o_node_locks.(nid);
           cur_nid := nid
@@ -381,12 +417,17 @@ let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
           | None -> exit_node ()
         in
         let with_mutex f =
-          Spin.acquire ~on_contend:(fun () -> wcontended.(wi) <- wcontended.(wi) + 1)
-            machine_lock;
+          let on_contend () = wcontended.(wi) <- wcontended.(wi) + 1 in
+          (if prof then begin
+             let t0 = Clock.now_ns () in
+             Spin.acquire ~on_contend machine_lock;
+             Attrib.add_lock aw machine_li (Clock.now_ns () -. t0)
+           end
+           else Spin.acquire ~on_contend machine_lock);
           Fun.protect ~finally:(fun () -> Spin.release machine_lock) f
         in
         let bm_arg argv = match argv with Value.Vint h :: rest -> (h, rest) | _ -> (-1, []) in
-        let builtin (bi : Builtins.t) argv ~has_dst =
+        let builtin_raw (bi : Builtins.t) argv ~has_dst =
           let name = bi.Builtins.name in
           if Hashtbl.mem buffered name then begin
             ignore has_dst;
@@ -445,6 +486,22 @@ let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
                 r)
           else bi.Builtins.impl machine argv
         in
+        let builtin (bi : Builtins.t) argv ~has_dst =
+          if not prof then builtin_raw bi argv ~has_dst
+          else begin
+            (* realize pending burn first so it lands in compute, then
+               net out waits the builtin performs internally (frontier
+               await, machine-mutex acquisition) — they are charged to
+               their own causes *)
+            burn_to ();
+            let t0 = Clock.now_ns () in
+            let w0 = Attrib.inner_waits aw in
+            let ((_, cost) as r) = builtin_raw bi argv ~has_dst in
+            let dt = Clock.now_ns () -. t0 -. (Attrib.inner_waits aw -. w0) in
+            Attrib.add_builtin aw (Attrib.builtin_slot att bi.Builtins.name) ~ns:dt ~cost;
+            r
+          end
+        in
         (* compiled-iteration context: the same node-transition and
            builtin machinery as the interpreted path, behind the ABI *)
         let cg_ctx =
@@ -465,7 +522,9 @@ let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
                         end);
                     cg_builtin = builtin;
                     cg_charge =
-                      (fun ~steps ~cost -> Precompile.wstate_charge wst ~steps ~cost);
+                      (fun ~steps ~cost ->
+                        if prof then Attrib.charge_flush aw;
+                        Precompile.wstate_charge wst ~steps ~cost);
                     cg_fuel_left = (fun () -> Precompile.wstate_fuel_left wst);
                   } )
         in
@@ -475,6 +534,7 @@ let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
             | Some it -> it
             | None ->
                 wempty.(wi) <- wempty.(wi) + 1;
+                let t0 = if prof then Clock.now_ns () else 0. in
                 let b = Spin.backoff () in
                 let rec wait () =
                   match Spsc.try_pop ring with
@@ -484,10 +544,13 @@ let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
                       Spin.once b;
                       wait ()
                 in
-                wait ()
+                let it = wait () in
+                if prof then Attrib.add_dispatch aw (Clock.now_ns () -. t0);
+                it
           in
           let k, regs = item in
           if k >= 0 then begin
+            if prof then Attrib.iter_begin aw (Clock.now_ns ());
             cur_k := k;
             ev := 0;
             cur_nid := -1;
@@ -498,6 +561,7 @@ let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
             exit_node ();
             burn_to ();
             release_iter k;
+            if prof then Attrib.iter_end aw (Clock.now_ns ());
             loop_items ()
           end
         in
@@ -510,7 +574,8 @@ let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
             errors.(wi) := Some e;
             Atomic.set abort true;
             release_iter !cur_k);
-        wsteps.(wi) <- max_int - Precompile.wstate_fuel_left wst
+        wsteps.(wi) <- max_int - Precompile.wstate_fuel_left wst;
+        if prof then Attrib.set_charged aw (Precompile.wstate_total wst)
       in
       let domains = Array.init w (fun wi -> Domain.spawn (worker wi)) in
       let joined = ref false in
@@ -528,9 +593,11 @@ let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
       let dispatched = ref 0 in
       let finished = ref false in
       let merge_s = ref 0. in
+      let prof_coord = Attrib.enabled att in
       let ring_push ring v =
         if not (Spsc.try_push ring v) then begin
           incr full_waits;
+          let t0 = if prof_coord then Clock.now_ns () else 0. in
           let b = Spin.backoff () in
           while not (Spsc.try_push ring v) do
             if Atomic.get abort then begin
@@ -538,7 +605,8 @@ let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
               match first_error () with Some e -> raise e | None -> raise Aborted
             end;
             Spin.once b
-          done
+          done;
+          if prof_coord then Attrib.add_coord_dispatch att (Clock.now_ns () -. t0)
         end
       in
       let finish () =
@@ -617,6 +685,17 @@ let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
       Metrics.add m_buffered buffered_n;
       Metrics.add m_worker_steps (sum wsteps);
       Metrics.gauge_set g_merge !merge_s;
+      let attrib_summary =
+        Attrib.summarize att ~coord_wall_ns:(wall_par_s *. 1e9) ~merge_ns:(!merge_s *. 1e9)
+      in
+      (match attrib_summary with
+      | Some s ->
+          Metrics.gauge_set g_attr_dispatch s.Attrib.a_dispatch_ns;
+          Metrics.gauge_set g_attr_lock s.Attrib.a_lock_ns;
+          Metrics.gauge_set g_attr_frontier s.Attrib.a_frontier_ns;
+          Metrics.gauge_set g_attr_builtin s.Attrib.a_builtin_ns;
+          Metrics.gauge_set g_attr_compute s.Attrib.a_compute_ns
+      | None -> ());
       Log.info (fun m ->
           m "plan '%s': %d iteration(s) on %d worker(s), %.3f ms, %d frontier wait(s), %d buffered"
             plan.Plan.label !dispatched w (wall_par_s *. 1e3) frontier_waits buffered_n);
@@ -642,4 +721,5 @@ let run ?(codegen = false) ~(plan : Plan.t) ~(pdg : Pdg.t) ~(trace : Trace.t)
             (match cg with
             | Some c -> c.Commset_codegen.Codegen.cg_compile_s
             | None -> 0.);
+          r_attrib = attrib_summary;
         }

@@ -65,6 +65,10 @@ type result = {
       (** why a requested codegen run degraded to the interpreter *)
   r_codegen_cache_hit : bool;  (** compiled body came from the cache *)
   r_codegen_compile_s : float;  (** compiler seconds spent this run *)
+  r_attrib : Commset_obs.Attrib.summary option;
+      (** per-cause attribution of worker-iteration wall time (dispatch
+          wait, per-commset lock wait, frontier wait, builtin, compute)
+          plus coordinator utilization; [None] with [~attrib:false] *)
 }
 
 (** Merge per-worker buffers (each newest-first, as accumulated) into
@@ -89,9 +93,16 @@ val merge_order : compare:('k -> 'k -> int) -> ('k * 'a) list array -> ('k * 'a)
     run the compiled body instead of
     {!Commset_runtime.Precompile.run_iteration}; translation, toolchain
     or load failures degrade to the interpreted body with the reason in
-    [r_codegen_fallback]. *)
+    [r_codegen_fallback].
+
+    [~attrib] (default [true]) controls the per-iteration attribution
+    layer ({!Commset_obs.Attrib}): per-worker cause accumulators fed by
+    a few clock reads per iteration and per wait episode, summarized in
+    [r_attrib]. Pass [false] to measure the engine with zero
+    attribution overhead (the bench harness's overhead gate does). *)
 val run :
   ?codegen:bool ->
+  ?attrib:bool ->
   plan:Plan.t ->
   pdg:Pdg.t ->
   trace:R.Trace.t ->

@@ -50,6 +50,40 @@ let of_recorder ?(pid = 0) (spans : Recorder.span list) : event list =
               })
           spans
 
+let of_attrib ?(pid = 0) ?base_ns (s : Attrib.summary) : event list =
+  let samples = List.filter (fun (_, a) -> Array.length a > 0) s.Attrib.a_samples in
+  match samples with
+  | [] -> []
+  | _ ->
+      let base =
+        match base_ns with
+        | Some b -> b
+        | None ->
+            List.fold_left (fun acc (_, a) -> min acc a.(0).Attrib.s_t_ns) infinity samples
+      in
+      let counter wi (sm : Attrib.sample) =
+        Counter
+          {
+            pid;
+            tid = 1000 + wi;
+            name = Printf.sprintf "attrib worker %d (ms)" wi;
+            ts = (sm.Attrib.s_t_ns -. base) /. 1e3;
+            series =
+              [
+                ("dispatch_wait", sm.Attrib.s_dispatch /. 1e6);
+                ("lock_wait", sm.Attrib.s_lock /. 1e6);
+                ("frontier_wait", sm.Attrib.s_frontier /. 1e6);
+                ("builtin", sm.Attrib.s_builtin /. 1e6);
+                ("compute", sm.Attrib.s_compute /. 1e6);
+              ];
+          }
+      in
+      List.concat_map
+        (fun (wi, a) ->
+          Thread_name { pid; tid = 1000 + wi; name = Printf.sprintf "attrib worker %d" wi }
+          :: List.map (counter wi) (Array.to_list a))
+        samples
+
 let has_prefix ~prefix s =
   String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
 

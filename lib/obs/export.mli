@@ -39,6 +39,17 @@ type event =
     0 µs. Emits process/thread name metadata. *)
 val of_recorder : ?pid:int -> Recorder.span list -> event list
 
+(** Perfetto counter tracks from an attribution summary: per worker,
+    one counter event per retained iteration sample with the cumulative
+    milliseconds charged to each cause (dispatch wait, lock wait,
+    frontier wait, builtin, compute) as series — attribution rendered on
+    the same timeline as the recorder's spans. Counter tids are
+    [1000 + worker index] so they sort below the span tracks; pass
+    [base_ns] (the earliest recorder span start) to align timestamps
+    with {!of_recorder}'s rebasing, which uses its own minimum
+    otherwise. Empty when the summary retained no samples. *)
+val of_attrib : ?pid:int -> ?base_ns:float -> Attrib.summary -> event list
+
 (** A simulated execution's per-thread timelines — [(start, stop, tag)]
     intervals in virtual cycles, as produced by [Sim.run] with
     [record_timeline] — as one process of complete events. Tags

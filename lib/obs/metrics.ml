@@ -60,17 +60,16 @@ let gauge_value g = Atomic.get g
 
 let n_buckets = 64
 
+let hist_make () =
+  {
+    h_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+    h_count = Atomic.make 0;
+    h_sum = Atomic.make 0.;
+  }
+
 let histogram ?(doc = "") name : histogram =
   find_or_create name doc
-    (fun () ->
-      let h =
-        {
-          h_buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
-          h_count = Atomic.make 0;
-          h_sum = Atomic.make 0.;
-        }
-      in
-      (h, Mhist h))
+    (fun () -> let h = hist_make () in (h, Mhist h))
     (function Mhist h -> Some h | _ -> None)
 
 (* bucket i covers [2^(i-32), 2^(i-31)): frexp v = (m, e) with v = m·2^e,
@@ -88,6 +87,33 @@ let observe h v =
 
 let hist_count h = Atomic.get h.h_count
 let hist_sum h = Atomic.get h.h_sum
+
+(* Quantile estimate by linear interpolation inside the target log₂
+   bucket: the rank q·count is located in the cumulative bucket counts,
+   and the estimate is placed proportionally between the bucket's bounds
+   [2^(i-32), 2^(i-31)) (bucket 0's lower bound is taken as 0 because
+   zero and negative observations clamp there). The estimate is exact
+   for distributions uniform within each bucket and is always within
+   the matched bucket, i.e. within a factor of 2 of the true quantile. *)
+let hist_quantile h q =
+  let total = Atomic.get h.h_count in
+  if total = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = Float.max (q *. float_of_int total) 1e-12 in
+    let rec go i cum =
+      if i >= n_buckets then Float.ldexp 1. (n_buckets - 31)
+      else
+        let n = Atomic.get h.h_buckets.(i) in
+        let cum' = cum +. float_of_int n in
+        if n > 0 && cum' >= target then
+          let lo = if i = 0 then 0. else Float.ldexp 1. (i - 32) in
+          let hi = Float.ldexp 1. (i - 31) in
+          lo +. ((target -. cum) /. float_of_int n *. (hi -. lo))
+        else go (i + 1) cum'
+    in
+    go 0 0.
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Dumps                                                               *)
@@ -158,6 +184,11 @@ let to_json () =
             (Printf.sprintf ", \"kind\": \"histogram\", \"count\": %d, \"sum\": %s"
                (Atomic.get h.h_count)
                (json_float (Atomic.get h.h_sum)));
+          Buffer.add_string buf
+            (Printf.sprintf ", \"p50\": %s, \"p95\": %s, \"p99\": %s"
+               (json_float (hist_quantile h 0.50))
+               (json_float (hist_quantile h 0.95))
+               (json_float (hist_quantile h 0.99)));
           Buffer.add_string buf ", \"buckets\": { ";
           let first = ref true in
           Array.iteri

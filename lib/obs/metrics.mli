@@ -48,6 +48,19 @@ val observe : histogram -> float -> unit
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
 
+(** A standalone histogram outside the registry — same atomics-backed
+    representation, but private to the caller (the attribution layer
+    keeps per-run histograms this way so [reset] of the global registry
+    cannot race a run in progress). *)
+val hist_make : unit -> histogram
+
+(** [hist_quantile h q] estimates the [q]-quantile ([0. <= q <= 1.]) by
+    linear interpolation inside the log₂ bucket holding rank
+    [q · count]: exact for distributions uniform within each bucket,
+    always within the bucket (a factor of 2) otherwise. [0.] on an
+    empty histogram. *)
+val hist_quantile : histogram -> float -> float
+
 (** Snapshot of every registered metric, sorted by name: counters and
     gauges as [(name, value)]; histograms contribute [name ^ ".count"]
     and [name ^ ".sum"]. *)

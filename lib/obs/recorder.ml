@@ -14,7 +14,10 @@ let set_enabled b = Atomic.set enabled_flag b
 
 let default_capacity = 32768
 
-let capacity =
+(* Read at every buffer creation (not module load) so a test can point
+   [COMMSET_TRACE_BUF] at a tiny value, spawn fresh domains and exercise
+   shedding; existing buffers keep the capacity they were born with. *)
+let capacity () =
   match Sys.getenv_opt "COMMSET_TRACE_BUF" with
   | Some s -> (
       match int_of_string_opt (String.trim s) with
@@ -24,6 +27,7 @@ let capacity =
 
 type buf = {
   slot : int;
+  cap : int;
   mutable n : int;  (** spans recorded; [n] is bumped after the slot is written *)
   mutable seq : int;  (** ids handed out, including dropped spans *)
   mutable depth : int;
@@ -40,17 +44,19 @@ let registry : buf list ref = ref []
 let next_slot = Atomic.make 0
 
 let make_buf () =
+  let cap = capacity () in
   let b =
     {
       slot = Atomic.fetch_and_add next_slot 1;
+      cap;
       n = 0;
       seq = 0;
       depth = 0;
-      t0s = Array.make capacity 0.;
-      t1s = Array.make capacity 0.;
-      names = Array.make capacity "";
-      cats = Array.make capacity "";
-      depths = Array.make capacity 0;
+      t0s = Array.make cap 0.;
+      t1s = Array.make cap 0.;
+      names = Array.make cap "";
+      cats = Array.make cap "";
+      depths = Array.make cap 0;
       dropped = 0;
     }
   in
@@ -64,7 +70,7 @@ let key : buf Domain.DLS.key = Domain.DLS.new_key make_buf
 let record b cat name depth t0 t1 =
   let i = b.n in
   b.seq <- b.seq + 1;
-  if i < capacity then begin
+  if i < b.cap then begin
     b.t0s.(i) <- t0;
     b.t1s.(i) <- t1;
     b.names.(i) <- name;

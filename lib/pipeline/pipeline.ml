@@ -347,13 +347,13 @@ let executable_plans t ~threads : T.Plan.t list =
     of the same plan, so predicted and measured speedups arrive as a
     pair. The executor's mandatory output-equivalence verdict is mapped
     onto the simulator's {!output_fidelity} scale. *)
-let run_parallel ?engine ?jobs t (plan : T.Plan.t) : exec_run =
+let run_parallel ?engine ?jobs ?attrib t (plan : T.Plan.t) : exec_run =
   Recorder.with_span ~cat:"pipeline" "pipeline.run_parallel" @@ fun () ->
   let predicted = (simulate t plan).speedup in
   let pdg = if plan.T.Plan.uses_commset then t.target.pdg else t.target.pdg_plain in
   let sync = if plan.T.Plan.uses_commset then t.sync else t.sync_none in
   let xstats =
-    Commset_exec.Exec.run ?engine ?jobs ~plan ~pdg ~trace:t.trace ~sync
+    Commset_exec.Exec.run ?engine ?jobs ?attrib ~plan ~pdg ~trace:t.trace ~sync
       ~prepared:t.prepared ~setup:t.setup ()
   in
   let xfidelity =

@@ -118,9 +118,16 @@ val executable_plans : t -> threads:int -> T.Plan.t list
     check; raises a CS014 {!Diag.Error} on unsupported plans. [engine]
     selects the realization (default: real program execution with burn
     fallback); [jobs] pins the real engine's worker-domain count
-    (default: {!Commset_exec.Exec.default_jobs}). *)
+    (default: {!Commset_exec.Exec.default_jobs}); [attrib] (default
+    [true]) toggles the real/codegen engines' per-iteration attribution
+    layer (the summary lands in [xstats.x_attrib]). *)
 val run_parallel :
-  ?engine:Commset_exec.Exec.engine -> ?jobs:int -> t -> T.Plan.t -> exec_run
+  ?engine:Commset_exec.Exec.engine ->
+  ?jobs:int ->
+  ?attrib:bool ->
+  t ->
+  T.Plan.t ->
+  exec_run
 
 (** Speedup curves: series name -> (threads, speedup) points.
     [precomputed] supplies already-evaluated run lists per thread count

@@ -24,6 +24,7 @@ let () =
       Test_analysis_props.suite;
       Test_exec.suite;
       Test_realexec.suite;
+      Test_attrib.suite;
       Test_codegen.suite;
       Test_synth.suite;
     ]

@@ -277,6 +277,112 @@ let test_nesting_qcheck =
           assert_well_nested ~what:"qcheck" (Recorder.dump ());
           true))
 
+(* ---- recorder: ring-buffer shedding under multi-domain overflow ---- *)
+
+(** With a tiny [COMMSET_TRACE_BUF], fresh domains shed spans past
+    capacity: the dropped counter is exact (per-domain overflow sums),
+    nothing crashes, and the shed trace still validates. Capacity is
+    read at buffer creation, so only domains spawned under the tiny
+    value are affected. *)
+let test_recorder_shedding () =
+  Unix.putenv "COMMSET_TRACE_BUF" "16";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "COMMSET_TRACE_BUF" "")
+    (fun () ->
+      with_recorder (fun () ->
+          let n_doms = 3 and per = 40 in
+          let doms =
+            List.init n_doms (fun _ ->
+                Domain.spawn (fun () ->
+                    for _ = 1 to per do
+                      Recorder.with_span "shed" (fun () -> ())
+                    done))
+          in
+          List.iter Domain.join doms;
+          check Alcotest.int "dropped exactly the overflow"
+            (n_doms * (per - 16))
+            (Recorder.dropped_total ());
+          let shed =
+            List.filter (fun s -> s.Recorder.name = "shed") (Recorder.dump ())
+          in
+          check Alcotest.int "kept exactly capacity per domain" (n_doms * 16)
+            (List.length shed);
+          let json = Export.chrome_json (Export.of_recorder ~pid:0 (Recorder.dump ())) in
+          match Json.validate_chrome_trace json with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "trace with shedding rejected: %s" e))
+
+(* ---- histogram quantiles ---- *)
+
+let rel_err ~expected v = Float.abs (v -. expected) /. expected
+
+(** Uniform 1..1024: values are uniform inside every log₂ bucket, where
+    the interpolation is exact, so the estimates pin tightly. *)
+let test_hist_quantile_uniform () =
+  let h = Metrics.hist_make () in
+  for v = 1 to 1024 do
+    Metrics.observe h (float_of_int v)
+  done;
+  List.iter
+    (fun (q, expected) ->
+      let est = Metrics.hist_quantile h q in
+      if rel_err ~expected est > 0.02 then
+        Alcotest.failf "p%.0f: estimate %.2f vs expected %.2f (>2%%)" (100. *. q) est
+          expected)
+    [ (0.50, 512.); (0.95, 972.8); (0.99, 1013.76) ]
+
+(** Two-point distribution (100× 10ns, 100× 1000ns): each estimate must
+    land in the bucket of the true quantile — within a factor of 2. *)
+let test_hist_quantile_two_point () =
+  let h = Metrics.hist_make () in
+  for _ = 1 to 100 do
+    Metrics.observe h 10.
+  done;
+  for _ = 1 to 100 do
+    Metrics.observe h 1000.
+  done;
+  let p50 = Metrics.hist_quantile h 0.50 in
+  let p95 = Metrics.hist_quantile h 0.95 in
+  let p99 = Metrics.hist_quantile h 0.99 in
+  if not (p50 >= 8. && p50 <= 16.) then
+    Alcotest.failf "p50 %.2f escapes the [8,16) bucket of 10" p50;
+  if not (p95 >= 512. && p95 <= 1024.) then
+    Alcotest.failf "p95 %.2f escapes the [512,1024) bucket of 1000" p95;
+  if not (p50 <= p95 && p95 <= p99) then
+    Alcotest.failf "quantiles not monotone: %.2f %.2f %.2f" p50 p95 p99
+
+let test_hist_quantile_edges () =
+  let h = Metrics.hist_make () in
+  check (Alcotest.float 0.) "empty histogram quantile is 0" 0.
+    (Metrics.hist_quantile h 0.5);
+  for _ = 1 to 5 do
+    Metrics.observe h 7.
+  done;
+  List.iter
+    (fun q ->
+      let est = Metrics.hist_quantile h q in
+      if not (est >= 4. && est <= 8.) then
+        Alcotest.failf "q=%.2f: %.2f escapes the [4,8) bucket of 7" q est)
+    [ 0.; 0.5; 0.99; 1. ]
+
+(** The registry dump carries p50/p95/p99 per histogram and still
+    strict-parses. *)
+let test_hist_quantile_in_json () =
+  let h = Metrics.histogram "test.quantile_dump" in
+  Metrics.observe h 100.;
+  Metrics.observe h 200.;
+  let json = Metrics.to_json () in
+  let mem sub =
+    let n = String.length sub and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = sub || go (i + 1)) in
+    go 0
+  in
+  if not (mem "\"p50\"" && mem "\"p95\"" && mem "\"p99\"") then
+    Alcotest.fail "histogram dump lacks quantile fields";
+  match Json.parse json with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "dump with quantiles rejected: %s" e
+
 (* ---- metrics ---- *)
 
 let test_metrics_kinds () =
@@ -357,6 +463,15 @@ let suite =
       Alcotest.test_case "export: round-trips strict parser" `Quick test_export_round_trip;
       QCheck_alcotest.to_alcotest test_export_escaping_qcheck;
       QCheck_alcotest.to_alcotest test_nesting_qcheck;
+      Alcotest.test_case "recorder: shedding under tiny COMMSET_TRACE_BUF" `Quick
+        test_recorder_shedding;
+      Alcotest.test_case "metrics: quantiles pin on uniform distribution" `Quick
+        test_hist_quantile_uniform;
+      Alcotest.test_case "metrics: quantiles bucket-bound on two-point" `Quick
+        test_hist_quantile_two_point;
+      Alcotest.test_case "metrics: quantile edge cases" `Quick test_hist_quantile_edges;
+      Alcotest.test_case "metrics: quantiles in the JSON dump" `Quick
+        test_hist_quantile_in_json;
       Alcotest.test_case "metrics: kinds and snapshot" `Quick test_metrics_kinds;
       Alcotest.test_case "metrics: dump is strict JSON" `Quick test_metrics_json_strict;
       Alcotest.test_case "metrics: deterministic across jobs" `Quick
