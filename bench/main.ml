@@ -660,6 +660,74 @@ let json_of_exec_profile (jobs, oversubscribed, rows) overhead =
     jobs oversubscribed row_entries overhead_entries
 
 (* ------------------------------------------------------------------ *)
+(* Serve leg: daemon throughput and tail latency under a seeded load   *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Commset_serve.Server
+module Gen = Commset_serve.Gen
+
+(** A bounded selftest through the real daemon: open-loop seeded
+    arrivals over the default url/md5sum/geti blend, warm pool, plan
+    cache, Equiv sampling — the same path [commsetc serve --selftest]
+    exercises, just small enough for a bench leg. The offered rate is
+    deliberately above what one worker sustains so the queue-wait
+    histogram measures admission backlog rather than generator idle
+    time. *)
+let bench_serve () : Server.report =
+  section "Serve: daemon throughput and tail latency";
+  let lookup name =
+    match Registry.find name with
+    | Some w -> Ok (w.W.source, w.W.setup)
+    | None -> Error (Printf.sprintf "unknown workload %S" name)
+  in
+  let cfg =
+    { (Server.default_config ~lookup) with
+      Server.s_jobs = Pool.default_jobs ();
+      s_equiv_every = 25;
+    }
+  in
+  let load =
+    { Server.l_spec = { Gen.default_spec with Gen.g_rate = 2000. };
+      l_requests = 200;
+    }
+  in
+  let r = Server.run ~load cfg in
+  Printf.printf
+    "  %d requests (%d served, %d failed)  %.1f rps  drained=%b\n"
+    r.Server.r_offered r.r_served r.r_failed r.r_throughput_rps r.r_drained;
+  Printf.printf
+    "  latency p50/p95/p99 us  queue %.0f/%.0f/%.0f  service %.0f/%.0f/%.0f\n"
+    r.r_queue.Server.p50_us r.r_queue.p95_us r.r_queue.p99_us
+    r.r_service.Server.p50_us r.r_service.p95_us r.r_service.p99_us;
+  let c = r.r_cache in
+  Printf.printf "  plan cache: %d hits %d misses  equiv %d checked %d failed%s\n"
+    c.Commset_serve.Plancache.pc_hits c.pc_misses r.r_equiv_checked
+    r.r_equiv_failures
+    (if r.r_oversubscribed then "  (oversubscribed)" else "");
+  r
+
+let json_of_serve (r : Server.report) =
+  let lat (l : Server.latency) =
+    Printf.sprintf
+      {|{ "p50_us": %.1f, "p95_us": %.1f, "p99_us": %.1f, "mean_us": %.1f }|}
+      l.Server.p50_us l.p95_us l.p99_us l.mean_us
+  in
+  let c = r.Server.r_cache in
+  let looked_up = c.Commset_serve.Plancache.pc_hits + c.pc_misses in
+  let hit_rate =
+    if looked_up = 0 then 0.
+    else float_of_int c.Commset_serve.Plancache.pc_hits /. float_of_int looked_up
+  in
+  Printf.sprintf
+    {|{ "requests_offered": %d, "requests_served": %d, "requests_failed": %d, "throughput_rps": %.1f, "offered_rate_rps": %s, "jobs": %d, "available_cores": %d, "oversubscribed": %b, "latency_us": { "queue": %s, "service": %s, "total": %s }, "plan_cache_hit_rate": %.4f, "equiv_checked": %d, "equiv_failures": %d, "drained": %b }|}
+    r.Server.r_offered r.r_served r.r_failed r.r_throughput_rps
+    (match r.r_offered_rate_rps with
+    | Some x -> Printf.sprintf "%.1f" x
+    | None -> "null")
+    r.r_jobs r.r_cores r.r_oversubscribed (lat r.r_queue) (lat r.r_service)
+    (lat r.r_total) hit_rate r.r_equiv_checked r.r_equiv_failures r.r_drained
+
+(* ------------------------------------------------------------------ *)
 (* Codegen leg: interpreter vs compiled iteration throughput           *)
 (* ------------------------------------------------------------------ *)
 
@@ -926,7 +994,8 @@ let json_of_synthesis rows =
     %s
   ]|}
 
-let bench_wall_clock ~quick ~overhead ~measured ~codegen ~synthesis ~exec_profile =
+let bench_wall_clock ~quick ~overhead ~measured ~codegen ~synthesis ~exec_profile
+    ~serve =
   section "Pipeline wall-clock: sequential vs parallel";
   let seq = measure_stages ~sweep:(not quick) ~jobs:1 in
   (* Pool.default_jobs honors COMMSET_JOBS; Domain.recommended_domain_count
@@ -982,7 +1051,8 @@ let bench_wall_clock ~quick ~overhead ~measured ~codegen ~synthesis ~exec_profil
   "codegen": %s,
   "synthesis": %s,
   "recorder": %s,
-  "exec_profile": %s
+  "exec_profile": %s,
+  "serve": %s
 }
 |}
     quick cores cores par_jobs (json_of_stages seq)
@@ -990,7 +1060,7 @@ let bench_wall_clock ~quick ~overhead ~measured ~codegen ~synthesis ~exec_profil
     (match par with Some (_, s, _) -> Printf.sprintf "%.3f" s | None -> "null")
     (match par with Some (_, _, i) -> string_of_bool i | None -> "null")
     (json_of_measured measured) (json_of_codegen codegen)
-    (json_of_synthesis synthesis) (json_of_overhead overhead) exec_profile;
+    (json_of_synthesis synthesis) (json_of_overhead overhead) exec_profile serve;
   close_out oc;
   Printf.printf "  wrote BENCH_commset.json\n"
 
@@ -1077,4 +1147,6 @@ let () =
   let profile = bench_exec_profile evals in
   let attrib_overhead = bench_attrib_overhead md5_comp in
   let exec_profile = json_of_exec_profile profile attrib_overhead in
+  let serve = json_of_serve (bench_serve ()) in
   bench_wall_clock ~quick ~overhead ~measured ~codegen ~synthesis ~exec_profile
+    ~serve

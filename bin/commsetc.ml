@@ -10,6 +10,8 @@
                   execute them on N real OCaml domains with an
                   output-equivalence check against the sequential run;
     - [seq]       run the program sequentially and print its output;
+    - [serve]     the request-serving daemon: warm domain pool, plan
+                  cache, open-loop selftest harness (DESIGN §18);
     - [trace]     flight-recorder trace + metrics of a full evaluation
                   (Chrome trace-event JSON, loadable in Perfetto);
     - [table1]    the paper's Table 1 feature-comparison matrix.
@@ -267,6 +269,23 @@ let save_profile ~name ~engine (runs : P.exec_run list) =
               Fmt.epr "calibration: cannot save profile: %s@." e;
               None))
 
+(* [--strict]: gate measured speedups on the calibration fidelity band
+   (COMMSET_FIDELITY_BAND). The gate's own skip logic handles the
+   oversubscribed case with a visible message; messages go to stderr so
+   --format=json stdout stays a single document. *)
+let gate_fidelity ~strict ~cores ~jobs (runs : P.exec_run list) =
+  if strict then
+    match P.fidelity_gate ~cores ~jobs runs with
+    | P.Gate_skipped why -> Fmt.epr "fidelity gate skipped: %s@." why
+    | P.Gate_ok worst ->
+        Fmt.epr "fidelity gate: OK (worst relative gap %.2f within band %.2f)@." worst
+          (R.Costmodel.fidelity_band ())
+    | P.Gate_exceeded over ->
+        Fmt.epr "fidelity gate FAILED (band %.2f, COMMSET_FIDELITY_BAND):@."
+          (R.Costmodel.fidelity_band ());
+        List.iter (fun (label, gap) -> Fmt.epr "  %-52s gap %.2f@." label gap) over;
+        exit 1
+
 let exec_real c ~name ~engine ~jobs ~plan_sel ~strict ~format ~calibrate =
   let all = P.executable_plans c ~threads:jobs in
   let selected = List.filter (plan_matches plan_sel) all in
@@ -291,7 +310,8 @@ let exec_real c ~name ~engine ~jobs ~plan_sel ~strict ~format ~calibrate =
       in
       if mismatches > 0 then (
         Fmt.epr "%d plan(s) FAILED output equivalence@." mismatches;
-        exit 1)
+        exit 1);
+      gate_fidelity ~strict ~cores ~jobs runs
   | `Text ->
       Fmt.pr "real execution on %d domain(s), engine %s (%d core(s) available):@." jobs
         (Commset_exec.Exec.engine_name engine)
@@ -304,10 +324,12 @@ let exec_real c ~name ~engine ~jobs ~plan_sel ~strict ~format ~calibrate =
             n.Commset_report.Stat.cn_path n.Commset_report.Stat.cn_ns_per_cycle
       | None -> ());
       Fmt.pr "  %-52s %9s %9s  %s@." "plan" "predicted" "measured" "outputs";
+      let executed = ref [] in
       let mismatches =
         List.fold_left
           (fun bad plan ->
             let x = P.run_parallel ~engine ~jobs c plan in
+            executed := x :: !executed;
             let s = x.P.xstats in
             Fmt.pr "  %-52s %8.2fx %8.2fx  %s  [%s, %.1f ms seq, %.1f ms par%s]@."
               s.Commset_exec.Exec.x_label x.P.xpredicted
@@ -327,9 +349,10 @@ let exec_real c ~name ~engine ~jobs ~plan_sel ~strict ~format ~calibrate =
       in
       if mismatches > 0 then (
         Fmt.epr "%d plan(s) FAILED output equivalence@." mismatches;
-        exit 1)
-      else if strict then
-        Fmt.pr "all %d plan(s) match the sequential reference@." (List.length selected)
+        exit 1);
+      if strict then
+        Fmt.pr "all %d plan(s) match the sequential reference@." (List.length selected);
+      gate_fidelity ~strict ~cores ~jobs (List.rev !executed)
 
 let run_cmd =
   let run workload variant file threads jobs engine plan_sel strict timeline format
@@ -950,6 +973,250 @@ let suggest_cmd =
       const run $ workload_arg $ variant_arg $ file_arg $ format_arg $ min_speedup_arg
       $ apply_arg $ log_level_arg)
 
+(* ---- serve: the request-serving daemon ---- *)
+
+module Serve = Commset_serve
+
+let serve_cmd =
+  let parse_mix s =
+    let items = List.filter (fun x -> String.trim x <> "") (String.split_on_char ',' s) in
+    if items = [] then (
+      Fmt.epr "serve: --mix must name at least one workload@.";
+      exit 2);
+    List.map
+      (fun item ->
+        match String.index_opt item '=' with
+        | None -> (String.trim item, 1.0)
+        | Some i -> (
+            let name = String.trim (String.sub item 0 i) in
+            let w = String.trim (String.sub item (i + 1) (String.length item - i - 1)) in
+            match float_of_string_opt w with
+            | Some w when w > 0. -> (name, w)
+            | _ ->
+                Fmt.epr "serve: --mix weight in %S must be a positive number@." item;
+                exit 2))
+      items
+  in
+  let run selftest requests rate burst seed mix jobs socket equiv_every cache_capacity
+      threads strict status_out level =
+    setup_logs level;
+    with_diag @@ fun () ->
+    if (not selftest) && socket = None then (
+      Fmt.epr "serve: nothing to serve — pass --selftest and/or --socket PATH@.";
+      exit 2);
+    if jobs < 1 || requests < 1 || rate <= 0. || burst < 1. || equiv_every < 0
+       || cache_capacity < 1
+    then (
+      Fmt.epr
+        "serve: --jobs/--requests/--cache-capacity must be >= 1, --rate > 0, --burst >= \
+         1, --equiv-every >= 0@.";
+      exit 2);
+    let lookup name =
+      match Registry.find name with
+      | Some w -> Ok (w.W.source, w.W.setup)
+      | None ->
+          Error
+            (Printf.sprintf "unknown workload '%s' (try: %s)" name
+               (String.concat ", " Registry.names))
+    in
+    let cfg =
+      {
+        (Serve.Server.default_config ~lookup) with
+        Serve.Server.s_jobs = jobs;
+        s_cache_capacity = cache_capacity;
+        s_equiv_every = equiv_every;
+        s_threads = threads;
+      }
+    in
+    let load =
+      if selftest then begin
+        let g_mix = parse_mix mix in
+        (* a typo must fail fast, not produce N error responses *)
+        List.iter
+          (fun (n, _) ->
+            if Registry.find n = None then (
+              Fmt.epr "serve: unknown workload '%s' in --mix (try: %s)@." n
+                (String.concat ", " Registry.names);
+              exit 2))
+          g_mix;
+        Some
+          {
+            Serve.Server.l_spec =
+              {
+                Serve.Gen.default_spec with
+                Serve.Gen.g_seed = seed;
+                g_rate = rate;
+                g_burst = burst;
+                g_mix;
+              };
+            l_requests = requests;
+          }
+      end
+      else None
+    in
+    (* graceful shutdown: stop admitting, drain in-flight, flush at-exit
+       hooks (COMMSET_TRACE), exit 0 *)
+    List.iter
+      (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> Serve.Server.request_stop ())))
+      [ Sys.sigint; Sys.sigterm ];
+    let report = Serve.Server.run ?load ?socket cfg in
+    let json = Serve.Server.report_json report in
+    (match status_out with
+    | Some path -> (
+        try
+          let oc = open_out_bin path in
+          output_string oc json;
+          output_char oc '\n';
+          close_out_noerr oc
+        with Sys_error reason ->
+          Fmt.epr "serve: cannot write '%s': %s@." path reason;
+          exit 1)
+    | None -> ());
+    print_endline json;
+    let r = report in
+    let cache = r.Serve.Server.r_cache in
+    let lookups = cache.Serve.Plancache.pc_hits + cache.Serve.Plancache.pc_misses in
+    Fmt.epr
+      "serve: %d request(s) in %.2fs (%.0f rps), %d failed; Equiv %d/%d failed; cache \
+       %d/%d hit (%d compile(s)); %s, stopped by %s%s@."
+      r.Serve.Server.r_offered r.Serve.Server.r_duration_s r.Serve.Server.r_throughput_rps
+      r.Serve.Server.r_failed r.Serve.Server.r_equiv_failures
+      r.Serve.Server.r_equiv_checked cache.Serve.Plancache.pc_hits lookups
+      cache.Serve.Plancache.pc_misses
+      (if r.Serve.Server.r_drained then "drained" else "DRAIN INCOMPLETE")
+      r.Serve.Server.r_stopped_by
+      (if r.Serve.Server.r_oversubscribed then
+         Fmt.str " (oversubscribed: %d core(s) for %d worker(s) + coordinator)"
+           r.Serve.Server.r_cores r.Serve.Server.r_jobs
+       else "");
+    if r.Serve.Server.r_equiv_failures > 0 then (
+      Fmt.epr "serve: %d response(s) FAILED output equivalence%s@."
+        r.Serve.Server.r_equiv_failures
+        (match r.Serve.Server.r_equiv_first_failure with
+        | Some f -> ": " ^ f
+        | None -> "");
+      exit 1);
+    if not r.Serve.Server.r_drained then (
+      Fmt.epr "serve: drain incomplete (%d of %d completed)@."
+        (r.Serve.Server.r_served + r.Serve.Server.r_failed)
+        r.Serve.Server.r_offered;
+      exit 1);
+    if strict then begin
+      (* probe each compiled service's best plan on real domains and
+         gate on the calibration fidelity band (skips, visibly, when
+         oversubscribed) *)
+      let runs =
+        List.filter_map
+          (fun (_, (sv : P.service)) ->
+            match sv.P.sv_best with
+            | None -> None
+            | Some best -> Some (P.run_parallel ~jobs sv.P.sv_compiled best.P.plan))
+          r.Serve.Server.r_services
+      in
+      gate_fidelity ~strict:true ~cores:r.Serve.Server.r_cores ~jobs runs
+    end
+  in
+  let selftest_arg =
+    Arg.(
+      value & flag
+      & info [ "selftest" ]
+          ~doc:
+            "Drive the daemon from the built-in deterministic open-loop generator — no \
+             external client needed. Combines with --socket (the generator runs while \
+             the socket listens).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "requests"; "n" ] ~docv:"N" ~doc:"Generated requests to offer (selftest).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 1000.
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Mean offered rate of the open-loop generator, requests/second.")
+  in
+  let burst_arg =
+    Arg.(
+      value & opt float 3.
+      & info [ "burst" ] ~docv:"X"
+          ~doc:
+            "On/off burstiness: ON phases offer $(docv)× the mean rate, OFF phases \
+             whatever keeps the long-run mean at --rate. 1 = plain Poisson.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed (same seed, same schedule).")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt string "url=1,md5sum=2,geti=1"
+      & info [ "mix" ] ~docv:"W=N,…"
+          ~doc:"Workload blend with weights, e.g. $(b,url=1,md5sum=2,geti=1).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int (Commset_exec.Exec.default_jobs ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Warm pool worker domains, spawned once and reused for every request. \
+             Defaults to the machine's available cores minus one.")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv): 4-byte big-endian \
+             length-prefixed strict-JSON frames (see DESIGN §18). Unlinked on \
+             shutdown.")
+  in
+  let equiv_every_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "equiv-every" ] ~docv:"N"
+          ~doc:
+            "Check every $(docv)th response per workload against the sequential \
+             reference with the output-equivalence checker; 0 disables sampling.")
+  in
+  let cache_capacity_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Plan-cache entries (LRU beyond that); each distinct source compiles once.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "After the drain, probe each compiled workload's best plan on real domains \
+             and gate on the calibration fidelity band (COMMSET_FIDELITY_BAND); skipped \
+             with a message when oversubscribed. Equiv failures exit non-zero even \
+             without this flag.")
+  in
+  let status_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "status-out" ] ~docv:"FILE"
+          ~doc:"Also write the strict-JSON status report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the request-serving daemon: warm worker-domain pool, compile-once plan \
+          cache with single-flight dedup, open-loop selftest load harness, per-request \
+          latency histograms and sampled output-equivalence checks")
+    Term.(
+      const run $ selftest_arg $ requests_arg $ rate_arg $ burst_arg $ seed_arg $ mix_arg
+      $ jobs_arg $ socket_arg $ equiv_every_arg $ cache_capacity_arg $ threads_arg
+      $ strict_arg $ status_out_arg $ log_level_arg)
+
 (* [COMMSET_TRACE=path]: enable the flight recorder for the whole
    invocation, whatever the subcommand, and write the trace at exit
    (including the [exit 1] of a diagnostic). *)
@@ -979,4 +1246,4 @@ let () =
   install_trace_env_hook ();
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; check_cmd; pdg_cmd; plans_cmd; run_cmd; stat_cmd; seq_cmd; explain_cmd; sweep_cmd; lint_cmd; suggest_cmd; trace_cmd; table1_cmd ]))
+       (Cmd.group info [ list_cmd; check_cmd; pdg_cmd; plans_cmd; run_cmd; stat_cmd; seq_cmd; serve_cmd; explain_cmd; sweep_cmd; lint_cmd; suggest_cmd; trace_cmd; table1_cmd ]))

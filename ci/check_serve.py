@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate a `commsetc serve` report (stdout JSON or --status-out file)
+against ci/serve-schema.json (stdlib only — the same small schema
+interpreter as check_suggest.py, extended with #/definitions $ref
+resolution), then assert the serve acceptance bar: zero Equiv
+failures, a clean drain, and the expected stop reason.
+
+Usage: check_serve.py <schema.json> <report.json> [options]
+  --stopped-by=completed|signal   expected stop reason (default: completed)
+  --min-hit-rate=F                plan-cache hit-rate floor (default: none)
+  --require-equiv                 fail if no Equiv checks actually ran
+"""
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def validate(value, schema, root, path="$"):
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        if not ref.startswith("#/"):
+            return ["%s: unsupported $ref %r" % (path, ref)]
+        target = root
+        for part in ref[2:].split("/"):
+            target = target[part]
+        return validate(value, target, root, path)
+    errors = []
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            errors.append("%s: %r not in %r" % (path, value, schema["enum"]))
+        return errors
+    t = schema.get("type")
+    if t is not None:
+        allowed = t if isinstance(t, list) else [t]
+        py = tuple(TYPES[a] for a in allowed)
+        # bool is an int subclass in python; keep number/integer honest
+        if isinstance(value, bool) and "boolean" not in allowed:
+            errors.append("%s: expected %s, got boolean" % (path, allowed))
+            return errors
+        if not isinstance(value, py):
+            errors.append(
+                "%s: expected %s, got %s" % (path, allowed, type(value).__name__)
+            )
+            return errors
+    if isinstance(value, dict):
+        for k in schema.get("required", []):
+            if k not in value:
+                errors.append("%s: missing required key %r" % (path, k))
+        for k, sub in schema.get("properties", {}).items():
+            if k in value:
+                errors.extend(validate(value[k], sub, root, "%s.%s" % (path, k)))
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            errors.extend(validate(item, schema["items"], root, "%s[%d]" % (path, i)))
+    return errors
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    opts = [a for a in sys.argv[1:] if a.startswith("--")]
+    schema_path, out_path = args[0], args[1]
+    stopped_by = "completed"
+    min_hit_rate = None
+    require_equiv = False
+    for o in opts:
+        if o.startswith("--stopped-by="):
+            stopped_by = o.split("=", 1)[1]
+        elif o.startswith("--min-hit-rate="):
+            min_hit_rate = float(o.split("=", 1)[1])
+        elif o == "--require-equiv":
+            require_equiv = True
+        else:
+            sys.exit("unknown option %s" % o)
+
+    with open(schema_path) as f:
+        schema = json.load(f)
+    with open(out_path) as f:
+        out = json.load(f)
+
+    errors = validate(out, schema, schema)
+    if errors:
+        for e in errors:
+            print("schema violation: %s" % e, file=sys.stderr)
+        sys.exit("%s does not match %s" % (out_path, schema_path))
+    print("%s: schema ok" % out_path)
+
+    eq = out["equiv"]
+    if eq["failures"] != 0:
+        sys.exit(
+            "equiv failures: %d (first: %s)" % (eq["failures"], eq["first_failure"])
+        )
+    if require_equiv and eq["checked"] == 0:
+        sys.exit("no Equiv checks ran (equiv.checked == 0)")
+    if not out["drained"]:
+        sys.exit(
+            "did not drain: offered %d, completed %d"
+            % (out["requests_offered"], out["requests_served"] + out["requests_failed"])
+        )
+    if out["stopped_by"] != stopped_by:
+        sys.exit(
+            "stopped_by %r, expected %r" % (out["stopped_by"], stopped_by)
+        )
+    hr = out["plan_cache"]["hit_rate"]
+    if min_hit_rate is not None and hr < min_hit_rate:
+        sys.exit(
+            "plan-cache hit rate %.4f below floor %.4f" % (hr, min_hit_rate)
+        )
+    print(
+        "%s: serve ok — %d served / %d offered at %.1f rps, "
+        "%d equiv checks clean, hit rate %.4f, stopped_by=%s"
+        % (
+            out_path,
+            out["requests_served"],
+            out["requests_offered"],
+            out["throughput_rps"],
+            eq["checked"],
+            hr,
+            out["stopped_by"],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -8,16 +8,51 @@ let spin_rounds () = Costmodel.exec_spin_rounds ()
    preempted partner gets scheduled, short enough to stay responsive *)
 let yield_s () = Costmodel.exec_spin_sleep_s ()
 
-type backoff = { mutable rounds : int; limit : int; sleep_s : float }
+type backoff = {
+  mutable rounds : int;
+  limit : int;
+  sleep_s : float;
+  (* long-idle tier: after [idle_after] base-quantum sleeps the quantum
+     doubles each sleep up to [sleep_cap_s], so a parked waiter costs
+     one wakeup per cap instead of polling every base quantum *)
+  mutable sleeps : int;
+  mutable cur_sleep_s : float;
+  idle_after : int;
+  sleep_cap_s : float;
+}
 
-let backoff () = { rounds = 0; limit = spin_rounds (); sleep_s = yield_s () }
+let backoff () =
+  let sleep_s = yield_s () in
+  {
+    rounds = 0;
+    limit = spin_rounds ();
+    sleep_s;
+    sleeps = 0;
+    cur_sleep_s = sleep_s;
+    idle_after = Costmodel.exec_idle_sleep_after ();
+    sleep_cap_s = Float.max (Costmodel.exec_idle_sleep_cap_s ()) sleep_s;
+  }
+
+let current_sleep_s b = b.cur_sleep_s
 
 let once b =
   if b.rounds < b.limit then begin
     Domain.cpu_relax ();
     b.rounds <- b.rounds + 1
   end
-  else Unix.sleepf b.sleep_s
+  else begin
+    Unix.sleepf b.cur_sleep_s;
+    b.sleeps <- b.sleeps + 1;
+    if b.sleeps >= b.idle_after then
+      b.cur_sleep_s <- Float.min (b.cur_sleep_s *. 2.) b.sleep_cap_s
+  end
+
+(* a successful wait ends the episode; the next episode of the same
+   waiter starts back at the responsive tier *)
+let reset b =
+  b.rounds <- 0;
+  b.sleeps <- 0;
+  b.cur_sleep_s <- b.sleep_s
 
 type lock = { flag : bool Atomic.t }
 

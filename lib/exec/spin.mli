@@ -23,8 +23,23 @@ type backoff
 val backoff : unit -> backoff
 
 (** One backoff step: {!Domain.cpu_relax} for the first {!spin_rounds}
-    calls, a short sleep afterwards. *)
+    calls, then sleeps. The first
+    {!Commset_runtime.Costmodel.exec_idle_sleep_after} sleeps use the
+    base quantum (short blocking episodes behave exactly as before);
+    after that the waiter is long-idle and the quantum doubles per
+    sleep up to {!Commset_runtime.Costmodel.exec_idle_sleep_cap_s} —
+    an idle daemon worker parks at ~0% CPU with wakeup latency bounded
+    by the cap. *)
 val once : backoff -> unit
+
+(** Forget accumulated idleness: the next {!once} is back at the
+    responsive tier. Call after a successful wait when reusing one
+    backoff across episodes (long-lived worker loops). *)
+val reset : backoff -> unit
+
+(** The sleep quantum the next spent-budget {!once} would pay (tests
+    pin the escalation schedule through this). *)
+val current_sleep_s : backoff -> float
 
 (** Test-and-test-and-set spin lock over a [bool Atomic.t]. *)
 type lock

@@ -405,6 +405,108 @@ let sweep ?(min_threads = 1) ?(precomputed = []) t ~max_threads :
     !order
 
 (* ------------------------------------------------------------------ *)
+(* Compile-time / serve-time split (daemon mode)                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Everything derivable from the source text alone, computed once and
+    reused by every request for the same content hash: the full
+    compilation, the best executable plan's simulated run (the serve
+    fidelity probe's target), and the output-equivalence classifier.
+    Serve-time state — a fresh machine per request — is deliberately
+    NOT here: a [service] is immutable and safe to share across the
+    warm pool's worker domains ({!Commset_runtime.Precompile} executors
+    carry all per-run mutable state). *)
+type service = {
+  sv_key : string;  (** {!content_key} of the source text *)
+  sv_name : string;
+  sv_compiled : t;
+  sv_threads : int;  (** thread count [sv_best] was planned for *)
+  sv_best : run option;
+      (** strongest executable plan by simulated speedup; [None] when no
+          plan the real backend supports exists at [sv_threads] *)
+  sv_compile_s : float;  (** wall seconds the compile-time stages took *)
+}
+
+(** Content hash of a source text: the plan-cache key. Two sources
+    differing in any byte (annotations included) get distinct services. *)
+let content_key source = Digest.to_hex (Digest.string source)
+
+let prepare_service ?(name = "<service>") ?(setup : setup = fun _ -> ())
+    ?(verify = false) ?(threads = 8) (source : string) : service =
+  Recorder.with_span ~cat:"serve" "serve.prepare_service" @@ fun () ->
+  let t0 = Commset_obs.Clock.now_ns () in
+  let compiled = compile ~name ~setup ~verify source in
+  let best =
+    List.find_opt
+      (fun r -> Result.is_ok (Commset_exec.Exec.supported r.plan))
+      (evaluate compiled ~threads)
+  in
+  let compile_s = (Commset_obs.Clock.now_ns () -. t0) /. 1e9 in
+  { sv_key = content_key source; sv_name = name; sv_compiled = compiled;
+    sv_threads = threads; sv_best = best; sv_compile_s = compile_s }
+
+(** One request: execute the prepared program on a fresh machine and
+    return its output stream. Safe to call concurrently from any number
+    of worker domains — the prepared program is shared read-only and
+    each call owns its executor and machine. *)
+let serve_request (sv : service) : string list =
+  let machine = R.Machine.create () in
+  sv.sv_compiled.setup machine;
+  let exec = R.Precompile.executor ~machine sv.sv_compiled.prepared in
+  let _total : float = R.Precompile.run_main exec in
+  R.Machine.outputs machine
+
+(** The sequential reference stream recorded at compile time — what a
+    sampled response is Equiv-checked against. *)
+let service_reference (sv : service) : string list =
+  sv.sv_compiled.trace.R.Trace.seq_outputs
+
+(** The service's output classifier for {!Commset_exec.Equiv.check}:
+    lines emitted by commset members compare as multisets, everything
+    else must hold its sequential position. *)
+let service_commutative (sv : service) : string -> bool =
+  Commset_exec.Equiv.commutative_outputs ~sync:sv.sv_compiled.sync
+    ~trace:sv.sv_compiled.trace
+
+(* ------------------------------------------------------------------ *)
+(* Calibration fidelity gate (run --strict, serve --selftest --strict) *)
+(* ------------------------------------------------------------------ *)
+
+type gate_verdict =
+  | Gate_ok of float  (** worst relative gap over the gated runs *)
+  | Gate_exceeded of (string * float) list
+      (** (plan label, gap) for every run outside the band *)
+  | Gate_skipped of string  (** why the gate did not apply *)
+
+(** Predicted-vs-measured fidelity gate: every run's relative speedup
+    gap [|predicted - measured| / measured] must stay within [band]
+    (default {!Commset_runtime.Costmodel.fidelity_band}). Applies only
+    when the machine is not oversubscribed — [cores >= jobs + 1], one
+    core per worker domain plus the coordinator; otherwise measured
+    speedups are time-slicing artifacts and the gate reports
+    [Gate_skipped] (callers must print the skip visibly). *)
+let fidelity_gate ~cores ~jobs ?band (runs : exec_run list) : gate_verdict =
+  let band = match band with Some b -> b | None -> R.Costmodel.fidelity_band () in
+  if cores < jobs + 1 then
+    Gate_skipped
+      (Printf.sprintf
+         "%d core(s) for %d worker domain(s) + coordinator (oversubscribed)" cores jobs)
+  else if runs = [] then Gate_skipped "no measured runs to gate"
+  else begin
+    let gap (r : exec_run) =
+      let m = r.xstats.Commset_exec.Exec.x_measured_speedup in
+      Float.abs (r.xpredicted -. m) /. Float.max 1e-9 m
+    in
+    let over =
+      List.filter_map
+        (fun r -> if gap r > band then Some (r.xplan.T.Plan.label, gap r) else None)
+        runs
+    in
+    if over <> [] then Gate_exceeded over
+    else Gate_ok (List.fold_left (fun acc r -> Float.max acc (gap r)) 0. runs)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Reporting helpers                                                   *)
 (* ------------------------------------------------------------------ *)
 

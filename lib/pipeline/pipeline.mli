@@ -140,6 +140,54 @@ val sweep :
   max_threads:int ->
   (string * (int * float) list) list
 
+(** {2 Compile-time / serve-time split (daemon mode)}
+
+    [commsetc serve] amortizes compilation across requests: a {!service}
+    is the compile-time state (parse → verify → plan), keyed by
+    {!content_key} into the daemon's plan cache, and {!serve_request} is
+    the serve-time state — a fresh machine per request, safe to run
+    concurrently from the warm pool's worker domains. *)
+
+type service = {
+  sv_key : string;  (** {!content_key} of the source text *)
+  sv_name : string;
+  sv_compiled : t;
+  sv_threads : int;  (** thread count [sv_best] was planned for *)
+  sv_best : run option;
+      (** strongest executable plan by simulated speedup, if any *)
+  sv_compile_s : float;  (** wall seconds the compile-time stages took *)
+}
+
+(** Content hash of a source text — the plan-cache key. *)
+val content_key : string -> string
+
+val prepare_service :
+  ?name:string -> ?setup:setup -> ?verify:bool -> ?threads:int -> string -> service
+
+(** Execute the service once on a fresh machine; returns the output
+    stream. Concurrency-safe across domains. *)
+val serve_request : service -> string list
+
+(** The compile-time sequential reference stream (Equiv sampling). *)
+val service_reference : service -> string list
+
+(** Output classifier for {!Commset_exec.Equiv.check}. *)
+val service_commutative : service -> string -> bool
+
+(** {2 Calibration fidelity gate} *)
+
+type gate_verdict =
+  | Gate_ok of float  (** worst relative gap over the gated runs *)
+  | Gate_exceeded of (string * float) list
+      (** (plan label, gap) for every run outside the band *)
+  | Gate_skipped of string  (** why the gate did not apply *)
+
+(** Gate measured runs on the calibration fidelity band
+    ({!Commset_runtime.Costmodel.fidelity_band} unless [band] is given):
+    skipped (with the reason) when [cores < jobs + 1] — oversubscribed
+    measurements are time-slicing artifacts. *)
+val fidelity_gate : cores:int -> jobs:int -> ?band:float -> exec_run list -> gate_verdict
+
 (* reporting helpers *)
 val count_annotations : string -> int
 val sloc : string -> int

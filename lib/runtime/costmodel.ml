@@ -211,6 +211,85 @@ let exec_spin_sleep_s () =
 
 let set_exec_spin_sleep_us us = Atomic.set exec_spin_sleep_cell (Float.max 0. (us *. 1e-6))
 
+(* Long-idle tier of the adaptive backoff (daemon mode): after
+   [exec_idle_sleep_after] base-quantum sleeps the quantum doubles each
+   episode up to [exec_idle_sleep_cap_s], so an idle waiter converges to
+   one wakeup per cap instead of polling every 50 µs forever.  The cap
+   bounds the worst-case wakeup latency of a parked worker. *)
+
+let exec_idle_sleep_after_cell = Atomic.make (-1)
+
+let exec_idle_sleep_after () =
+  let v = Atomic.get exec_idle_sleep_after_cell in
+  if v >= 0 then v
+  else
+    let v =
+      match Sys.getenv_opt "COMMSET_IDLE_SLEEP_AFTER" with
+      | None | Some "" -> 40
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n >= 0 -> n
+          | _ ->
+              Commset_support.Diag.error ~code:"CS013"
+                "invalid COMMSET_IDLE_SLEEP_AFTER value '%s': expected a \
+                 non-negative sleep count"
+                s)
+    in
+    Atomic.set exec_idle_sleep_after_cell v;
+    v
+
+let set_exec_idle_sleep_after n = Atomic.set exec_idle_sleep_after_cell (max 0 n)
+
+let exec_idle_sleep_cap_cell = Atomic.make (-1.0)
+
+let exec_idle_sleep_cap_s () =
+  let v = Atomic.get exec_idle_sleep_cap_cell in
+  if v >= 0. then v
+  else
+    let v =
+      match Sys.getenv_opt "COMMSET_IDLE_SLEEP_CAP_MS" with
+      | None | Some "" -> 20e-3
+      | Some s -> (
+          match float_of_string_opt (String.trim s) with
+          | Some f when f >= 0. && Float.is_finite f -> f *. 1e-3
+          | _ ->
+              Commset_support.Diag.error ~code:"CS013"
+                "invalid COMMSET_IDLE_SLEEP_CAP_MS value '%s': expected a \
+                 non-negative number of milliseconds"
+                s)
+    in
+    Atomic.set exec_idle_sleep_cap_cell v;
+    v
+
+let set_exec_idle_sleep_cap_ms ms =
+  Atomic.set exec_idle_sleep_cap_cell (Float.max 0. (ms *. 1e-3))
+
+(* Relative predicted-vs-measured speedup gap the strict gates accept
+   once a calibration profile is applied (run --strict --calibrate,
+   serve --selftest --strict). *)
+let fidelity_band_cell = Atomic.make (-1.0)
+
+let fidelity_band () =
+  let v = Atomic.get fidelity_band_cell in
+  if v >= 0. then v
+  else
+    let v =
+      match Sys.getenv_opt "COMMSET_FIDELITY_BAND" with
+      | None | Some "" -> 0.5
+      | Some s -> (
+          match float_of_string_opt (String.trim s) with
+          | Some f when f >= 0. && Float.is_finite f -> f
+          | _ ->
+              Commset_support.Diag.error ~code:"CS013"
+                "invalid COMMSET_FIDELITY_BAND value '%s': expected a \
+                 non-negative relative gap"
+                s)
+    in
+    Atomic.set fidelity_band_cell v;
+    v
+
+let set_fidelity_band b = Atomic.set fidelity_band_cell (Float.max 0. b)
+
 (* --- builtin cost helpers ---------------------------------------------- *)
 
 let per_byte = 0.3

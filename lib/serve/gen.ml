@@ -1,0 +1,129 @@
+(** Seeded MMPP arrival generator; see the interface for the model. *)
+
+type spec = {
+  g_seed : int;
+  g_rate : float;
+  g_burst : float;
+  g_on_s : float;
+  g_off_s : float;
+  g_mix : (string * float) list;
+}
+
+let default_spec =
+  {
+    g_seed = 1;
+    g_rate = 1000.;
+    g_burst = 3.;
+    g_on_s = 0.050;
+    g_off_s = 0.150;
+    g_mix = [ ("url", 1.); ("md5sum", 2.); ("geti", 1.) ];
+  }
+
+(* duty cycle d = on/(on+off); solving d·λ_on + (1−d)·λ_off = rate with
+   λ_on = burst·rate gives λ_off = rate·(1 − d·burst)/(1 − d), clamped
+   at 0 when the ON phase already carries the whole budget *)
+let off_rate s =
+  let d = s.g_on_s /. (s.g_on_s +. s.g_off_s) in
+  Float.max 0. (s.g_rate *. (1. -. (d *. s.g_burst)) /. (1. -. d))
+
+type phase = On | Off
+
+type t = {
+  spec : spec;
+  mutable state : int64;  (** xorshift64* state; never 0 *)
+  mutable clock : float;  (** last arrival offset, seconds *)
+  mutable phase : phase;
+  mutable phase_end : float;
+  on_rate : float;
+  off_rate : float;
+  total_weight : float;
+}
+
+(* xorshift64*: full-period 64-bit generator, one multiply per draw *)
+let next_bits t =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+(* top 53 bits -> [0, 1) *)
+let uniform t =
+  Int64.to_float (Int64.shift_right_logical (next_bits t) 11) /. 9007199254740992.
+
+(* exponential with the given rate; infinity for rate 0 (silent phase) *)
+let exponential t rate =
+  if rate <= 0. then infinity
+  else
+    let u = uniform t in
+    -.log (Float.max 1e-15 (1. -. u)) /. rate
+
+(* exponential with the given mean (phase durations) *)
+let duration t mean = -.log (Float.max 1e-15 (1. -. uniform t)) *. mean
+
+let create spec =
+  if spec.g_rate <= 0. then invalid_arg "Gen.create: g_rate must be > 0";
+  if spec.g_burst < 1. then invalid_arg "Gen.create: g_burst must be >= 1";
+  if spec.g_on_s <= 0. || spec.g_off_s <= 0. then
+    invalid_arg "Gen.create: phase durations must be > 0";
+  if spec.g_mix = [] then invalid_arg "Gen.create: g_mix must be non-empty";
+  List.iter
+    (fun (w, weight) ->
+      if weight <= 0. then invalid_arg (Printf.sprintf "Gen.create: weight of %S must be > 0" w))
+    spec.g_mix;
+  (* state must never be zero; a zero seed gets the golden-ratio word *)
+  let seed64 = if spec.g_seed = 0 then 0x9E3779B97F4A7C15L else Int64.of_int spec.g_seed in
+  let t =
+    {
+      spec;
+      state = seed64;
+      clock = 0.;
+      phase = On;
+      phase_end = 0.;
+      on_rate = spec.g_burst *. spec.g_rate;
+      off_rate = off_rate spec;
+      total_weight = List.fold_left (fun acc (_, w) -> acc +. w) 0. spec.g_mix;
+    }
+  in
+  t.phase_end <- duration t spec.g_on_s;
+  t
+
+let phase_rate t = match t.phase with On -> t.on_rate | Off -> t.off_rate
+
+let switch_phase t =
+  match t.phase with
+  | On ->
+      t.phase <- Off;
+      t.phase_end <- t.phase_end +. duration t t.spec.g_off_s
+  | Off ->
+      t.phase <- On;
+      t.phase_end <- t.phase_end +. duration t t.spec.g_on_s
+
+let pick_workload t =
+  let x = uniform t *. t.total_weight in
+  let rec walk acc = function
+    | [] -> fst (List.hd t.spec.g_mix) (* float round-off: fall back to the head *)
+    | (w, weight) :: rest -> if x < acc +. weight then w else walk (acc +. weight) rest
+  in
+  walk 0. t.spec.g_mix
+
+(* advance the clock by one exponential gap at the current phase's
+   intensity; a gap that crosses the phase boundary is discarded and
+   redrawn inside the next phase (memorylessness makes this exact) *)
+let rec next_arrival t =
+  let gap = exponential t (phase_rate t) in
+  let candidate = t.clock +. gap in
+  if candidate <= t.phase_end then begin
+    t.clock <- candidate;
+    candidate
+  end
+  else begin
+    t.clock <- t.phase_end;
+    switch_phase t;
+    next_arrival t
+  end
+
+let next t =
+  let at = next_arrival t in
+  (at, pick_workload t)

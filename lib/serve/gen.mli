@@ -1,0 +1,49 @@
+(** Deterministic open-loop request generator for the serve daemon's
+    self-test harness: a seeded arrival process over a weighted blend
+    of named workloads.
+
+    Arrivals follow a Markov-modulated Poisson process — the classic
+    on/off burst model. The stream alternates between an ON phase
+    (bursting at [g_burst ×] the base intensity, exponentially
+    distributed duration with mean [g_on_s]) and an OFF phase (lulls;
+    intensity solved so the long-run mean offered rate equals [g_rate],
+    clamped at zero when [g_burst] concentrates the whole budget in the
+    ON phase). Within a phase, inter-arrival gaps are exponential.
+    [g_burst = 1.] degenerates to plain Poisson arrivals.
+
+    Open loop means arrival times are fixed up front by the process and
+    never react to service completions — the generator models clients
+    who do not wait for each other, so queueing delay shows up honestly
+    as latency instead of silently throttling the offered load.
+
+    Determinism: the same [spec] yields the same arrival schedule and
+    workload sequence on every run (a private xorshift64* stream;
+    nothing global). *)
+
+type spec = {
+  g_seed : int;
+  g_rate : float;  (** long-run mean offered requests/second (> 0) *)
+  g_burst : float;  (** ON-phase intensity multiplier (≥ 1) *)
+  g_on_s : float;  (** mean ON-phase duration, seconds (> 0) *)
+  g_off_s : float;  (** mean OFF-phase duration, seconds (> 0) *)
+  g_mix : (string * float) list;  (** (workload, weight > 0); non-empty *)
+}
+
+(** Plain 1000 rps Poisson-burst blend used by [--selftest] defaults:
+    seed 1, burst 3×, 50 ms ON / 150 ms OFF, mix
+    [url:1, md5sum:2, geti:1]. *)
+val default_spec : spec
+
+type t
+
+(** Raises [Invalid_argument] on out-of-range spec fields. *)
+val create : spec -> t
+
+(** Next arrival: [(offset_s, workload)] where [offset_s] is seconds
+    since the stream's origin (monotone non-decreasing across calls)
+    and [workload] is drawn from [g_mix]. *)
+val next : t -> float * string
+
+(** The OFF-phase intensity (requests/second) implied by the spec —
+    exposed so tests can pin the rate algebra. *)
+val off_rate : spec -> float

@@ -1,0 +1,139 @@
+(** LRU + single-flight plan cache; see the interface for semantics. *)
+
+type 'v slot =
+  | Building  (** a flight is compiling this key; wait on [cond] *)
+  | Ready of 'v
+
+type 'v entry = { mutable slot : 'v slot; mutable stamp : int }
+
+type 'v t = {
+  mu : Mutex.t;
+  cond : Condition.t;  (** broadcast whenever any flight lands or fails *)
+  tbl : (string, 'v entry) Hashtbl.t;
+  capacity : int;
+  mutable tick : int;  (** LRU clock: larger stamp = more recent *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable waits : int;
+  mutable failures : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Plancache.create: capacity must be >= 1";
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    tbl = Hashtbl.create (2 * capacity);
+    capacity;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    waits = 0;
+    failures = 0;
+  }
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+(* ready-entry count; in-flight Building slots do not occupy LRU capacity *)
+let ready_count t =
+  Hashtbl.fold (fun _ e n -> match e.slot with Ready _ -> n + 1 | Building -> n) t.tbl 0
+
+let evict_lru t ~keep =
+  while ready_count t > t.capacity do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match e.slot with
+          | Building -> acc
+          | Ready _ when k = keep -> acc
+          | Ready _ -> (
+              match acc with
+              | Some (_, stamp) when stamp <= e.stamp -> acc
+              | _ -> Some (k, e.stamp)))
+        t.tbl None
+    in
+    match victim with
+    | Some (k, _) ->
+        Hashtbl.remove t.tbl k;
+        t.evictions <- t.evictions + 1
+    | None -> raise Exit (* only the just-inserted key left; capacity >= 1 holds it *)
+  done
+
+let evict_lru t ~keep = try evict_lru t ~keep with Exit -> ()
+
+let find_or_compile t ~key ~compile =
+  Mutex.lock t.mu;
+  let rec claim ~waited =
+    match Hashtbl.find_opt t.tbl key with
+    | Some ({ slot = Ready v; _ } as e) ->
+        touch t e;
+        t.hits <- t.hits + 1;
+        Mutex.unlock t.mu;
+        (v, true)
+    | Some { slot = Building; _ } ->
+        if not waited then t.waits <- t.waits + 1;
+        Condition.wait t.cond t.mu;
+        claim ~waited:true
+    | None ->
+        (* this caller owns the flight *)
+        t.misses <- t.misses + 1;
+        Hashtbl.replace t.tbl key { slot = Building; stamp = 0 };
+        Mutex.unlock t.mu;
+        let outcome = try Ok (compile ()) with exn -> Error exn in
+        Mutex.lock t.mu;
+        (match outcome with
+        | Ok v -> (
+            match Hashtbl.find_opt t.tbl key with
+            | Some e ->
+                e.slot <- Ready v;
+                touch t e;
+                evict_lru t ~keep:key
+            | None ->
+                (* unreachable: only a landed flight vacates a slot *)
+                Hashtbl.replace t.tbl key { slot = Ready v; stamp = 0 })
+        | Error _ ->
+            t.failures <- t.failures + 1;
+            Hashtbl.remove t.tbl key);
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mu;
+        (match outcome with Ok v -> (v, false) | Error exn -> raise exn)
+  in
+  claim ~waited:false
+
+let mem t key =
+  Mutex.lock t.mu;
+  let r =
+    match Hashtbl.find_opt t.tbl key with Some { slot = Ready _; _ } -> true | _ -> false
+  in
+  Mutex.unlock t.mu;
+  r
+
+type stats = {
+  pc_hits : int;
+  pc_misses : int;
+  pc_evictions : int;
+  pc_waits : int;
+  pc_failures : int;
+  pc_entries : int;
+  pc_capacity : int;
+}
+
+let stats t =
+  Mutex.lock t.mu;
+  let s =
+    {
+      pc_hits = t.hits;
+      pc_misses = t.misses;
+      pc_evictions = t.evictions;
+      pc_waits = t.waits;
+      pc_failures = t.failures;
+      pc_entries = ready_count t;
+      pc_capacity = t.capacity;
+    }
+  in
+  Mutex.unlock t.mu;
+  s

@@ -27,4 +27,5 @@ let () =
       Test_attrib.suite;
       Test_codegen.suite;
       Test_synth.suite;
+      Test_serve.suite;
     ]
